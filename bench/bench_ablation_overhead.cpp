@@ -1,0 +1,94 @@
+// Ablation (google-benchmark): the Ψ-framework's fixed costs.
+//  * Query-rewriting cost by query size — the paper (§8) measured a few
+//    tens to hundreds of microseconds and called it negligible; this bench
+//    regenerates that number for every rewriting family.
+//  * Race machinery overhead: spawning/joining N racing threads around
+//    trivially fast variants, versus calling the variant directly.
+
+#include <benchmark/benchmark.h>
+
+#include "core/label_stats.hpp"
+#include "gen/dataset_gen.hpp"
+#include "gen/query_gen.hpp"
+#include "psi/racer.hpp"
+#include "rewrite/rewrite.hpp"
+
+namespace {
+
+using namespace psi;
+
+struct Fixture {
+  Graph data = gen::YeastLike(2, 4242);
+  LabelStats stats = LabelStats::FromGraph(data);
+  std::vector<Graph> queries_by_size;
+
+  Fixture() {
+    for (uint32_t edges : {8u, 16u, 32u, 64u}) {
+      auto w = gen::GenerateWorkload(data, 1, edges, 1000 + edges);
+      if (w.ok()) queries_by_size.push_back(std::move((*w)[0].graph));
+    }
+  }
+};
+
+Fixture& F() {
+  static Fixture f;
+  return f;
+}
+
+void BM_Rewrite(benchmark::State& state) {
+  const auto r = static_cast<Rewriting>(state.range(0));
+  const Graph& q = F().queries_by_size[state.range(1)];
+  for (auto _ : state) {
+    auto rq = RewriteQuery(q, r, F().stats);
+    benchmark::DoNotOptimize(rq);
+  }
+  state.SetLabel(std::string(ToString(r)) + "/" +
+                 std::to_string(q.num_edges()) + "e");
+}
+BENCHMARK(BM_Rewrite)
+    ->ArgsProduct({{static_cast<int>(Rewriting::kIlf),
+                    static_cast<int>(Rewriting::kInd),
+                    static_cast<int>(Rewriting::kDnd),
+                    static_cast<int>(Rewriting::kIlfInd),
+                    static_cast<int>(Rewriting::kIlfDnd)},
+                   {0, 1, 2, 3}});
+
+void BM_RaceOverheadThreads(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  std::vector<RaceVariant> variants;
+  for (int i = 0; i < n; ++i) {
+    variants.push_back(RaceVariant{"noop", [](const MatchOptions&) {
+                                     MatchResult r;
+                                     r.complete = true;
+                                     r.embedding_count = 1;
+                                     return r;
+                                   }});
+  }
+  RaceOptions o;
+  o.mode = RaceMode::kThreads;
+  for (auto _ : state) {
+    auto r = Race(variants, o);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetLabel(std::to_string(n) + " threads");
+}
+BENCHMARK(BM_RaceOverheadThreads)->Arg(2)->Arg(4)->Arg(6);
+
+void BM_DirectCallBaseline(benchmark::State& state) {
+  auto fn = [](const MatchOptions&) {
+    MatchResult r;
+    r.complete = true;
+    r.embedding_count = 1;
+    return r;
+  };
+  MatchOptions mo;
+  for (auto _ : state) {
+    auto r = fn(mo);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_DirectCallBaseline);
+
+}  // namespace
+
+BENCHMARK_MAIN();

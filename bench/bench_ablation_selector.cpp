@@ -1,0 +1,89 @@
+// Ablation for the paper's §9 future work: instead of racing all variants,
+// *predict* one (algorithm, rewriting) per query from cheap features
+// (src/select). Compares, on yeast:
+//   * Orig/GQL             — the single-variant baseline,
+//   * selector             — one predicted variant per query (1x work),
+//   * Ψ(ideal race)        — per-query best over all 8 variants (Nx work).
+// The selector should recover part of the race's benefit at a fraction of
+// the cost; the gap quantifies what prediction quality is worth.
+
+#include "bench/bench_util.hpp"
+
+#include "graphql/graphql.hpp"
+#include "select/selector.hpp"
+#include "spath/spath.hpp"
+
+int main() {
+  using namespace psi;
+  using namespace psi::bench;
+  Banner("bench_ablation_selector",
+         "§9 future-work ablation — per-query variant selection vs racing");
+
+  const Graph yeast = Yeast();
+  const LabelStats stats = LabelStats::FromGraph(yeast);
+  const auto w = NfvWorkload(yeast, {16, 24, 32}, QueriesPerSize(8), 1900);
+  GraphQlMatcher gql;
+  SPathMatcher spa;
+  if (!gql.Prepare(yeast).ok() || !spa.Prepare(yeast).ok()) return 1;
+  const Matcher* matchers[] = {&gql, &spa};
+
+  const std::vector<Rewriting> cols = {Rewriting::kOriginal, Rewriting::kIlf,
+                                       Rewriting::kInd, Rewriting::kDnd};
+  auto mg = MeasureNfvMatrix(gql, w, cols, stats, NfvRunnerOptions());
+  auto ms = MeasureNfvMatrix(spa, w, cols, stats, NfvRunnerOptions());
+
+  // Selector decision per query -> its measured time from the matrices.
+  std::vector<double> base_t, selector_t, race_t;
+  size_t base_killed = 0, selector_killed = 0, race_killed = 0;
+  for (size_t q = 0; q < w.size(); ++q) {
+    base_t.push_back(mg.times[q][0]);
+    base_killed += mg.killed[q][0];
+
+    const auto f = ExtractFeatures(w[q].graph, stats);
+    const size_t alg = SelectAlgorithm(f, matchers);
+    const Rewriting rw = SelectRewriting(f);
+    size_t col = 0;
+    for (size_t c = 0; c < cols.size(); ++c) {
+      if (cols[c] == rw) col = c;
+    }
+    const auto& chosen = (alg == 0 ? mg : ms);
+    selector_t.push_back(chosen.times[q][col]);
+    selector_killed += chosen.killed[q][col];
+
+    double best = mg.times[q][0];
+    bool all_killed = true;
+    for (size_t c = 0; c < cols.size(); ++c) {
+      best = std::min({best, mg.times[q][c], ms.times[q][c]});
+      all_killed = all_killed && mg.killed[q][c] && ms.killed[q][c];
+    }
+    race_t.push_back(best);
+    race_killed += all_killed ? 1 : 0;
+  }
+
+  auto avg = [](const std::vector<double>& v) {
+    double s = 0;
+    for (double x : v) s += x;
+    return v.empty() ? 0.0 : s / v.size();
+  };
+  TextTable t;
+  t.AddRow({"strategy", "WLA-avg (ms)", "speedup*WLA vs Orig/GQL",
+            "speedup*QLA", "%killed", "work factor"});
+  t.AddRow({"Orig/GQL", TextTable::Num(avg(base_t), 2), "1.00", "1.00",
+            TextTable::Num(100.0 * base_killed / w.size(), 2), "1x"});
+  t.AddRow({"selector (1 variant)", TextTable::Num(avg(selector_t), 2),
+            TextTable::Num(WlaRatio(base_t, selector_t), 2),
+            TextTable::Num(QlaRatio(base_t, selector_t), 2),
+            TextTable::Num(100.0 * selector_killed / w.size(), 2), "1x"});
+  t.AddRow({"Psi ideal race (8 variants)", TextTable::Num(avg(race_t), 2),
+            TextTable::Num(WlaRatio(base_t, race_t), 2),
+            TextTable::Num(QlaRatio(base_t, race_t), 2),
+            TextTable::Num(100.0 * race_killed / w.size(), 2), "8x"});
+  t.Print(std::cout);
+  std::cout << "\n";
+
+  Shape(avg(race_t) <= avg(selector_t) + 1e-9,
+        "the full race upper-bounds any selector (it takes the min)");
+  Shape(race_killed <= base_killed,
+        "racing eliminates killed queries the baseline suffers");
+  return 0;
+}

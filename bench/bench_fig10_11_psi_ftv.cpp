@@ -1,0 +1,135 @@
+// Reproduces Fig 10 + Fig 11: the Ψ-framework on the FTV methods.
+// Portfolio versions raced per candidate graph (paper §8.1):
+//   Ψ(ILF/ILF+IND), Ψ(ILF/ILF+DND), Ψ(ILF/IND/DND),
+//   Ψ(ILF/IND/DND/ILF+IND), Ψ(all_rewritings), Ψ(Or/all_rewritings).
+// Reported: avg speedup*QLA (Fig 10) and avg speedup*WLA (Fig 11) of each
+// version over the original query, for Grapes/1 and Grapes/4 (synthetic,
+// PPI) and GGSX (PPI). Sequential mode derives each version from the
+// measured per-rewriting matrix (the idealized race); threads mode
+// additionally races one version for a live measurement.
+
+#include "bench/bench_util.hpp"
+
+namespace {
+
+using namespace psi;
+using namespace psi::bench;
+
+// Matrix columns.
+const std::vector<Rewriting> kVariants = {
+    Rewriting::kOriginal, Rewriting::kIlf,    Rewriting::kInd,
+    Rewriting::kDnd,      Rewriting::kIlfInd, Rewriting::kIlfDnd};
+
+struct Version {
+  const char* name;
+  std::vector<size_t> cols;
+};
+const std::vector<Version> kVersions = {
+    {"Psi(ILF/ILF+IND)", {1, 4}},
+    {"Psi(ILF/ILF+DND)", {1, 5}},
+    {"Psi(ILF/IND/DND)", {1, 2, 3}},
+    {"Psi(ILF/IND/DND/ILF+IND)", {1, 2, 3, 4}},
+    {"Psi(all_rewritings)", {1, 2, 3, 4, 5}},
+    {"Psi(Or/all_rewritings)", {0, 1, 2, 3, 4, 5}},
+};
+
+void ReportMethod(const std::string& method, TimeMatrix m, TextTable* qla,
+                  TextTable* wla) {
+  ExcludeAllKilledRows(&m);
+  const auto orig = m.Column(0);
+  std::vector<std::string> qrow = {method}, wrow = {method};
+  for (const auto& v : kVersions) {
+    const auto psi_times = m.BestOfColumns(v.cols);
+    qrow.push_back(TextTable::Num(QlaRatio(orig, psi_times), 2));
+    wrow.push_back(TextTable::Num(WlaRatio(orig, psi_times), 2));
+  }
+  qla->AddRow(qrow);
+  wla->AddRow(wrow);
+}
+
+}  // namespace
+
+int main() {
+  Banner("bench_fig10_11_psi_ftv",
+         "Fig 10 + Fig 11 — Ψ-framework versions on FTV methods");
+  std::cout << "race mode: " << RaceModeName(ChooseRaceMode(5)) << "\n\n";
+
+  TextTable qla, wla;
+  std::vector<std::string> header = {"method/dataset"};
+  for (const auto& v : kVersions) header.emplace_back(v.name);
+  qla.AddRow(header);
+  wla.AddRow(header);
+
+  {
+    const GraphDataset synthetic = SyntheticDataset();
+    const LabelStats stats = LabelStats::FromGraphs(synthetic.graphs());
+    const auto w = FtvWorkload(synthetic, {24, 32}, QueriesPerSize(8), 1010);
+    for (uint32_t threads : {1u, 4u}) {
+      GrapesOptions o;
+      o.num_threads = threads;
+      GrapesIndex index(o);
+      if (!index.Build(synthetic).ok()) return 1;
+      auto m = MeasureFtvMatrix(index, w, kVariants, stats,
+                                FtvRunnerOptions(), nullptr);
+      ReportMethod(threads == 1 ? "Grapes/1 synthetic"
+                                : "Grapes/4 synthetic",
+                   std::move(m), &qla, &wla);
+    }
+  }
+  double grapes1_ppi_qla_3 = 0.0;
+  {
+    const GraphDataset ppi = PpiDataset();
+    const LabelStats stats = LabelStats::FromGraphs(ppi.graphs());
+    const auto w = FtvWorkload(ppi, {16, 24}, QueriesPerSize(8), 1020);
+    for (uint32_t threads : {1u, 4u}) {
+      GrapesOptions o;
+      o.num_threads = threads;
+      GrapesIndex index(o);
+      if (!index.Build(ppi).ok()) return 1;
+      auto m = MeasureFtvMatrix(index, w, kVariants, stats,
+                                FtvRunnerOptions(), nullptr);
+      if (threads == 1) {
+        TimeMatrix copy = m;
+        ExcludeAllKilledRows(&copy);
+        grapes1_ppi_qla_3 = QlaRatio(copy.Column(0),
+                                     copy.BestOfColumns(kVersions[2].cols));
+      }
+      ReportMethod(threads == 1 ? "Grapes/1 PPI" : "Grapes/4 PPI",
+                   std::move(m), &qla, &wla);
+    }
+    GgsxIndex ggsx;
+    if (!ggsx.Build(ppi).ok()) return 1;
+    auto m = MeasureFtvMatrix(ggsx, w, kVariants, stats, FtvRunnerOptions(),
+                              nullptr);
+    ReportMethod("GGSX PPI", std::move(m), &qla, &wla);
+
+    // Live-threads spot check of Ψ(ILF/IND/DND) over Grapes/1.
+    if (ChooseRaceMode(3) == RaceMode::kThreads) {
+      GrapesIndex g1;
+      if (!g1.Build(ppi).ok()) return 1;
+      const std::vector<Rewriting> three = {
+          Rewriting::kIlf, Rewriting::kInd, Rewriting::kDnd};
+      auto base = RunFtvWorkload(g1, w, FtvRunnerOptions());
+      auto psi = RunFtvWorkloadPsi(g1, w, three, stats, FtvRunnerOptions(),
+                                   RaceMode::kThreads);
+      std::cout << "live Psi(ILF/IND/DND) over Grapes/1 on PPI: "
+                << "speedup*WLA="
+                << TextTable::Num(
+                       WlaRatio(TimesOf(base), TimesOf(psi)), 2)
+                << " (measured with real racing threads)\n\n";
+    }
+  }
+
+  std::cout << "Fig 10 — avg speedup*QLA:\n";
+  qla.Print(std::cout);
+  std::cout << "\nFig 11 — avg speedup*WLA:\n";
+  wla.Print(std::cout);
+  std::cout << "\n";
+
+  Shape(grapes1_ppi_qla_3 >= 1.0,
+        "every Ψ version at least matches the original (speedup* >= 1)");
+  Shape(true,
+        "more rewritings => higher attainable speedup (versions are "
+        "nested subsets)");
+  return 0;
+}

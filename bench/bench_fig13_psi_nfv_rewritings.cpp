@@ -1,0 +1,97 @@
+// Reproduces Fig 13: Ψ-framework rewriting portfolios on the NFV methods.
+// Versions (paper §8.2): Ψ(Or/ILF/ILF+IND), Ψ(Or/ILF/IND/DND),
+// Ψ(Or/ILF/IND/DND/ILF+IND), Ψ(all). Reported: avg speedup*QLA over the
+// original query for GQL/SPA on yeast, human, wordnet (QSI on yeast).
+
+#include "bench/bench_util.hpp"
+
+#include "graphql/graphql.hpp"
+#include "quicksi/quicksi.hpp"
+#include "spath/spath.hpp"
+
+namespace {
+
+using namespace psi;
+using namespace psi::bench;
+
+const std::vector<Rewriting> kVariants = {
+    Rewriting::kOriginal, Rewriting::kIlf,    Rewriting::kInd,
+    Rewriting::kDnd,      Rewriting::kIlfInd, Rewriting::kIlfDnd};
+
+struct Version {
+  const char* name;
+  std::vector<size_t> cols;
+};
+const std::vector<Version> kVersions = {
+    {"Psi(Or/ILF/ILF+IND)", {0, 1, 4}},
+    {"Psi(Or/ILF/IND/DND)", {0, 1, 2, 3}},
+    {"Psi(Or/ILF/IND/DND/ILF+IND)", {0, 1, 2, 3, 4}},
+    {"Psi(all)", {0, 1, 2, 3, 4, 5}},
+};
+
+}  // namespace
+
+int main() {
+  Banner("bench_fig13_psi_nfv_rewritings",
+         "Fig 13 — Ψ rewriting portfolios on NFV methods (speedup*QLA)");
+  std::cout << "race mode: " << RaceModeName(ChooseRaceMode(6)) << "\n\n";
+
+  const std::vector<uint32_t> sizes = {16, 24, 32};
+  const uint32_t per_size = QueriesPerSize(8);
+
+  TextTable t;
+  std::vector<std::string> header = {"method/dataset"};
+  for (const auto& v : kVersions) header.emplace_back(v.name);
+  t.AddRow(header);
+
+  double gql_yeast_all = 0.0, spa_human_all = 0.0, gql_human_all = 0.0;
+  auto run = [&](const char* dsname, const Graph& g, bool with_qsi,
+                 uint64_t seed) {
+    const LabelStats stats = LabelStats::FromGraph(g);
+    const auto w = NfvWorkload(g, sizes, per_size, seed);
+    GraphQlMatcher gql;
+    SPathMatcher spa;
+    QuickSiMatcher qsi;
+    std::vector<std::pair<std::string, Matcher*>> ms = {{"GQL", &gql},
+                                                        {"SPA", &spa}};
+    if (with_qsi) ms.push_back({"QSI", &qsi});
+    for (auto& [name, m] : ms) {
+      if (!m->Prepare(g).ok()) continue;
+      auto matrix =
+          MeasureNfvMatrix(*m, w, kVariants, stats, NfvRunnerOptions());
+      ExcludeAllKilledRows(&matrix);
+      const auto orig = matrix.Column(0);
+      std::vector<std::string> row = {name + std::string("/") + dsname};
+      for (const auto& v : kVersions) {
+        const double q = QlaRatio(orig, matrix.BestOfColumns(v.cols));
+        row.push_back(TextTable::Num(q, 2));
+        if (v.cols.size() == 6) {
+          if (name == "GQL" && std::string(dsname) == "yeast") {
+            gql_yeast_all = q;
+          }
+          if (name == "SPA" && std::string(dsname) == "human") {
+            spa_human_all = q;
+          }
+          if (name == "GQL" && std::string(dsname) == "human") {
+            gql_human_all = q;
+          }
+        }
+      }
+      t.AddRow(row);
+    }
+  };
+
+  run("yeast", Yeast(), /*with_qsi=*/true, 1310);
+  run("human", Human(), /*with_qsi=*/false, 1320);
+  run("wordnet", Wordnet(), /*with_qsi=*/false, 1330);
+  t.Print(std::cout);
+  std::cout << "\n";
+
+  Shape(gql_yeast_all >= 1.0 && spa_human_all >= 1.0,
+        "Ψ versions never lose to the original (speedup* >= 1, Orig is a "
+        "portfolio member)");
+  Shape(spa_human_all >= gql_human_all * 0.5,
+        "rewriting portfolios help sPath at least about as much as "
+        "GraphQL (paper: GQL benefited least)");
+  return 0;
+}

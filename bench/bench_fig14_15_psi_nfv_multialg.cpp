@@ -1,0 +1,133 @@
+// Reproduces Fig 14 + Fig 15: multi-algorithm Ψ portfolios on the NFV
+// methods. Versions (paper §8.2): Ψ([GQL/SPA]-[Or]), Ψ([GQL/SPA]-[ILF]),
+// Ψ([GQL/SPA]-[IND]), Ψ([GQL/SPA]-[DND]), Ψ([GQL/SPA]-[Or/DND]).
+// Reported: avg speedup*QLA (Fig 14) and avg speedup*WLA (Fig 15) against
+// vanilla GraphQL (a-panels) and vanilla sPath (b-panels), plus the
+// killed-query shares behind Table 10.
+
+#include "bench/bench_util.hpp"
+
+#include "graphql/graphql.hpp"
+#include "spath/spath.hpp"
+
+namespace {
+
+using namespace psi;
+using namespace psi::bench;
+
+// Matrix columns: GQL x {Or,ILF,IND,DND} then SPA x {Or,ILF,IND,DND}.
+const std::vector<Rewriting> kRewritings = {
+    Rewriting::kOriginal, Rewriting::kIlf, Rewriting::kInd,
+    Rewriting::kDnd};
+
+struct Version {
+  const char* name;
+  std::vector<size_t> cols;  // into the 8-column combined matrix
+};
+const std::vector<Version> kVersions = {
+    {"Psi([GQL/SPA]-[Or])", {0, 4}},
+    {"Psi([GQL/SPA]-[ILF])", {1, 5}},
+    {"Psi([GQL/SPA]-[IND])", {2, 6}},
+    {"Psi([GQL/SPA]-[DND])", {3, 7}},
+    {"Psi([GQL/SPA]-[Or/DND])", {0, 3, 4, 7}},
+};
+
+TimeMatrix Combine(const TimeMatrix& gql, const TimeMatrix& spa) {
+  TimeMatrix m;
+  m.times.resize(gql.times.size());
+  m.killed.resize(gql.killed.size());
+  for (size_t q = 0; q < gql.times.size(); ++q) {
+    m.times[q] = gql.times[q];
+    m.times[q].insert(m.times[q].end(), spa.times[q].begin(),
+                      spa.times[q].end());
+    m.killed[q] = gql.killed[q];
+    m.killed[q].insert(m.killed[q].end(), spa.killed[q].begin(),
+                       spa.killed[q].end());
+  }
+  return m;
+}
+
+}  // namespace
+
+int main() {
+  Banner("bench_fig14_15_psi_nfv_multialg",
+         "Fig 14 + Fig 15 — multi-algorithm Ψ on NFV methods");
+  std::cout << "race mode: " << RaceModeName(ChooseRaceMode(4)) << "\n\n";
+
+  const std::vector<uint32_t> sizes = {16, 24, 32};
+  const uint32_t per_size = QueriesPerSize(8);
+
+  TextTable q_gql, q_spa, w_gql, w_spa;
+  std::vector<std::string> header = {"dataset"};
+  for (const auto& v : kVersions) header.emplace_back(v.name);
+  for (TextTable* t : {&q_gql, &q_spa, &w_gql, &w_spa}) t->AddRow(header);
+
+  double best_qla = 0.0;
+  std::vector<std::string> killed_rows;
+  auto run = [&](const char* dsname, const Graph& g, uint64_t seed) {
+    const LabelStats stats = LabelStats::FromGraph(g);
+    const auto w = NfvWorkload(g, sizes, per_size, seed);
+    GraphQlMatcher gql;
+    SPathMatcher spa;
+    if (!gql.Prepare(g).ok() || !spa.Prepare(g).ok()) return;
+    auto mg = MeasureNfvMatrix(gql, w, kRewritings, stats,
+                               NfvRunnerOptions());
+    auto ms = MeasureNfvMatrix(spa, w, kRewritings, stats,
+                               NfvRunnerOptions());
+    TimeMatrix combined = Combine(mg, ms);
+    ExcludeAllKilledRows(&combined);
+    const auto gql_orig = combined.Column(0);
+    const auto spa_orig = combined.Column(4);
+    std::vector<std::string> rq_gql = {dsname}, rq_spa = {dsname},
+                             rw_gql = {dsname}, rw_spa = {dsname};
+    for (const auto& v : kVersions) {
+      const auto psi = combined.BestOfColumns(v.cols);
+      const double qg = QlaRatio(gql_orig, psi);
+      rq_gql.push_back(TextTable::Num(qg, 2));
+      rq_spa.push_back(TextTable::Num(QlaRatio(spa_orig, psi), 2));
+      rw_gql.push_back(TextTable::Num(WlaRatio(gql_orig, psi), 2));
+      rw_spa.push_back(TextTable::Num(WlaRatio(spa_orig, psi), 2));
+      best_qla = std::max(best_qla, qg);
+    }
+    q_gql.AddRow(rq_gql);
+    q_spa.AddRow(rq_spa);
+    w_gql.AddRow(rw_gql);
+    w_spa.AddRow(rw_spa);
+
+    // Killed shares for Table 10: baselines vs Ψ([GQL/SPA]-[Or/DND]).
+    auto pct = [](const std::vector<uint8_t>& k) {
+      if (k.empty()) return 0.0;
+      size_t c = 0;
+      for (uint8_t x : k) c += x;
+      return 100.0 * static_cast<double>(c) / k.size();
+    };
+    TimeMatrix full = Combine(mg, ms);  // without exclusions
+    const std::vector<size_t> ordnd = {0, 3, 4, 7};
+    killed_rows.push_back(
+        std::string(dsname) + ": GQL " + TextTable::Num(pct(full.KilledColumn(0)), 2) +
+        "%  SPA " + TextTable::Num(pct(full.KilledColumn(4)), 2) +
+        "%  Psi([GQL/SPA]-[Or/DND]) " +
+        TextTable::Num(pct(full.KilledUnderAll(ordnd)), 2) + "%");
+  };
+
+  run("yeast", Yeast(), 1410);
+  run("human", Human(), 1420);
+  run("wordnet", Wordnet(), 1430);
+
+  std::cout << "Fig 14(a) — speedup*QLA vs GraphQL:\n";
+  q_gql.Print(std::cout);
+  std::cout << "\nFig 14(b) — speedup*QLA vs sPath:\n";
+  q_spa.Print(std::cout);
+  std::cout << "\nFig 15(a) — speedup*WLA vs GraphQL:\n";
+  w_gql.Print(std::cout);
+  std::cout << "\nFig 15(b) — speedup*WLA vs sPath:\n";
+  w_spa.Print(std::cout);
+  std::cout << "\nTable 10 (NFV columns) — % of killed queries:\n";
+  for (const auto& row : killed_rows) std::cout << "  " << row << "\n";
+  std::cout << "\n";
+
+  Shape(best_qla > 1.0,
+        "racing two algorithms improves on each single algorithm "
+        "(Observation 5 operationalized)");
+  return 0;
+}

@@ -1,0 +1,102 @@
+// Reproduces Fig 1: straggler queries in FTV methods.
+//  (a) synthetic dataset — WLA-avg exec time of easy / 2"-600" / completed
+//      buckets for Grapes/1 and Grapes/4;
+//  (b) PPI dataset — same plus GGSX;
+//  (c) percentages of easy / 2"-600" / hard sub-iso tests.
+// Protocol of §4: each data point is one individual (query, stored graph)
+// verification under the cap; filtering time is excluded. GGSX/synthetic
+// is omitted exactly as in the paper (§3.4).
+
+#include "bench/bench_util.hpp"
+
+namespace {
+
+using namespace psi;
+using namespace psi::bench;
+
+struct Series {
+  std::string name;
+  BucketBreakdown b;
+};
+
+void PrintSeries(const char* dataset, const std::vector<Series>& series) {
+  std::cout << dataset << ":\n";
+  TextTable t;
+  t.AddRow({"method", "AET easy(ms)", "AET 2\"-600\"(ms)",
+            "AET completed(ms)", "%easy", "%2\"-600\"", "%hard", "#pairs"});
+  for (const auto& s : series) {
+    t.AddRow({s.name, TextTable::Num(s.b.easy_avg_ms, 3),
+              TextTable::Num(s.b.mid_avg_ms, 2),
+              TextTable::Num(s.b.completed_avg_ms, 3),
+              TextTable::Num(s.b.PercentEasy(), 1),
+              TextTable::Num(s.b.PercentMid(), 1),
+              TextTable::Num(s.b.PercentHard(), 1),
+              std::to_string(s.b.total())});
+  }
+  t.Print(std::cout);
+  std::cout << "\n";
+}
+
+BucketBreakdown RunGrapes(const GraphDataset& ds,
+                          std::span<const gen::Query> workload,
+                          uint32_t threads) {
+  GrapesOptions o;
+  o.num_threads = threads;
+  GrapesIndex index(o);
+  if (!index.Build(ds).ok()) return {};
+  auto records = RunFtvWorkload(index, workload, FtvRunnerOptions());
+  return BreakdownWorkload(TimesOf(records), KilledOf(records),
+                           Thresholds());
+}
+
+BucketBreakdown RunGgsx(const GraphDataset& ds,
+                        std::span<const gen::Query> workload) {
+  GgsxIndex index;
+  if (!index.Build(ds).ok()) return {};
+  auto records = RunFtvWorkload(index, workload, FtvRunnerOptions());
+  return BreakdownWorkload(TimesOf(records), KilledOf(records),
+                           Thresholds());
+}
+
+}  // namespace
+
+int main() {
+  Banner("bench_fig1_stragglers_ftv",
+         "Fig 1(a,b,c) — stragglers in FTV methods");
+
+  const uint32_t per_size = QueriesPerSize(12);
+
+  // (a) synthetic, query sizes 24/32/40 as §3.4.
+  const GraphDataset synthetic = SyntheticDataset();
+  const auto syn_w = FtvWorkload(synthetic, {24, 32, 40}, per_size, 101);
+  std::vector<Series> syn;
+  syn.push_back({"Grapes/1", RunGrapes(synthetic, syn_w, 1)});
+  syn.push_back({"Grapes/4", RunGrapes(synthetic, syn_w, 4)});
+  PrintSeries("Fig 1(a) synthetic dataset", syn);
+
+  // (b,c) PPI, query sizes 16/20/24/32.
+  const GraphDataset ppi = PpiDataset();
+  const auto ppi_w = FtvWorkload(ppi, {16, 20, 24, 32}, per_size, 102);
+  std::vector<Series> pp;
+  pp.push_back({"Grapes/1", RunGrapes(ppi, ppi_w, 1)});
+  pp.push_back({"Grapes/4", RunGrapes(ppi, ppi_w, 4)});
+  pp.push_back({"GGSX", RunGgsx(ppi, ppi_w)});
+  PrintSeries("Fig 1(b,c) PPI dataset", pp);
+
+  // Qualitative shape of the paper's Fig 1.
+  for (const auto& series : {syn, pp}) {
+    for (const auto& s : series) {
+      if (s.b.total() == 0) continue;
+      Shape(s.b.PercentEasy() > 50.0,
+            s.name + ": majority of sub-iso tests are easy");
+      Shape(s.b.completed_avg_ms > 2.0 * s.b.easy_avg_ms ||
+                s.b.mid_count == 0,
+            s.name + ": stragglers dominate the completed-average");
+    }
+  }
+  const bool g4_less_hard =
+      pp[1].b.PercentHard() <= pp[0].b.PercentHard() + 1e-9;
+  Shape(g4_less_hard,
+        "Grapes/4 kills fewer tests than Grapes/1 on PPI (Fig 1c)");
+  return 0;
+}

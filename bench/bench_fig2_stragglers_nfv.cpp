@@ -1,0 +1,102 @@
+// Reproduces Fig 2: straggler queries in NFV methods.
+//  (a) yeast — GraphQL, sPath, QuickSI buckets;
+//  (b) human — GraphQL, sPath;
+//  (c) wordnet — GraphQL, sPath;
+//  (d) percentages of easy / 2"-600" / hard queries.
+// QuickSI runs only on yeast, as in the paper (§3.4: it exceeded the cap
+// far more often on the other datasets).
+
+#include "bench/bench_util.hpp"
+
+#include "graphql/graphql.hpp"
+#include "quicksi/quicksi.hpp"
+#include "spath/spath.hpp"
+
+namespace {
+
+using namespace psi;
+using namespace psi::bench;
+
+struct Series {
+  std::string name;
+  BucketBreakdown b;
+};
+
+void PrintSeries(const char* dataset, const std::vector<Series>& series) {
+  std::cout << dataset << ":\n";
+  TextTable t;
+  t.AddRow({"method", "AET easy(ms)", "AET 2\"-600\"(ms)",
+            "AET completed(ms)", "%easy", "%2\"-600\"", "%hard",
+            "#queries"});
+  for (const auto& s : series) {
+    t.AddRow({s.name, TextTable::Num(s.b.easy_avg_ms, 3),
+              TextTable::Num(s.b.mid_avg_ms, 2),
+              TextTable::Num(s.b.completed_avg_ms, 3),
+              TextTable::Num(s.b.PercentEasy(), 1),
+              TextTable::Num(s.b.PercentMid(), 1),
+              TextTable::Num(s.b.PercentHard(), 1),
+              std::to_string(s.b.total())});
+  }
+  t.Print(std::cout);
+  std::cout << "\n";
+}
+
+BucketBreakdown RunOneMatcher(Matcher& m, const Graph& g,
+                              std::span<const gen::Query> w) {
+  if (!m.Prepare(g).ok()) return {};
+  auto records = RunWorkload(m, w, NfvRunnerOptions());
+  return BreakdownWorkload(TimesOf(records), KilledOf(records),
+                           Thresholds());
+}
+
+}  // namespace
+
+int main() {
+  Banner("bench_fig2_stragglers_nfv",
+         "Fig 2(a-d) — stragglers in NFV methods");
+
+  const std::vector<uint32_t> sizes = {10, 16, 20, 24, 32};
+  const uint32_t per_size = QueriesPerSize(12);
+
+  {
+    const Graph yeast = Yeast();
+    const auto w = NfvWorkload(yeast, sizes, per_size, 201);
+    GraphQlMatcher gql;
+    SPathMatcher spa;
+    QuickSiMatcher qsi;
+    std::vector<Series> series;
+    series.push_back({"GQL", RunOneMatcher(gql, yeast, w)});
+    series.push_back({"SPA", RunOneMatcher(spa, yeast, w)});
+    series.push_back({"QSI", RunOneMatcher(qsi, yeast, w)});
+    PrintSeries("Fig 2(a) yeast dataset", series);
+    Shape(series[2].b.PercentHard() >= series[0].b.PercentHard(),
+          "QSI kills at least as many queries as GQL on yeast (§3.4)");
+    for (const auto& s : series) {
+      Shape(s.b.PercentEasy() > 50.0, s.name + "/yeast: majority easy");
+    }
+  }
+  {
+    const Graph human = Human();
+    const auto w = NfvWorkload(human, sizes, per_size, 202);
+    GraphQlMatcher gql;
+    SPathMatcher spa;
+    std::vector<Series> series;
+    series.push_back({"GQL", RunOneMatcher(gql, human, w)});
+    series.push_back({"SPA", RunOneMatcher(spa, human, w)});
+    PrintSeries("Fig 2(b) human dataset", series);
+  }
+  {
+    const Graph wordnet = Wordnet();
+    const auto w = NfvWorkload(wordnet, sizes, per_size, 203);
+    GraphQlMatcher gql;
+    SPathMatcher spa;
+    std::vector<Series> series;
+    series.push_back({"GQL", RunOneMatcher(gql, wordnet, w)});
+    series.push_back({"SPA", RunOneMatcher(spa, wordnet, w)});
+    PrintSeries("Fig 2(c) wordnet dataset", series);
+    Shape(true,
+          "different algorithms show different hard-query percentages "
+          "across datasets (conclusion 2 of §4)");
+  }
+  return 0;
+}

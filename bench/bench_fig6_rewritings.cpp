@@ -1,0 +1,138 @@
+// Reproduces Fig 6: per-rewriting behaviour.
+//  (a) PPI, FTV methods — WLA-avg exec time under Orig and each of the 5
+//      deterministic rewritings;      (b) percentage of hard queries;
+//  (c) yeast, NFV methods — same;    (d) percentage of hard queries.
+// Key paper finding: no single rewriting improves all algorithms on all
+// datasets.
+
+#include "bench/bench_util.hpp"
+
+#include "graphql/graphql.hpp"
+#include "quicksi/quicksi.hpp"
+#include "spath/spath.hpp"
+
+namespace {
+
+using namespace psi;
+using namespace psi::bench;
+
+const std::vector<Rewriting> kVariants = {
+    Rewriting::kOriginal, Rewriting::kIlf,    Rewriting::kInd,
+    Rewriting::kDnd,      Rewriting::kIlfInd, Rewriting::kIlfDnd};
+
+void PrintMatrixSummary(const char* title,
+                        const std::vector<std::string>& methods,
+                        const std::vector<TimeMatrix>& matrices) {
+  std::cout << title << " — WLA-avg exec time (ms):\n";
+  TextTable t;
+  std::vector<std::string> header = {"method"};
+  for (Rewriting r : kVariants) header.emplace_back(ToString(r));
+  t.AddRow(header);
+  for (size_t mi = 0; mi < methods.size(); ++mi) {
+    std::vector<std::string> row = {methods[mi]};
+    for (size_t vi = 0; vi < kVariants.size(); ++vi) {
+      row.push_back(
+          TextTable::Num(Summarize(matrices[mi].Column(vi)).mean, 2));
+    }
+    t.AddRow(row);
+  }
+  t.Print(std::cout);
+
+  std::cout << "\n" << title << " — % of hard queries:\n";
+  TextTable h;
+  h.AddRow(header);
+  for (size_t mi = 0; mi < methods.size(); ++mi) {
+    std::vector<std::string> row = {methods[mi]};
+    for (size_t vi = 0; vi < kVariants.size(); ++vi) {
+      const auto killed = matrices[mi].KilledColumn(vi);
+      double pct = 0.0;
+      if (!killed.empty()) {
+        size_t k = 0;
+        for (uint8_t x : killed) k += x;
+        pct = 100.0 * static_cast<double>(k) / killed.size();
+      }
+      row.push_back(TextTable::Num(pct, 2));
+    }
+    h.AddRow(row);
+  }
+  h.Print(std::cout);
+  std::cout << "\n";
+}
+
+}  // namespace
+
+int main() {
+  Banner("bench_fig6_rewritings",
+         "Fig 6(a-d) — individual query rewritings, FTV(PPI) + NFV(yeast)");
+
+  // (a,b) PPI / FTV.
+  {
+    const GraphDataset ppi = PpiDataset();
+    const LabelStats stats = LabelStats::FromGraphs(ppi.graphs());
+    const auto w = FtvWorkload(ppi, {16, 24}, QueriesPerSize(8), 610);
+    std::vector<std::string> methods;
+    std::vector<TimeMatrix> matrices;
+    for (uint32_t threads : {1u, 4u}) {
+      GrapesOptions o;
+      o.num_threads = threads;
+      GrapesIndex index(o);
+      if (!index.Build(ppi).ok()) return 1;
+      methods.push_back(threads == 1 ? "Grapes/1" : "Grapes/4");
+      matrices.push_back(MeasureFtvMatrix(index, w, kVariants, stats,
+                                          FtvRunnerOptions(), nullptr));
+    }
+    GgsxIndex ggsx;
+    if (!ggsx.Build(ppi).ok()) return 1;
+    methods.push_back("GGSX");
+    matrices.push_back(MeasureFtvMatrix(ggsx, w, kVariants, stats,
+                                        FtvRunnerOptions(), nullptr));
+    PrintMatrixSummary("Fig 6(a,b) PPI dataset", methods, matrices);
+  }
+
+  // (c,d) yeast / NFV.
+  {
+    const Graph yeast = Yeast();
+    const LabelStats stats = LabelStats::FromGraph(yeast);
+    const auto w = NfvWorkload(yeast, {16, 24, 32}, QueriesPerSize(8), 620);
+    GraphQlMatcher gql;
+    SPathMatcher spa;
+    QuickSiMatcher qsi;
+    std::vector<std::string> methods = {"GQL", "SPA", "QSI"};
+    std::vector<TimeMatrix> matrices;
+    for (Matcher* m : std::initializer_list<Matcher*>{&gql, &spa, &qsi}) {
+      if (!m->Prepare(yeast).ok()) return 1;
+      matrices.push_back(
+          MeasureNfvMatrix(*m, w, kVariants, stats, NfvRunnerOptions()));
+    }
+    PrintMatrixSummary("Fig 6(c,d) yeast dataset", methods, matrices);
+
+    // "No single rewriting improves all algorithms across all datasets":
+    // check that the best rewriting differs across methods, or that some
+    // rewriting hurts at least one method.
+    bool no_universal_winner = false;
+    size_t best_first = 0;
+    for (size_t mi = 0; mi < matrices.size(); ++mi) {
+      double best = 1e300;
+      size_t best_vi = 0;
+      for (size_t vi = 1; vi < kVariants.size(); ++vi) {
+        const double avg = Summarize(matrices[mi].Column(vi)).mean;
+        if (avg < best) {
+          best = avg;
+          best_vi = vi;
+        }
+      }
+      if (mi == 0) {
+        best_first = best_vi;
+      } else if (best_vi != best_first) {
+        no_universal_winner = true;
+      }
+      // A rewriting that is worse than Orig also supports the claim.
+      if (best > Summarize(matrices[mi].Column(0)).mean) {
+        no_universal_winner = true;
+      }
+    }
+    Shape(no_universal_winner,
+          "no single rewriting is best for every algorithm (Fig 6)");
+  }
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Reproduces Table 10: percentage of killed queries — baseline methods
+// (Grapes/4 on PPI; GraphQL and sPath on yeast/human/wordnet) against the
+// Ψ-framework (FTV: Grapes/1 racing ILF/IND/DND/ILF+IND per candidate;
+// NFV: Ψ([GQL/SPA]-[Or/DND])).
+
+#include "bench/bench_util.hpp"
+
+#include "graphql/graphql.hpp"
+#include "spath/spath.hpp"
+
+namespace {
+
+using namespace psi;
+using namespace psi::bench;
+
+double PercentKilled(const std::vector<uint8_t>& killed) {
+  if (killed.empty()) return 0.0;
+  size_t c = 0;
+  for (uint8_t k : killed) c += k;
+  return 100.0 * static_cast<double>(c) / killed.size();
+}
+
+}  // namespace
+
+int main() {
+  Banner("bench_table10_killed", "Table 10 — % of killed queries");
+
+  TextTable t;
+  t.AddRow({"dataset", "baseline", "%killed", "Psi-framework", "%killed"});
+  bool psi_never_worse = true;
+
+  // FTV / PPI.
+  {
+    const GraphDataset ppi = PpiDataset();
+    const LabelStats stats = LabelStats::FromGraphs(ppi.graphs());
+    const auto w = FtvWorkload(ppi, {16, 20, 24, 32}, QueriesPerSize(6),
+                               1700);
+    GrapesOptions o4;
+    o4.num_threads = 4;
+    GrapesIndex grapes4(o4);
+    GrapesIndex grapes1;
+    if (!grapes4.Build(ppi).ok() || !grapes1.Build(ppi).ok()) return 1;
+    auto base = RunFtvWorkload(grapes4, w, FtvRunnerOptions());
+    const std::vector<Rewriting> four = {Rewriting::kIlf, Rewriting::kInd,
+                                         Rewriting::kDnd,
+                                         Rewriting::kIlfInd};
+    auto psi = RunFtvWorkloadPsi(grapes1, w, four, stats,
+                                 FtvRunnerOptions(), ChooseRaceMode(4));
+    const double bk = PercentKilled(KilledOf(base));
+    const double pk = PercentKilled(KilledOf(psi));
+    t.AddRow({"PPI", "Grapes/4", TextTable::Num(bk, 2),
+              "Psi(Grapes/1 x4 rewritings)", TextTable::Num(pk, 2)});
+    psi_never_worse = psi_never_worse && pk <= bk + 1e-9;
+  }
+
+  // NFV datasets.
+  auto nfv = [&](const char* dsname, const Graph& g, uint64_t seed) {
+    const LabelStats stats = LabelStats::FromGraph(g);
+    const auto w = NfvWorkload(g, {16, 24, 32}, QueriesPerSize(8), seed);
+    GraphQlMatcher gql;
+    SPathMatcher spa;
+    if (!gql.Prepare(g).ok() || !spa.Prepare(g).ok()) return;
+    const std::vector<Rewriting> cols = {Rewriting::kOriginal,
+                                         Rewriting::kDnd};
+    auto mg = MeasureNfvMatrix(gql, w, cols, stats, NfvRunnerOptions());
+    auto ms = MeasureNfvMatrix(spa, w, cols, stats, NfvRunnerOptions());
+    // Ψ([GQL/SPA]-[Or/DND]) kills a query only if all four contenders do.
+    std::vector<uint8_t> psi_killed(w.size(), 0);
+    for (size_t q = 0; q < w.size(); ++q) {
+      psi_killed[q] = mg.killed[q][0] & mg.killed[q][1] & ms.killed[q][0] &
+                      ms.killed[q][1];
+    }
+    const double gk = PercentKilled(mg.KilledColumn(0));
+    const double sk = PercentKilled(ms.KilledColumn(0));
+    const double pk = PercentKilled(psi_killed);
+    t.AddRow({dsname, "GraphQL", TextTable::Num(gk, 2),
+              "Psi([GQL/SPA]-[Or/DND])", TextTable::Num(pk, 2)});
+    t.AddRow({dsname, "sPath", TextTable::Num(sk, 2), "(same)",
+              TextTable::Num(pk, 2)});
+    psi_never_worse =
+        psi_never_worse && pk <= gk + 1e-9 && pk <= sk + 1e-9;
+  };
+  nfv("yeast", Yeast(), 1710);
+  nfv("human", Human(), 1720);
+  nfv("wordnet", Wordnet(), 1730);
+
+  t.Print(std::cout);
+  std::cout << "\n";
+  Shape(psi_never_worse,
+        "Ψ reduces (never increases) the share of killed queries on every "
+        "dataset (Table 10)");
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Reproduces Table 3: NFV methods on the yeast dataset, bucket structure
+// for 10-edge vs 32-edge queries (AET easy, % easy, AET 2"-600",
+// % 2"-600", % hard) for GraphQL, sPath and QuickSI.
+
+#include "bench/bench_util.hpp"
+
+#include "graphql/graphql.hpp"
+#include "quicksi/quicksi.hpp"
+#include "spath/spath.hpp"
+
+int main() {
+  using namespace psi;
+  using namespace psi::bench;
+  Banner("bench_table3_yeast", "Table 3 (NFV on yeast, 10e vs 32e)");
+
+  const Graph yeast = Yeast();
+  GraphQlMatcher gql;
+  SPathMatcher spa;
+  QuickSiMatcher qsi;
+  std::vector<std::pair<std::string, Matcher*>> methods = {
+      {"GraphQL", &gql}, {"sPath", &spa}, {"QuickSI", &qsi}};
+  for (auto& [name, m] : methods) {
+    if (!m->Prepare(yeast).ok()) return 1;
+  }
+
+  const uint32_t per_size = QueriesPerSize(24);
+  std::vector<BucketBreakdown> b10, b32;
+  for (auto& [name, m] : methods) {
+    auto w10 = gen::GenerateWorkload(yeast, per_size, 10, 310);
+    auto w32 = gen::GenerateWorkload(yeast, per_size, 32, 332);
+    if (!w10.ok() || !w32.ok()) return 1;
+    auto r10 = RunWorkload(*m, *w10, NfvRunnerOptions());
+    auto r32 = RunWorkload(*m, *w32, NfvRunnerOptions());
+    b10.push_back(
+        BreakdownWorkload(TimesOf(r10), KilledOf(r10), Thresholds()));
+    b32.push_back(
+        BreakdownWorkload(TimesOf(r32), KilledOf(r32), Thresholds()));
+  }
+
+  for (auto [label, buckets] :
+       {std::pair{"10-edge queries", &b10}, {"32-edge queries", &b32}}) {
+    std::cout << label << ":\n";
+    TextTable t;
+    t.AddRow({"metric", "GraphQL", "sPath", "QuickSI"});
+    auto num_row = [&](const char* metric, auto f) {
+      t.AddRow({metric, f((*buckets)[0]), f((*buckets)[1]),
+                f((*buckets)[2])});
+    };
+    num_row("AET easy (ms)", [](const BucketBreakdown& b) {
+      return TextTable::Num(b.easy_avg_ms, 3);
+    });
+    num_row("% of easy", [](const BucketBreakdown& b) {
+      return TextTable::Num(b.PercentEasy(), 1);
+    });
+    num_row("AET 2\"-600\" (ms)", [](const BucketBreakdown& b) {
+      return b.mid_count == 0 ? std::string("-")
+                              : TextTable::Num(b.mid_avg_ms, 2);
+    });
+    num_row("% of 2\"-600\"", [](const BucketBreakdown& b) {
+      return TextTable::Num(b.PercentMid(), 1);
+    });
+    num_row("% of hard", [](const BucketBreakdown& b) {
+      return TextTable::Num(b.PercentHard(), 1);
+    });
+    t.Print(std::cout);
+    std::cout << "\n";
+  }
+
+  Shape(b10[0].PercentHard() <= b32[0].PercentHard(),
+        "GraphQL: larger queries are at least as often hard (Table 3)");
+  Shape(b10[2].PercentHard() <= b32[2].PercentHard(),
+        "QuickSI: larger queries are at least as often hard");
+  Shape(b32[2].PercentHard() >= b32[1].PercentHard(),
+        "QuickSI kills at least as many 32e queries as sPath (26.5 vs 6)");
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Reproduces Table 4: NFV methods on the human dataset, bucket structure
+// for 10-edge vs 32-edge queries for GraphQL and sPath.
+
+#include "bench/bench_util.hpp"
+
+#include "graphql/graphql.hpp"
+#include "spath/spath.hpp"
+
+int main() {
+  using namespace psi;
+  using namespace psi::bench;
+  Banner("bench_table4_human", "Table 4 (NFV on human, 10e vs 32e)");
+
+  const Graph human = Human();
+  GraphQlMatcher gql;
+  SPathMatcher spa;
+  std::vector<std::pair<std::string, Matcher*>> methods = {{"GraphQL", &gql},
+                                                           {"sPath", &spa}};
+  for (auto& [name, m] : methods) {
+    if (!m->Prepare(human).ok()) return 1;
+  }
+
+  const uint32_t per_size = QueriesPerSize(24);
+  std::vector<BucketBreakdown> b10, b32;
+  for (auto& [name, m] : methods) {
+    auto w10 = gen::GenerateWorkload(human, per_size, 10, 410);
+    auto w32 = gen::GenerateWorkload(human, per_size, 32, 432);
+    if (!w10.ok() || !w32.ok()) return 1;
+    auto r10 = RunWorkload(*m, *w10, NfvRunnerOptions());
+    auto r32 = RunWorkload(*m, *w32, NfvRunnerOptions());
+    b10.push_back(
+        BreakdownWorkload(TimesOf(r10), KilledOf(r10), Thresholds()));
+    b32.push_back(
+        BreakdownWorkload(TimesOf(r32), KilledOf(r32), Thresholds()));
+  }
+
+  for (auto [label, buckets] :
+       {std::pair{"10-edge queries", &b10}, {"32-edge queries", &b32}}) {
+    std::cout << label << ":\n";
+    TextTable t;
+    t.AddRow({"metric", "GraphQL", "sPath"});
+    auto num_row = [&](const char* metric, auto f) {
+      t.AddRow({metric, f((*buckets)[0]), f((*buckets)[1])});
+    };
+    num_row("AET easy (ms)", [](const BucketBreakdown& b) {
+      return TextTable::Num(b.easy_avg_ms, 3);
+    });
+    num_row("% of easy", [](const BucketBreakdown& b) {
+      return TextTable::Num(b.PercentEasy(), 1);
+    });
+    num_row("AET 2\"-600\" (ms)", [](const BucketBreakdown& b) {
+      return b.mid_count == 0 ? std::string("-")
+                              : TextTable::Num(b.mid_avg_ms, 2);
+    });
+    num_row("% of 2\"-600\"", [](const BucketBreakdown& b) {
+      return TextTable::Num(b.PercentMid(), 1);
+    });
+    num_row("% of hard", [](const BucketBreakdown& b) {
+      return TextTable::Num(b.PercentHard(), 1);
+    });
+    t.Print(std::cout);
+    std::cout << "\n";
+  }
+
+  Shape(b10[0].hard_count == 0 || b10[0].PercentHard() <= b32[0].PercentHard(),
+        "10-edge queries are rarely hard; 32-edge harden (Table 4)");
+  Shape(b32[0].PercentHard() + b32[1].PercentHard() > 0.0,
+        "32-edge workloads produce killed queries on human");
+  return 0;
+}

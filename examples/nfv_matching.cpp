@@ -1,0 +1,73 @@
+// NFV (matching-problem) walkthrough on a single large stored graph:
+// enumerate embeddings with all four engines, compare their search effort,
+// and map a rewritten query's embedding back to the original numbering.
+//
+//   $ ./examples/nfv_matching
+
+#include <iostream>
+
+#include "core/label_stats.hpp"
+#include "gen/dataset_gen.hpp"
+#include "gen/query_gen.hpp"
+#include "graphql/graphql.hpp"
+#include "quicksi/quicksi.hpp"
+#include "rewrite/rewrite.hpp"
+#include "spath/spath.hpp"
+#include "vf2/vf2.hpp"
+
+int main() {
+  using namespace psi;
+
+  const Graph data = gen::HumanLike(/*scale=*/4, /*seed=*/3);
+  std::cout << "stored graph: " << data.num_vertices() << " vertices, "
+            << data.num_edges() << " edges (human-like density)\n";
+
+  auto query = gen::ExtractQuery(data, 10, /*num_edges=*/7, 123);
+  if (!query.ok()) return 1;
+
+  Vf2Matcher vf2;
+  QuickSiMatcher qsi;
+  GraphQlMatcher gql;
+  SPathMatcher spa;
+  Matcher* engines[] = {&vf2, &qsi, &gql, &spa};
+  for (Matcher* m : engines) {
+    if (auto s = m->Prepare(data); !s.ok()) {
+      std::cerr << m->name() << ": " << s.ToString() << "\n";
+      return 1;
+    }
+  }
+
+  // All engines must agree on the embedding count (capped at 1000, as the
+  // paper caps its NFV experiments).
+  std::cout << "\nengine  embeddings  time(ms)  search-tree nodes\n";
+  for (Matcher* m : engines) {
+    MatchOptions opts;
+    opts.max_embeddings = 1000;
+    auto r = m->Match(*query, opts);
+    std::cout << m->name() << "     " << r.embedding_count << "        "
+              << r.elapsed_ms() << "    " << r.stats.recursion_nodes
+              << "\n";
+  }
+
+  // Rewriting + mapping back: embeddings found for the rewritten instance
+  // translate to valid embeddings of the original query.
+  const LabelStats stats = LabelStats::FromGraph(data);
+  auto rq = RewriteQuery(*query, Rewriting::kIlfDnd, stats);
+  if (!rq.ok()) return 1;
+  MatchOptions one;
+  one.max_embeddings = 1;
+  Embedding rewritten_embedding;
+  one.sink = [&](const Embedding& e) {
+    rewritten_embedding = e;
+    return false;
+  };
+  auto r = gql.Match(rq->graph, one);
+  if (r.found()) {
+    const Embedding original = MapEmbeddingBack(*rq, rewritten_embedding);
+    std::cout << "\nILF+DND instance matched; mapped back to original "
+                 "numbering: valid="
+              << (IsValidEmbedding(*query, data, original) ? "yes" : "NO")
+              << "\n";
+  }
+  return 0;
+}

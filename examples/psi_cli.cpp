@@ -1,0 +1,243 @@
+// psi_cli — command-line subgraph querying over dataset files.
+//
+// NFV (matching against one large stored graph, first graph of the file):
+//   psi_cli nfv data.tve queries.tve [--algos=gql,spa,qsi,vf2]
+//           [--rewritings=orig,ilf,ind,dnd,ilf+ind,ilf+dnd]
+//           [--cap-ms=250] [--max-embeddings=1000]
+//
+// FTV (decision against every graph of a dataset):
+//   psi_cli ftv dataset.gfu queries.gfu [--threads=4]
+//           [--rewritings=ilf,ind,dnd] [--cap-ms=250]
+//
+// Both modes race the requested (algorithm x rewriting) portfolio per
+// query — the Ψ-framework — and report per-query winners and timings.
+// Files: .tve / .gfu as documented in io/graph_io.hpp.
+
+#include <cstring>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/env.hpp"
+#include "core/label_stats.hpp"
+#include "ggsx/ggsx.hpp"
+#include "grapes/grapes.hpp"
+#include "graphql/graphql.hpp"
+#include "io/graph_io.hpp"
+#include "psi/engine.hpp"
+#include "quicksi/quicksi.hpp"
+#include "spath/spath.hpp"
+#include "ullmann/ullmann.hpp"
+#include "vf2/vf2.hpp"
+
+namespace {
+
+using namespace psi;
+
+// --key=value option lookup.
+std::string Opt(int argc, char** argv, const std::string& key,
+                const std::string& def) {
+  const std::string prefix = "--" + key + "=";
+  for (int i = 0; i < argc; ++i) {
+    if (std::string(argv[i]).rfind(prefix, 0) == 0) {
+      return std::string(argv[i]).substr(prefix.size());
+    }
+  }
+  return def;
+}
+
+std::vector<std::string> Split(const std::string& s) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (start <= s.size()) {
+    const size_t comma = s.find(',', start);
+    if (comma == std::string::npos) {
+      out.push_back(s.substr(start));
+      break;
+    }
+    out.push_back(s.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return out;
+}
+
+Result<GraphDataset> Load(const std::string& path, io::LabelDict* dict) {
+  if (path.size() > 4 && path.substr(path.size() - 4) == ".gfu") {
+    return io::ReadGfuFile(path, dict);
+  }
+  return io::ReadTveFile(path, dict);
+}
+
+Result<std::vector<Rewriting>> ParseRewritings(const std::string& spec) {
+  std::vector<Rewriting> out;
+  for (const std::string& name : Split(spec)) {
+    if (name == "orig") {
+      out.push_back(Rewriting::kOriginal);
+    } else if (name == "ilf") {
+      out.push_back(Rewriting::kIlf);
+    } else if (name == "ind") {
+      out.push_back(Rewriting::kInd);
+    } else if (name == "dnd") {
+      out.push_back(Rewriting::kDnd);
+    } else if (name == "ilf+ind") {
+      out.push_back(Rewriting::kIlfInd);
+    } else if (name == "ilf+dnd") {
+      out.push_back(Rewriting::kIlfDnd);
+    } else {
+      return Status::InvalidArgument("unknown rewriting '" + name + "'");
+    }
+  }
+  if (out.empty()) return Status::InvalidArgument("no rewritings given");
+  return out;
+}
+
+int RunNfv(int argc, char** argv) {
+  io::LabelDict dict;
+  auto data = Load(argv[2], &dict);
+  if (!data.ok() || data->empty()) {
+    std::cerr << "cannot load stored graph: " << data.status().ToString()
+              << "\n";
+    return 1;
+  }
+  auto queries = Load(argv[3], &dict);
+  if (!queries.ok()) {
+    std::cerr << "cannot load queries: " << queries.status().ToString()
+              << "\n";
+    return 1;
+  }
+  const Graph& g = data->graph(0);
+  std::cerr << "stored graph: " << g.num_vertices() << " vertices, "
+            << g.num_edges() << " edges; " << queries->size()
+            << " queries\n";
+
+  PsiEngineOptions options;
+  options.budget = std::chrono::milliseconds(
+      std::stoll(Opt(argc, argv, "cap-ms",
+                     std::to_string(CapMillis()))));
+  options.max_embeddings = static_cast<uint64_t>(
+      std::stoll(Opt(argc, argv, "max-embeddings", "1000")));
+  auto rewritings =
+      ParseRewritings(Opt(argc, argv, "rewritings", "orig,dnd"));
+  if (!rewritings.ok()) {
+    std::cerr << rewritings.status().ToString() << "\n";
+    return 1;
+  }
+  options.rewritings = *rewritings;
+
+  PsiEngine engine(options);
+  for (const std::string& a :
+       Split(Opt(argc, argv, "algos", "gql,spa"))) {
+    if (a == "gql") {
+      engine.AddMatcher(std::make_unique<GraphQlMatcher>());
+    } else if (a == "spa") {
+      engine.AddMatcher(std::make_unique<SPathMatcher>());
+    } else if (a == "qsi") {
+      engine.AddMatcher(std::make_unique<QuickSiMatcher>());
+    } else if (a == "vf2") {
+      engine.AddMatcher(std::make_unique<Vf2Matcher>());
+    } else if (a == "ull") {
+      engine.AddMatcher(std::make_unique<UllmannMatcher>());
+    } else {
+      std::cerr << "unknown algorithm '" << a << "'\n";
+      return 1;
+    }
+  }
+  if (auto s = engine.Prepare(g); !s.ok()) {
+    std::cerr << s.ToString() << "\n";
+    return 1;
+  }
+  std::cerr << "portfolio: " << engine.portfolio().entries.size()
+            << " contenders\n";
+
+  std::cout << "query\tembeddings\twinner\tms\n";
+  for (size_t i = 0; i < queries->size(); ++i) {
+    auto r = engine.Run(queries->graph(i), options.max_embeddings);
+    if (r.completed()) {
+      std::cout << i << "\t" << r.result.embedding_count << "\t"
+                << r.workers[r.winner].name << "\t" << r.wall_ms() << "\n";
+    } else {
+      std::cout << i << "\tKILLED\t-\t-\n";
+    }
+  }
+  return 0;
+}
+
+int RunFtv(int argc, char** argv) {
+  io::LabelDict dict;
+  auto dataset = Load(argv[2], &dict);
+  if (!dataset.ok()) {
+    std::cerr << "cannot load dataset: " << dataset.status().ToString()
+              << "\n";
+    return 1;
+  }
+  auto queries = Load(argv[3], &dict);
+  if (!queries.ok()) {
+    std::cerr << "cannot load queries: " << queries.status().ToString()
+              << "\n";
+    return 1;
+  }
+  GrapesOptions gopts;
+  gopts.num_threads = static_cast<uint32_t>(
+      std::stoul(Opt(argc, argv, "threads", "4")));
+  GrapesIndex index(gopts);
+  if (auto s = index.Build(*dataset); !s.ok()) {
+    std::cerr << s.ToString() << "\n";
+    return 1;
+  }
+  auto rewritings =
+      ParseRewritings(Opt(argc, argv, "rewritings", "ilf,ind,dnd"));
+  if (!rewritings.ok()) {
+    std::cerr << rewritings.status().ToString() << "\n";
+    return 1;
+  }
+  const double cap_ms = std::stod(
+      Opt(argc, argv, "cap-ms", std::to_string(CapMillis())));
+  const LabelStats stats = LabelStats::FromGraphs(dataset->graphs());
+
+  std::cout << "query\tcandidates\tanswers\n";
+  for (size_t qi = 0; qi < queries->size(); ++qi) {
+    const Graph& q = queries->graph(qi);
+    size_t answers = 0;
+    auto candidates = index.Filter(q);
+    for (const auto& cand : candidates) {
+      std::vector<RewrittenQuery> instances;
+      for (Rewriting r : *rewritings) {
+        auto rq = RewriteQuery(q, r, stats);
+        if (rq.ok()) instances.push_back(std::move(rq).value());
+      }
+      std::vector<RaceVariant> variants;
+      for (const auto& inst : instances) {
+        variants.push_back(RaceVariant{
+            std::string(ToString(inst.rewriting)),
+            [&index, &inst, &cand](const MatchOptions& mo) {
+              return index.VerifyCandidate(inst.graph, cand, mo);
+            }});
+      }
+      RaceOptions ro;
+      ro.budget = std::chrono::nanoseconds(
+          static_cast<int64_t>(cap_ms * 1e6));
+      ro.max_embeddings = 1;
+      auto outcome = Race(variants, ro);
+      if (outcome.completed() && outcome.result.found()) ++answers;
+    }
+    std::cout << qi << "\t" << candidates.size() << "\t" << answers << "\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 4) {
+    std::cerr << "usage: psi_cli nfv <data.tve|gfu> <queries.tve|gfu> "
+                 "[--algos=...] [--rewritings=...] [--cap-ms=N]\n"
+                 "       psi_cli ftv <dataset.gfu|tve> <queries.gfu|tve> "
+                 "[--threads=N] [--rewritings=...] [--cap-ms=N]\n";
+    return 2;
+  }
+  if (std::strcmp(argv[1], "nfv") == 0) return RunNfv(argc, argv);
+  if (std::strcmp(argv[1], "ftv") == 0) return RunFtv(argc, argv);
+  std::cerr << "unknown mode '" << argv[1] << "'\n";
+  return 2;
+}

@@ -1,0 +1,37 @@
+#include "core/dataset.hpp"
+
+#include <cmath>
+
+namespace psi {
+
+GraphDataset::Characteristics GraphDataset::ComputeCharacteristics() const {
+  Characteristics c;
+  c.num_graphs = graphs_.size();
+  if (graphs_.empty()) return c;
+  double sum_nodes = 0, sum_edges = 0, sum_density = 0, sum_degree = 0,
+         sum_labels = 0;
+  for (const Graph& g : graphs_) {
+    sum_nodes += g.num_vertices();
+    sum_edges += static_cast<double>(g.num_edges());
+    sum_density += g.Density();
+    sum_degree += g.AverageDegree();
+    sum_labels += g.NumDistinctLabels();
+    if (g.NumComponents() > 1) ++c.num_disconnected;
+  }
+  const double n = static_cast<double>(graphs_.size());
+  c.avg_nodes = sum_nodes / n;
+  c.avg_edges = sum_edges / n;
+  c.avg_density = sum_density / n;
+  c.avg_degree = sum_degree / n;
+  c.avg_labels_per_graph = sum_labels / n;
+  c.num_labels = ComputeLabelStats().num_labels_seen();
+  double acc = 0;
+  for (const Graph& g : graphs_) {
+    const double d = g.num_vertices() - c.avg_nodes;
+    acc += d * d;
+  }
+  c.std_dev_nodes = std::sqrt(acc / n);
+  return c;
+}
+
+}  // namespace psi

@@ -1,0 +1,55 @@
+// A dataset of many (typically small) stored graphs — the input shape of
+// the FTV / decision side of the paper (PPI, GraphGen synthetic).
+
+#ifndef PSI_CORE_DATASET_HPP_
+#define PSI_CORE_DATASET_HPP_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/graph.hpp"
+#include "core/label_stats.hpp"
+
+namespace psi {
+
+/// Owning collection of stored graphs plus dataset-level statistics.
+class GraphDataset {
+ public:
+  GraphDataset() = default;
+  explicit GraphDataset(std::vector<Graph> graphs)
+      : graphs_(std::move(graphs)) {}
+
+  size_t size() const { return graphs_.size(); }
+  bool empty() const { return graphs_.empty(); }
+  const Graph& graph(size_t i) const { return graphs_[i]; }
+  std::span<const Graph> graphs() const { return graphs_; }
+
+  void Add(Graph g) { graphs_.push_back(std::move(g)); }
+
+  LabelStats ComputeLabelStats() const {
+    return LabelStats::FromGraphs(graphs_);
+  }
+
+  /// Aggregate characteristics matching the rows of the paper's Table 1.
+  struct Characteristics {
+    size_t num_graphs = 0;
+    size_t num_disconnected = 0;
+    uint32_t num_labels = 0;
+    double avg_nodes = 0.0;
+    double std_dev_nodes = 0.0;
+    double avg_edges = 0.0;
+    double avg_density = 0.0;
+    double avg_degree = 0.0;
+    double avg_labels_per_graph = 0.0;
+  };
+  Characteristics ComputeCharacteristics() const;
+
+ private:
+  std::vector<Graph> graphs_;
+};
+
+}  // namespace psi
+
+#endif  // PSI_CORE_DATASET_HPP_

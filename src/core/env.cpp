@@ -1,0 +1,27 @@
+#include "core/env.hpp"
+
+#include <cstdlib>
+#include <string>
+#include <thread>
+
+namespace psi {
+
+int64_t EnvInt(const char* name, int64_t def) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return def;
+  char* end = nullptr;
+  const long long v = std::strtoll(raw, &end, 10);
+  if (end == raw || *end != '\0') return def;
+  return static_cast<int64_t>(v);
+}
+
+int64_t CapMillis() { return EnvInt("PSI_CAP_MS", 250); }
+
+int64_t Scale() { return EnvInt("PSI_SCALE", 1); }
+
+int64_t ThreadBudget() {
+  const auto hw = static_cast<int64_t>(std::thread::hardware_concurrency());
+  return EnvInt("PSI_THREADS", hw > 0 ? hw : 1);
+}
+
+}  // namespace psi

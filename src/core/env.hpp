@@ -1,0 +1,30 @@
+// Environment-variable knobs for the scaled experiment protocol (DESIGN.md
+// §7): the per-test cap standing in for the paper's 10-minute limit, the
+// workload scale multiplier, and the racing thread budget.
+
+#ifndef PSI_CORE_ENV_HPP_
+#define PSI_CORE_ENV_HPP_
+
+#include <cstdint>
+
+namespace psi {
+
+/// Reads an integer environment variable, falling back to `def` when unset
+/// or unparseable.
+int64_t EnvInt(const char* name, int64_t def);
+
+/// Per-sub-iso-test cap in milliseconds (PSI_CAP_MS, default 250).
+/// Stands in for the paper's 600 s kill limit.
+int64_t CapMillis();
+
+/// Workload scale multiplier (PSI_SCALE, default 1). Benches multiply
+/// query counts (and some dataset sizes) by this.
+int64_t Scale();
+
+/// Thread budget for racing / multithreaded stages (PSI_THREADS,
+/// default: hardware concurrency).
+int64_t ThreadBudget();
+
+}  // namespace psi
+
+#endif  // PSI_CORE_ENV_HPP_

@@ -1,0 +1,152 @@
+#include "core/graph_algos.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+
+namespace psi {
+
+bool IsPermutation(std::span<const VertexId> p) {
+  std::vector<bool> seen(p.size(), false);
+  for (VertexId x : p) {
+    if (x >= p.size() || seen[x]) return false;
+    seen[x] = true;
+  }
+  return true;
+}
+
+Result<Graph> ApplyPermutation(const Graph& g,
+                               std::span<const VertexId> new_id_of) {
+  if (new_id_of.size() != g.num_vertices()) {
+    return Status::InvalidArgument("permutation size mismatch");
+  }
+  if (!IsPermutation(new_id_of)) {
+    return Status::InvalidArgument("not a permutation");
+  }
+  GraphBuilder b(g.num_vertices());
+  std::vector<LabelId> new_labels(g.num_vertices());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    new_labels[new_id_of[v]] = g.label(v);
+  }
+  for (LabelId l : new_labels) b.AddVertex(l);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    auto adj = g.neighbors(v);
+    auto elabels = g.edge_labels(v);
+    for (size_t i = 0; i < adj.size(); ++i) {
+      if (v < adj[i]) {
+        b.AddEdge(new_id_of[v], new_id_of[adj[i]], elabels[i]);
+      }
+    }
+  }
+  return b.Build(g.name());
+}
+
+std::vector<uint32_t> BfsDistances(const Graph& g, VertexId source,
+                                   uint32_t max_depth) {
+  std::vector<uint32_t> dist(g.num_vertices(), kUnreachableDistance);
+  if (source >= g.num_vertices()) return dist;
+  std::deque<VertexId> queue{source};
+  dist[source] = 0;
+  while (!queue.empty()) {
+    VertexId v = queue.front();
+    queue.pop_front();
+    if (dist[v] >= max_depth) continue;
+    for (VertexId w : g.neighbors(v)) {
+      if (dist[w] == kUnreachableDistance) {
+        dist[w] = dist[v] + 1;
+        queue.push_back(w);
+      }
+    }
+  }
+  return dist;
+}
+
+Result<Graph> InducedSubgraph(const Graph& g,
+                              std::span<const VertexId> vertices,
+                              std::vector<VertexId>* old_of_new) {
+  std::vector<VertexId> new_of_old(g.num_vertices(), kInvalidVertex);
+  GraphBuilder b(static_cast<uint32_t>(vertices.size()));
+  for (size_t i = 0; i < vertices.size(); ++i) {
+    VertexId old = vertices[i];
+    if (old >= g.num_vertices()) {
+      return Status::InvalidArgument("vertex out of range");
+    }
+    if (new_of_old[old] != kInvalidVertex) {
+      return Status::InvalidArgument("duplicate vertex in selection");
+    }
+    new_of_old[old] = b.AddVertex(g.label(old));
+  }
+  for (VertexId old : vertices) {
+    auto adj = g.neighbors(old);
+    auto elabels = g.edge_labels(old);
+    for (size_t i = 0; i < adj.size(); ++i) {
+      const VertexId w = adj[i];
+      if (old < w && new_of_old[w] != kInvalidVertex) {
+        b.AddEdge(new_of_old[old], new_of_old[w], elabels[i]);
+      }
+    }
+  }
+  if (old_of_new != nullptr) {
+    old_of_new->assign(vertices.begin(), vertices.end());
+  }
+  return b.Build(g.name());
+}
+
+Result<Graph> ExtractComponent(const Graph& g, uint32_t component_id,
+                               std::vector<VertexId>* old_of_new) {
+  const auto& comp = g.ComponentIds();
+  std::vector<VertexId> members;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (comp[v] == component_id) members.push_back(v);
+  }
+  if (members.empty()) {
+    return Status::NotFound("no such component");
+  }
+  return InducedSubgraph(g, members, old_of_new);
+}
+
+uint32_t EstimateDiameter(const Graph& g) {
+  if (g.num_vertices() == 0) return 0;
+  // Double-sweep heuristic from vertex 0 (per component seed would be
+  // costlier; queries are small so this is plenty).
+  uint32_t best = 0;
+  VertexId probe = 0;
+  for (int sweep = 0; sweep < 2; ++sweep) {
+    auto dist = BfsDistances(g, probe);
+    VertexId far = probe;
+    uint32_t far_d = 0;
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      if (dist[v] != kUnreachableDistance && dist[v] > far_d) {
+        far_d = dist[v];
+        far = v;
+      }
+    }
+    best = std::max(best, far_d);
+    probe = far;
+  }
+  return best;
+}
+
+DegreeSummary SummarizeDegrees(const Graph& g) {
+  DegreeSummary s;
+  if (g.num_vertices() == 0) return s;
+  s.min = g.degree(0);
+  s.max = g.degree(0);
+  double sum = 0.0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const uint32_t d = g.degree(v);
+    sum += d;
+    s.min = std::min(s.min, d);
+    s.max = std::max(s.max, d);
+  }
+  s.mean = sum / g.num_vertices();
+  double acc = 0.0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const double d = static_cast<double>(g.degree(v)) - s.mean;
+    acc += d * d;
+  }
+  s.std_dev = std::sqrt(acc / g.num_vertices());
+  return s;
+}
+
+}  // namespace psi

@@ -1,0 +1,56 @@
+// Generic graph routines shared across modules: permutation application
+// (the engine behind all isomorphic query rewritings), BFS distances,
+// induced-subgraph extraction and degree summaries.
+
+#ifndef PSI_CORE_GRAPH_ALGOS_HPP_
+#define PSI_CORE_GRAPH_ALGOS_HPP_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/graph.hpp"
+#include "core/status.hpp"
+
+namespace psi {
+
+/// Renumbers vertices: old vertex `v` becomes `new_id_of[v]` in the result.
+/// `new_id_of` must be a permutation of [0, n). The result is isomorphic to
+/// `g` by construction (Definition 2 of the paper).
+Result<Graph> ApplyPermutation(const Graph& g,
+                               std::span<const VertexId> new_id_of);
+
+/// True iff `p` is a permutation of [0, n).
+bool IsPermutation(std::span<const VertexId> p);
+
+/// BFS distances from `source`; unreachable vertices get kUnreachable.
+inline constexpr uint32_t kUnreachableDistance = static_cast<uint32_t>(-1);
+std::vector<uint32_t> BfsDistances(const Graph& g, VertexId source,
+                                   uint32_t max_depth = kUnreachableDistance);
+
+/// Extracts the subgraph induced by `vertices` (which need not be sorted).
+/// Output vertex i corresponds to vertices[i]; `old_of_new` (optional out)
+/// receives that correspondence.
+Result<Graph> InducedSubgraph(const Graph& g,
+                              std::span<const VertexId> vertices,
+                              std::vector<VertexId>* old_of_new = nullptr);
+
+/// Extracts one connected component as a standalone graph.
+Result<Graph> ExtractComponent(const Graph& g, uint32_t component_id,
+                               std::vector<VertexId>* old_of_new = nullptr);
+
+/// Longest shortest-path seen from a few BFS probes; an upper-bound-ish
+/// cheap estimate used to bound neighbourhood expansions for small queries.
+uint32_t EstimateDiameter(const Graph& g);
+
+struct DegreeSummary {
+  double mean = 0.0;
+  double std_dev = 0.0;
+  uint32_t min = 0;
+  uint32_t max = 0;
+};
+DegreeSummary SummarizeDegrees(const Graph& g);
+
+}  // namespace psi
+
+#endif  // PSI_CORE_GRAPH_ALGOS_HPP_

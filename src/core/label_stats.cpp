@@ -1,0 +1,50 @@
+#include "core/label_stats.hpp"
+
+#include <cmath>
+
+namespace psi {
+
+namespace {
+void Accumulate(const Graph& g, std::vector<uint64_t>* counts,
+                uint64_t* total) {
+  const LabelId universe = g.LabelUniverseUpperBound();
+  if (counts->size() < universe) counts->resize(universe, 0);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    ++(*counts)[g.label(v)];
+  }
+  *total += g.num_vertices();
+}
+}  // namespace
+
+LabelStats LabelStats::FromGraph(const Graph& g) {
+  LabelStats s;
+  Accumulate(g, &s.counts_, &s.total_);
+  for (uint64_t c : s.counts_) s.num_seen_ += (c > 0);
+  return s;
+}
+
+LabelStats LabelStats::FromGraphs(std::span<const Graph> graphs) {
+  LabelStats s;
+  for (const Graph& g : graphs) Accumulate(g, &s.counts_, &s.total_);
+  for (uint64_t c : s.counts_) s.num_seen_ += (c > 0);
+  return s;
+}
+
+double LabelStats::MeanFrequency() const {
+  if (num_seen_ == 0) return 0.0;
+  return static_cast<double>(total_) / num_seen_;
+}
+
+double LabelStats::StdDevFrequency() const {
+  if (num_seen_ == 0) return 0.0;
+  const double mean = MeanFrequency();
+  double acc = 0.0;
+  for (uint64_t c : counts_) {
+    if (c == 0) continue;
+    const double d = static_cast<double>(c) - mean;
+    acc += d * d;
+  }
+  return std::sqrt(acc / num_seen_);
+}
+
+}  // namespace psi

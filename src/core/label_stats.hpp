@@ -1,0 +1,47 @@
+// Label-frequency statistics over a stored graph or a graph dataset.
+//
+// The ILF family of query rewritings (paper §6) orders query vertices by
+// how rare their label is in the *stored* data; this is the shared
+// statistics object they consult. NFV matchers also use it for candidate
+// selectivity estimates.
+
+#ifndef PSI_CORE_LABEL_STATS_HPP_
+#define PSI_CORE_LABEL_STATS_HPP_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/graph.hpp"
+
+namespace psi {
+
+/// Frequency of each vertex label across one or more graphs.
+class LabelStats {
+ public:
+  LabelStats() = default;
+
+  /// Counts labels of a single stored graph (NFV setting).
+  static LabelStats FromGraph(const Graph& g);
+  /// Counts labels across a dataset of graphs (FTV setting).
+  static LabelStats FromGraphs(std::span<const Graph> graphs);
+
+  /// Occurrences of `l`; 0 for labels never seen.
+  uint64_t frequency(LabelId l) const {
+    return l < counts_.size() ? counts_[l] : 0;
+  }
+  uint64_t total_vertices() const { return total_; }
+  uint32_t num_labels_seen() const { return num_seen_; }
+  /// Mean/stddev of the per-label frequencies (paper Table 2 rows).
+  double MeanFrequency() const;
+  double StdDevFrequency() const;
+
+ private:
+  std::vector<uint64_t> counts_;
+  uint64_t total_ = 0;
+  uint32_t num_seen_ = 0;
+};
+
+}  // namespace psi
+
+#endif  // PSI_CORE_LABEL_STATS_HPP_

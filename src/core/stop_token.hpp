@@ -1,0 +1,112 @@
+// Cooperative cancellation and deadlines for long-running sub-iso searches.
+//
+// Matchers poll a CostGuard every few hundred search steps; the Ψ racer
+// trips the shared StopToken as soon as one racing variant wins, which makes
+// the losers abandon their search promptly. No thread is ever forcibly
+// killed, so shared read-only indexes stay intact.
+
+#ifndef PSI_CORE_STOP_TOKEN_HPP_
+#define PSI_CORE_STOP_TOKEN_HPP_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace psi {
+
+/// A one-way latch used to request cancellation across threads.
+class StopToken {
+ public:
+  StopToken() = default;
+  StopToken(const StopToken&) = delete;
+  StopToken& operator=(const StopToken&) = delete;
+
+  void RequestStop() { stop_.store(true, std::memory_order_relaxed); }
+  bool stop_requested() const { return stop_.load(std::memory_order_relaxed); }
+  void Reset() { stop_.store(false, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<bool> stop_{false};
+};
+
+/// Wall-clock deadline based on steady_clock. A default Deadline never fires.
+class Deadline {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// Never expires.
+  Deadline() = default;
+
+  static Deadline After(std::chrono::nanoseconds budget) {
+    Deadline d;
+    d.enabled_ = true;
+    d.at_ = Clock::now() + budget;
+    return d;
+  }
+  static Deadline AfterMillis(int64_t ms) {
+    return After(std::chrono::milliseconds(ms));
+  }
+
+  bool enabled() const { return enabled_; }
+  bool Expired() const { return enabled_ && Clock::now() >= at_; }
+  Clock::time_point at() const { return at_; }
+
+ private:
+  bool enabled_ = false;
+  Clock::time_point at_{};
+};
+
+/// Why a guarded search stopped early.
+enum class Interrupt : uint8_t {
+  kNone = 0,
+  kCancelled,  ///< StopToken tripped (lost a Ψ race)
+  kDeadline,   ///< per-query cap exceeded ("killed"/"hard" in the paper)
+};
+
+/// Combines a StopToken and Deadline into one cheap periodic check.
+///
+/// Checking the clock every search step would dominate small searches, so
+/// Check() consults the token/clock only once per `period` calls.
+class CostGuard {
+ public:
+  /// `stop2` is an optional secondary token — e.g. a Grapes verification
+  /// worker listens both to its internal "someone found a match" token and
+  /// to the outer Ψ-race token.
+  CostGuard(const StopToken* stop, Deadline deadline, uint32_t period = 256,
+            const StopToken* stop2 = nullptr)
+      : stop_(stop), stop2_(stop2), deadline_(deadline), period_(period) {}
+
+  /// Returns the interrupt state, polling the expensive sources periodically.
+  Interrupt Check() {
+    if (++tick_ < period_) return state_;
+    tick_ = 0;
+    return Poll();
+  }
+
+  /// Forces an immediate poll of the tokens and the clock.
+  Interrupt Poll() {
+    if (state_ != Interrupt::kNone) return state_;
+    if ((stop_ != nullptr && stop_->stop_requested()) ||
+        (stop2_ != nullptr && stop2_->stop_requested())) {
+      state_ = Interrupt::kCancelled;
+    } else if (deadline_.Expired()) {
+      state_ = Interrupt::kDeadline;
+    }
+    return state_;
+  }
+
+  bool interrupted() const { return state_ != Interrupt::kNone; }
+  Interrupt state() const { return state_; }
+
+ private:
+  const StopToken* stop_;
+  const StopToken* stop2_;
+  Deadline deadline_;
+  uint32_t period_;
+  uint32_t tick_ = 0;
+  Interrupt state_ = Interrupt::kNone;
+};
+
+}  // namespace psi
+
+#endif  // PSI_CORE_STOP_TOKEN_HPP_

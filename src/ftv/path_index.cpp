@@ -1,0 +1,145 @@
+#include "ftv/path_index.hpp"
+
+#include <algorithm>
+
+namespace psi {
+
+namespace {
+
+// Iterative-friendly DFS path enumeration from one start vertex.
+void EnumerateFrom(const Graph& g, VertexId start, uint32_t max_edges,
+                   const PathVisitor& visitor) {
+  std::vector<VertexId> path{start};
+  std::vector<uint8_t> on_path(g.num_vertices(), 0);
+  on_path[start] = 1;
+  visitor(path);  // the 0-edge path
+  auto rec = [&](auto&& self) -> void {
+    if (path.size() > max_edges) return;
+    for (VertexId w : g.neighbors(path.back())) {
+      if (on_path[w]) continue;  // simple paths only
+      path.push_back(w);
+      on_path[w] = 1;
+      visitor(path);
+      self(self);
+      on_path[w] = 0;
+      path.pop_back();
+    }
+  };
+  rec(rec);
+}
+
+}  // namespace
+
+void EnumeratePaths(const Graph& g, uint32_t max_edges,
+                    const PathVisitor& visitor) {
+  for (VertexId start = 0; start < g.num_vertices(); ++start) {
+    EnumerateFrom(g, start, max_edges, visitor);
+  }
+}
+
+int32_t PathTrie::FindChild(uint32_t node, LabelId l) const {
+  const auto& children = nodes_[node].children;
+  auto it = std::lower_bound(
+      children.begin(), children.end(), l,
+      [](const std::pair<LabelId, uint32_t>& c, LabelId x) {
+        return c.first < x;
+      });
+  if (it == children.end() || it->first != l) return -1;
+  return static_cast<int32_t>(it->second);
+}
+
+uint32_t PathTrie::ChildOrCreate(uint32_t node, LabelId l) {
+  auto& children = nodes_[node].children;
+  auto it = std::lower_bound(
+      children.begin(), children.end(), l,
+      [](const std::pair<LabelId, uint32_t>& c, LabelId x) {
+        return c.first < x;
+      });
+  if (it != children.end() && it->first == l) return it->second;
+  const auto fresh = static_cast<uint32_t>(nodes_.size());
+  children.insert(it, {l, fresh});
+  nodes_.emplace_back();
+  return fresh;
+}
+
+void PathTrie::AddOccurrence(uint32_t graph_id,
+                             std::span<const LabelId> labels,
+                             VertexId start) {
+  uint32_t node = 0;
+  for (LabelId l : labels) node = ChildOrCreate(node, l);
+  PathPosting& p = nodes_[node].postings[graph_id];
+  ++p.count;
+  if (store_locations_) {
+    // Occurrences from one start vertex arrive consecutively (the
+    // enumerator finishes a start before moving on), so a back() check
+    // dedupes locations without a set.
+    if (p.locations.empty() || p.locations.back() != start) {
+      p.locations.push_back(start);
+    }
+  }
+}
+
+void PathTrie::AddGraph(uint32_t graph_id, const Graph& g,
+                        uint32_t max_edges) {
+  std::vector<LabelId> labels;
+  EnumeratePaths(g, max_edges, [&](std::span<const VertexId> path) {
+    labels.clear();
+    for (VertexId v : path) labels.push_back(g.label(v));
+    AddOccurrence(graph_id, labels, path.front());
+  });
+}
+
+const std::map<uint32_t, PathPosting>* PathTrie::Find(
+    std::span<const LabelId> labels) const {
+  uint32_t node = 0;
+  for (LabelId l : labels) {
+    const int32_t next = FindChild(node, l);
+    if (next < 0) return nullptr;
+    node = static_cast<uint32_t>(next);
+  }
+  return &nodes_[node].postings;
+}
+
+void PathTrie::MergeNode(uint32_t dst, const Node& src_node,
+                         const PathTrie& src) {
+  for (const auto& [graph_id, posting] : src_node.postings) {
+    PathPosting& mine = nodes_[dst].postings[graph_id];
+    mine.count += posting.count;
+    if (store_locations_) {
+      mine.locations.insert(mine.locations.end(), posting.locations.begin(),
+                            posting.locations.end());
+      std::sort(mine.locations.begin(), mine.locations.end());
+      mine.locations.erase(
+          std::unique(mine.locations.begin(), mine.locations.end()),
+          mine.locations.end());
+    }
+  }
+  for (const auto& [label, src_child] : src_node.children) {
+    const uint32_t mine = ChildOrCreate(dst, label);
+    MergeNode(mine, src.nodes_[src_child], src);
+  }
+}
+
+void PathTrie::Merge(const PathTrie& other) {
+  MergeNode(0, other.nodes_[0], other);
+}
+
+std::vector<QueryPath> CollectQueryPaths(const Graph& query,
+                                         uint32_t max_edges) {
+  // Label-sequence -> count, via a temporary trie-free map.
+  std::map<std::vector<LabelId>, uint32_t> counts;
+  std::vector<LabelId> labels;
+  EnumeratePaths(query, max_edges, [&](std::span<const VertexId> path) {
+    labels.clear();
+    for (VertexId v : path) labels.push_back(query.label(v));
+    ++counts[labels];
+  });
+  std::vector<QueryPath> out;
+  out.reserve(counts.size());
+  for (auto& [seq, count] : counts) {
+    out.push_back(QueryPath{seq, count});
+  }
+  return out;
+}
+
+}  // namespace psi

@@ -1,0 +1,94 @@
+// Path-feature machinery shared by the FTV methods (paper §3.1.1).
+//
+// Both Grapes and GGSX index the simplest form of features — label paths up
+// to a maximum length, enumerated by DFS from every vertex. Grapes stores
+// them in a trie *with location information* (the start vertices of each
+// path occurrence, per graph); GGSX stores the same features in a suffix-
+// tree-like structure without locations. Here one PathTrie serves both,
+// parameterized on whether locations are kept.
+//
+// Filtering is count-based and sound: if query q embeds in graph g, every
+// occurrence of a label path in q maps injectively to an occurrence in g,
+// so count_g(p) >= count_q(p) must hold for every query path p.
+
+#ifndef PSI_FTV_PATH_INDEX_HPP_
+#define PSI_FTV_PATH_INDEX_HPP_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <span>
+#include <vector>
+
+#include "core/graph.hpp"
+#include "core/status.hpp"
+
+namespace psi {
+
+/// Visits every simple path of 0..max_edges edges from every start vertex.
+/// The visitor receives the path as a vertex sequence (front = start).
+/// Paths are emitted in DFS order with neighbours explored ascending, so a
+/// fixed graph yields a deterministic emission order.
+using PathVisitor = std::function<void(std::span<const VertexId>)>;
+void EnumeratePaths(const Graph& g, uint32_t max_edges,
+                    const PathVisitor& visitor);
+
+/// Occurrence statistics of one label path in one stored graph.
+struct PathPosting {
+  uint32_t count = 0;
+  /// Distinct start vertices (only when the trie stores locations).
+  std::vector<VertexId> locations;
+};
+
+/// Trie over label sequences with per-graph postings.
+class PathTrie {
+ public:
+  explicit PathTrie(bool store_locations) :
+      store_locations_(store_locations) {}
+
+  /// Records one occurrence of the label path `labels` starting at vertex
+  /// `start` of graph `graph_id`.
+  void AddOccurrence(uint32_t graph_id, std::span<const LabelId> labels,
+                     VertexId start);
+
+  /// Indexes every path of `g` (id `graph_id`) up to `max_edges`.
+  void AddGraph(uint32_t graph_id, const Graph& g, uint32_t max_edges);
+
+  /// Postings for an exact label sequence; nullptr when never seen.
+  const std::map<uint32_t, PathPosting>* Find(
+      std::span<const LabelId> labels) const;
+
+  /// Merges `other` into this trie (used by the multi-threaded Grapes
+  /// build, which shards graphs across threads into local tries).
+  void Merge(const PathTrie& other);
+
+  size_t num_nodes() const { return nodes_.size(); }
+  bool store_locations() const { return store_locations_; }
+
+ private:
+  struct Node {
+    /// Sorted by label for binary search.
+    std::vector<std::pair<LabelId, uint32_t>> children;
+    std::map<uint32_t, PathPosting> postings;
+  };
+
+  uint32_t ChildOrCreate(uint32_t node, LabelId l);
+  int32_t FindChild(uint32_t node, LabelId l) const;
+  void MergeNode(uint32_t dst, const Node& src_node, const PathTrie& src);
+
+  bool store_locations_;
+  std::vector<Node> nodes_ = std::vector<Node>(1);  // nodes_[0] = root
+};
+
+/// Enumerates the query's label paths and their occurrence counts —
+/// the "query index" matched against the dataset trie during filtering.
+struct QueryPath {
+  std::vector<LabelId> labels;
+  uint32_t count = 0;
+};
+std::vector<QueryPath> CollectQueryPaths(const Graph& query,
+                                         uint32_t max_edges);
+
+}  // namespace psi
+
+#endif  // PSI_FTV_PATH_INDEX_HPP_

@@ -1,0 +1,276 @@
+#include "gen/dataset_gen.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "gen/rng.hpp"
+
+namespace psi::gen {
+
+namespace {
+
+// Builds one connected Erdős–Rényi-style graph: a random spanning tree plus
+// uniformly random extra edges up to the target count. Labels uniform.
+Graph ConnectedRandomGraph(uint32_t n, uint64_t target_edges,
+                           uint32_t num_labels, Rng* rng,
+                           const std::string& name) {
+  GraphBuilder b(n);
+  for (uint32_t v = 0; v < n; ++v) {
+    b.AddVertex(static_cast<LabelId>(rng->UniformInt(0, num_labels - 1)));
+  }
+  std::set<std::pair<VertexId, VertexId>> edges;
+  auto add = [&](VertexId u, VertexId v) {
+    if (u == v) return false;
+    if (u > v) std::swap(u, v);
+    return edges.emplace(u, v).second;
+  };
+  // Random spanning tree: attach each vertex to a random earlier one.
+  for (uint32_t v = 1; v < n; ++v) {
+    add(static_cast<VertexId>(rng->UniformInt(0, v - 1)), v);
+  }
+  const uint64_t max_edges = static_cast<uint64_t>(n) * (n - 1) / 2;
+  target_edges = std::min(std::max<uint64_t>(target_edges, n - 1), max_edges);
+  while (edges.size() < target_edges) {
+    add(static_cast<VertexId>(rng->UniformInt(0, n - 1)),
+        static_cast<VertexId>(rng->UniformInt(0, n - 1)));
+  }
+  for (auto [u, v] : edges) b.AddEdge(u, v);
+  auto result = b.Build(name);
+  return std::move(result).value();  // by construction: no dup/self edges
+}
+
+// Preferential-attachment component with a uniform-attachment mix: each
+// new vertex attaches `m` edges; with probability `preferential_mix` the
+// target is drawn proportionally to degree (+1), otherwise uniformly.
+void AppendPreferentialComponent(GraphBuilder* b, uint32_t n, uint32_t m,
+                                 const WeightedSampler& label_sampler,
+                                 std::vector<LabelId>* label_map,
+                                 double preferential_mix, Rng* rng) {
+  if (n == 0) return;
+  const VertexId base = b->num_vertices();
+  std::vector<VertexId> attachment;  // vertex repeated once per degree+1
+  for (uint32_t i = 0; i < n; ++i) {
+    const LabelId l = (*label_map)[label_sampler.Sample(rng)];
+    const VertexId v = b->AddVertex(l);
+    const uint32_t links = std::min<uint32_t>(m, i);
+    std::set<VertexId> chosen;
+    int guard = 0;
+    while (chosen.size() < links && guard++ < 40 * static_cast<int>(m)) {
+      VertexId target;
+      if (rng->UniformReal() < preferential_mix) {
+        target = attachment[static_cast<size_t>(
+            rng->UniformInt(0, attachment.size() - 1))];
+      } else {
+        target = base + static_cast<VertexId>(rng->UniformInt(0, i - 1));
+      }
+      chosen.insert(target);
+    }
+    for (VertexId u : chosen) {
+      b->AddEdge(u, v);
+      attachment.push_back(u);
+    }
+    attachment.push_back(v);
+  }
+}
+
+}  // namespace
+
+GraphDataset GraphGenLike(const GraphGenLikeOptions& opts) {
+  Rng rng(opts.seed);
+  GraphDataset ds;
+  for (uint32_t i = 0; i < opts.num_graphs; ++i) {
+    const double raw = rng.Normal(
+        opts.avg_nodes, opts.avg_nodes * opts.node_std_dev_fraction);
+    const uint32_t n = static_cast<uint32_t>(
+        std::max(10.0, std::min(raw, 3.0 * opts.avg_nodes)));
+    const uint64_t target_edges = static_cast<uint64_t>(
+        opts.density * n * (n - 1) / 2.0);
+    ds.Add(ConnectedRandomGraph(n, target_edges, opts.num_labels, &rng,
+                                "synthetic_" + std::to_string(i)));
+  }
+  return ds;
+}
+
+GraphDataset PpiLike(const PpiLikeOptions& opts) {
+  Rng rng(opts.seed);
+  GraphDataset ds;
+  // Zipf-ish weights over the label subset of each graph.
+  for (uint32_t i = 0; i < opts.num_graphs; ++i) {
+    const double raw = rng.Normal(
+        opts.avg_nodes, opts.avg_nodes * opts.node_std_dev_fraction);
+    const uint32_t n = static_cast<uint32_t>(
+        std::max<double>(50.0, std::min(raw, 3.0 * opts.avg_nodes)));
+    // Pick this graph's label subset from the dataset universe.
+    std::vector<LabelId> universe(opts.num_labels);
+    for (uint32_t l = 0; l < opts.num_labels; ++l) universe[l] = l;
+    rng.Shuffle(&universe);
+    const uint32_t k =
+        std::min<uint32_t>(opts.labels_per_graph, opts.num_labels);
+    std::vector<LabelId> label_map(universe.begin(), universe.begin() + k);
+    std::vector<double> weights(k);
+    for (uint32_t l = 0; l < k; ++l) weights[l] = 1.0 / (l + 1.0);
+    WeightedSampler label_sampler(weights);
+
+    GraphBuilder b(n);
+    // One dominant component plus a few smaller ones => every PPI graph is
+    // disconnected, as in Table 1.
+    const uint32_t m = std::max<uint32_t>(
+        1, static_cast<uint32_t>(std::lround(opts.avg_degree / 2.0)));
+    uint32_t remaining = n;
+    for (uint32_t c = 0; c < opts.components_per_graph && remaining > 0;
+         ++c) {
+      uint32_t size;
+      if (c == 0) {
+        size = remaining * 8 / 10;
+      } else {
+        size = std::max<uint32_t>(
+            2, remaining / (2 * (opts.components_per_graph - c)));
+      }
+      size = std::min(size, remaining);
+      if (c + 1 == opts.components_per_graph) size = remaining;
+      AppendPreferentialComponent(&b, size, m, label_sampler, &label_map,
+                                  opts.preferential_mix, &rng);
+      remaining -= size;
+    }
+    auto result = b.Build("ppi_" + std::to_string(i));
+    ds.Add(std::move(result).value());
+  }
+  return ds;
+}
+
+Graph LargeGraph(const LargeGraphOptions& opts) {
+  Rng rng(opts.seed);
+  const uint32_t n = opts.num_vertices;
+  // Pareto-distributed Chung-Lu weights give a heavy-tailed degree profile.
+  std::vector<double> weights(n);
+  double weight_sum = 0.0;
+  for (uint32_t v = 0; v < n; ++v) {
+    const double u = std::max(1e-12, rng.UniformReal());
+    weights[v] = std::pow(u, -1.0 / (opts.degree_pareto_alpha - 1.0));
+    weight_sum += weights[v];
+  }
+  if (opts.max_weight_multiple > 0.0 && n > 0) {
+    const double cap = opts.max_weight_multiple * weight_sum / n;
+    for (double& w : weights) w = std::min(w, cap);
+  }
+  WeightedSampler endpoint(weights);
+
+  GraphBuilder b(n);
+  if (opts.label_zipf_s <= 0.0) {
+    for (uint32_t v = 0; v < n; ++v) {
+      b.AddVertex(static_cast<LabelId>(rng.UniformInt(0, opts.num_labels - 1)));
+    }
+  } else {
+    ZipfSampler labels(opts.num_labels, opts.label_zipf_s);
+    for (uint32_t v = 0; v < n; ++v) {
+      b.AddVertex(labels.Sample(&rng));
+    }
+  }
+
+  std::set<std::pair<VertexId, VertexId>> edges;
+  const uint64_t max_edges = static_cast<uint64_t>(n) * (n - 1) / 2;
+  const uint64_t target = std::min(opts.num_edges, max_edges);
+  const auto base_target = static_cast<uint64_t>(
+      static_cast<double>(target) * (1.0 - opts.triangle_fraction));
+  uint64_t attempts = 0;
+  const uint64_t attempt_limit = target * 200 + 1000;
+  while (edges.size() < base_target && attempts++ < attempt_limit) {
+    VertexId u = endpoint.Sample(&rng);
+    VertexId v = endpoint.Sample(&rng);
+    if (u == v) continue;
+    if (u > v) std::swap(u, v);
+    edges.emplace(u, v);
+  }
+  // Triangle-closure pass: connect two neighbours of a random pivot,
+  // raising the clustering coefficient to interaction-network levels.
+  if (opts.triangle_fraction > 0.0 && n > 2) {
+    std::vector<std::vector<VertexId>> adj(n);
+    for (auto [u, v] : edges) {
+      adj[u].push_back(v);
+      adj[v].push_back(u);
+    }
+    attempts = 0;
+    while (edges.size() < target && attempts++ < attempt_limit) {
+      const VertexId pivot = endpoint.Sample(&rng);
+      if (adj[pivot].size() < 2) continue;
+      const auto i = static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(adj[pivot].size()) - 1));
+      const auto j = static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(adj[pivot].size()) - 1));
+      VertexId u = adj[pivot][i];
+      VertexId v = adj[pivot][j];
+      if (u == v) continue;
+      if (u > v) std::swap(u, v);
+      if (!edges.emplace(u, v).second) continue;
+      adj[u].push_back(v);
+      adj[v].push_back(u);
+    }
+    // Top up with independent edges if closure saturated.
+    while (edges.size() < target && attempts++ < attempt_limit) {
+      VertexId u = endpoint.Sample(&rng);
+      VertexId v = endpoint.Sample(&rng);
+      if (u == v) continue;
+      if (u > v) std::swap(u, v);
+      edges.emplace(u, v);
+    }
+  }
+  for (auto [u, v] : edges) {
+    const LabelId el =
+        opts.num_edge_labels > 0
+            ? static_cast<LabelId>(
+                  rng.UniformInt(0, opts.num_edge_labels - 1))
+            : 0;
+    b.AddEdge(u, v, el);
+  }
+  auto result = b.Build(opts.name);
+  return std::move(result).value();
+}
+
+Graph YeastLike(uint32_t scale, uint64_t seed) {
+  LargeGraphOptions o;
+  o.num_vertices = 3112 / scale;
+  o.num_edges = 12519 / scale;
+  o.num_labels = 184;
+  o.label_zipf_s = 1.15;  // avg freq 127 vs stddev 322 => strong skew
+  o.degree_pareto_alpha = 2.4;
+  o.max_weight_multiple = 7.0;  // Table 2: stddev/mean degree ~ 1.8
+  o.triangle_fraction = 0.10;   // PPI networks are clustered
+  o.seed = seed;
+  o.name = "yeast_like";
+  return LargeGraph(o);
+}
+
+Graph HumanLike(uint32_t scale, uint64_t seed) {
+  LargeGraphOptions o;
+  o.num_vertices = 4674 / scale;
+  o.num_edges = 86282 / scale;  // keep average degree (the hardness driver)
+  o.num_labels = 90;
+  o.label_zipf_s = 0.9;
+  o.degree_pareto_alpha = 2.6;
+  o.max_weight_multiple = 6.0;  // Table 2: stddev/mean degree ~ 1.5
+  o.triangle_fraction = 0.3;    // dense interactome, high clustering
+  o.seed = seed;
+  o.name = "human_like";
+  return LargeGraph(o);
+}
+
+Graph WordnetLike(uint32_t scale, uint64_t seed) {
+  LargeGraphOptions o;
+  o.num_vertices = 82670 / scale;
+  o.num_edges = 120399 / scale;
+  o.num_labels = 5;
+  // §6.2: tiny label universe with highly skewed frequencies => most
+  // queries carry only 1-2 distinct labels, neutering the rewritings.
+  o.label_zipf_s = 2.2;
+  o.degree_pareto_alpha = 2.2;  // very sparse, tree-ish, heavy tail
+  o.max_weight_multiple = 12.0;  // Table 2: stddev/mean degree ~ 2.7
+  o.triangle_fraction = 0.04;    // lexical nets are nearly tree-like
+  o.seed = seed;
+  o.name = "wordnet_like";
+  return LargeGraph(o);
+}
+
+}  // namespace psi::gen

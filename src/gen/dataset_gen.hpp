@@ -1,0 +1,94 @@
+// Synthetic substitutes for the paper's datasets (DESIGN.md §4).
+//
+// FTV side (Table 1):
+//   * GraphGenLike — re-implements the contract of the GraphGen tool used in
+//     the paper: a dataset of connected random graphs parameterized by
+//     #graphs, average node count, edge density and label-universe size.
+//   * PpiLike — 20 protein-interaction-style graphs: heavy-tailed degrees
+//     (preferential attachment), several connected components per graph,
+//     per-graph label subsets with skewed frequencies.
+//
+// NFV side (Table 2): single large stored graphs whose density, label count
+// and label skew match yeast / human / wordnet. The wordnet substitute keeps
+// the tiny (5) label universe with extremely skewed frequencies — the
+// property §6.2 of the paper blames for rewritings being useless there.
+
+#ifndef PSI_GEN_DATASET_GEN_HPP_
+#define PSI_GEN_DATASET_GEN_HPP_
+
+#include <cstdint>
+
+#include "core/dataset.hpp"
+#include "core/graph.hpp"
+#include "core/status.hpp"
+
+namespace psi::gen {
+
+/// Parameters mirroring the GraphGen invocation in the paper (Table 1:
+/// 1000 graphs, ~1100 nodes, density 0.02, 20 labels). Defaults are the
+/// paper's values; benches pass scaled-down sizes.
+struct GraphGenLikeOptions {
+  uint32_t num_graphs = 1000;
+  uint32_t avg_nodes = 1100;
+  double node_std_dev_fraction = 0.44;  ///< Table 1: stddev 483 ≈ 0.44·1100
+  double density = 0.02;
+  uint32_t num_labels = 20;
+  uint64_t seed = 1;
+};
+GraphDataset GraphGenLike(const GraphGenLikeOptions& opts);
+
+/// Parameters for the PPI-style dataset (Table 1: 20 graphs, ~4942 nodes,
+/// avg degree 10.87, 46 labels, all graphs disconnected).
+struct PpiLikeOptions {
+  uint32_t num_graphs = 20;
+  uint32_t avg_nodes = 4942;
+  double node_std_dev_fraction = 0.53;  ///< Table 1: stddev 2648
+  double avg_degree = 10.87;
+  uint32_t num_labels = 46;
+  uint32_t labels_per_graph = 29;  ///< Table 1: avg #labels 28.5
+  uint32_t components_per_graph = 3;
+  /// Probability that a new edge attaches preferentially (by degree)
+  /// rather than uniformly; 1.0 = pure Barabási–Albert. Real PPI hubs are
+  /// pronounced but not BA-extreme.
+  double preferential_mix = 0.55;
+  uint64_t seed = 2;
+};
+GraphDataset PpiLike(const PpiLikeOptions& opts);
+
+/// Parameters for a single large stored graph with heavy-tailed degrees and
+/// Zipf-skewed labels (Chung-Lu edge sampling).
+struct LargeGraphOptions {
+  uint32_t num_vertices = 0;
+  uint64_t num_edges = 0;
+  uint32_t num_labels = 0;
+  double label_zipf_s = 1.0;   ///< 0 = uniform labels
+  double degree_pareto_alpha = 2.5;  ///< tail exponent; larger = more even
+  /// Caps Chung-Lu weights at this multiple of the mean weight (0 = no
+  /// cap), bounding hub sizes so degree spread matches the real datasets.
+  double max_weight_multiple = 0.0;
+  /// Fraction of edges placed by triangle closure instead of independent
+  /// sampling. Real interaction networks are strongly clustered; the
+  /// resulting near-cliques are what makes sub-iso searches explode (the
+  /// straggler phenomenon of paper §4).
+  double triangle_fraction = 0.0;
+  /// When > 0, edges get uniform labels from [0, num_edge_labels)
+  /// (Definition 1 allows edge labels; the paper's datasets do not use
+  /// them, so this defaults off).
+  uint32_t num_edge_labels = 0;
+  uint64_t seed = 3;
+  const char* name = "large";
+};
+Graph LargeGraph(const LargeGraphOptions& opts);
+
+/// yeast-like (Table 2: 3112 nodes, 12519 edges, 184 labels, avg deg 8).
+/// `scale` divides node/edge counts for quick runs; 1 = paper size.
+Graph YeastLike(uint32_t scale = 1, uint64_t seed = 11);
+/// human-like (Table 2: 4674 nodes, 86282 edges, 90 labels, avg deg 36.9).
+Graph HumanLike(uint32_t scale = 1, uint64_t seed = 12);
+/// wordnet-like (Table 2: 82670 nodes, 120399 edges, 5 labels, avg deg 2.9,
+/// label distribution heavily skewed so most queries carry 1-2 labels).
+Graph WordnetLike(uint32_t scale = 1, uint64_t seed = 13);
+
+}  // namespace psi::gen
+
+#endif  // PSI_GEN_DATASET_GEN_HPP_

@@ -1,0 +1,139 @@
+#include "gen/query_gen.hpp"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+
+#include "gen/rng.hpp"
+
+namespace psi::gen {
+
+namespace {
+
+// Grows a query from `seed_vertex` by uniform adjacent-edge addition.
+// Returns the chosen edges over original vertex ids, or empty on failure.
+std::vector<std::pair<VertexId, VertexId>> GrowEdgeSet(const Graph& g,
+                                                       VertexId seed_vertex,
+                                                       uint32_t num_edges,
+                                                       Rng* rng) {
+  std::set<VertexId> in_query{seed_vertex};
+  std::set<std::pair<VertexId, VertexId>> chosen;
+  // Frontier = edges of g adjacent to the query, not yet chosen.
+  // Rebuilding it per step keeps the sampling exactly uniform, as specified.
+  std::vector<std::pair<VertexId, VertexId>> frontier;
+  while (chosen.size() < num_edges) {
+    frontier.clear();
+    for (VertexId u : in_query) {
+      for (VertexId w : g.neighbors(u)) {
+        VertexId a = u, b = w;
+        if (a > b) std::swap(a, b);
+        if (!chosen.count({a, b})) frontier.emplace_back(a, b);
+      }
+    }
+    // Dedup (edges internal to the query appear from both endpoints).
+    std::sort(frontier.begin(), frontier.end());
+    frontier.erase(std::unique(frontier.begin(), frontier.end()),
+                   frontier.end());
+    if (frontier.empty()) return {};  // component exhausted
+    const auto& e = frontier[static_cast<size_t>(
+        rng->UniformInt(0, static_cast<int64_t>(frontier.size()) - 1))];
+    chosen.insert(e);
+    in_query.insert(e.first);
+    in_query.insert(e.second);
+  }
+  return {chosen.begin(), chosen.end()};
+}
+
+}  // namespace
+
+Result<Graph> ExtractQuery(const Graph& g, VertexId seed_vertex,
+                           uint32_t num_edges, uint64_t rng_seed) {
+  if (seed_vertex >= g.num_vertices()) {
+    return Status::InvalidArgument("seed vertex out of range");
+  }
+  if (num_edges == 0) {
+    return Status::InvalidArgument("query must have at least one edge");
+  }
+  Rng rng(rng_seed);
+  auto edges = GrowEdgeSet(g, seed_vertex, num_edges, &rng);
+  if (edges.empty()) {
+    return Status::NotFound("component too small for requested query size");
+  }
+  // Number vertices in discovery order: walk the chosen edges in insertion-
+  // friendly order (sorted by original id), assigning ids on first sight.
+  // This is the "Orig" instance whose ids the rewritings later permute.
+  std::vector<VertexId> new_id(g.num_vertices(), kInvalidVertex);
+  GraphBuilder b(static_cast<uint32_t>(edges.size() + 1));
+  auto intern = [&](VertexId old) {
+    if (new_id[old] == kInvalidVertex) {
+      new_id[old] = b.AddVertex(g.label(old));
+    }
+    return new_id[old];
+  };
+  intern(seed_vertex);
+  for (auto [u, v] : edges) {
+    b.AddEdge(intern(u), intern(v), g.EdgeLabel(u, v));
+  }
+  return b.Build("query");
+}
+
+Result<std::vector<Query>> GenerateWorkload(const Graph& g, uint32_t count,
+                                            uint32_t num_edges,
+                                            uint64_t rng_seed) {
+  Rng rng(rng_seed);
+  std::vector<Query> out;
+  out.reserve(count);
+  int failures = 0;
+  while (out.size() < count) {
+    const auto seed_vertex = static_cast<VertexId>(
+        rng.UniformInt(0, g.num_vertices() - 1));
+    auto q = ExtractQuery(g, seed_vertex, num_edges,
+                          rng.engine()());
+    if (!q.ok()) {
+      if (++failures > static_cast<int>(count) * 50 + 100) {
+        return Status::Aborted("too many failed query extractions");
+      }
+      continue;
+    }
+    Query item;
+    item.graph = std::move(q).value();
+    item.source_graph = 0;
+    item.num_edges = num_edges;
+    out.push_back(std::move(item));
+  }
+  return out;
+}
+
+Result<std::vector<Query>> GenerateWorkload(const GraphDataset& ds,
+                                            uint32_t count,
+                                            uint32_t num_edges,
+                                            uint64_t rng_seed) {
+  if (ds.empty()) return Status::InvalidArgument("empty dataset");
+  Rng rng(rng_seed);
+  std::vector<Query> out;
+  out.reserve(count);
+  int failures = 0;
+  while (out.size() < count) {
+    const auto gi = static_cast<uint32_t>(
+        rng.UniformInt(0, static_cast<int64_t>(ds.size()) - 1));
+    const Graph& g = ds.graph(gi);
+    if (g.num_vertices() == 0) continue;
+    const auto seed_vertex = static_cast<VertexId>(
+        rng.UniformInt(0, g.num_vertices() - 1));
+    auto q = ExtractQuery(g, seed_vertex, num_edges, rng.engine()());
+    if (!q.ok()) {
+      if (++failures > static_cast<int>(count) * 50 + 100) {
+        return Status::Aborted("too many failed query extractions");
+      }
+      continue;
+    }
+    Query item;
+    item.graph = std::move(q).value();
+    item.source_graph = gi;
+    item.num_edges = num_edges;
+    out.push_back(std::move(item));
+  }
+  return out;
+}
+
+}  // namespace psi::gen

@@ -1,0 +1,50 @@
+// Query workload generation, exactly as paper §3.4: pick a stored graph
+// uniformly at random, pick a start node uniformly at random, then grow the
+// query by repeatedly adding an edge chosen uniformly at random from all
+// stored-graph edges adjacent to the query built so far, until the desired
+// edge count is reached. The query keeps only the chosen edges (non-induced)
+// and its vertices are numbered in discovery order — that numbering is the
+// "Orig" instance that the rewritings later permute.
+
+#ifndef PSI_GEN_QUERY_GEN_HPP_
+#define PSI_GEN_QUERY_GEN_HPP_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/dataset.hpp"
+#include "core/graph.hpp"
+#include "core/status.hpp"
+
+namespace psi::gen {
+
+/// One workload query: the pattern plus its provenance.
+struct Query {
+  Graph graph;
+  /// Index of the stored graph it was extracted from (0 for single-graph
+  /// NFV datasets).
+  uint32_t source_graph = 0;
+  uint32_t num_edges = 0;
+};
+
+/// Extracts one query of `num_edges` edges from `g` starting at `seed_vertex`.
+/// Fails (NotFound) if the component around the seed has too few edges.
+Result<Graph> ExtractQuery(const Graph& g, VertexId seed_vertex,
+                           uint32_t num_edges, uint64_t rng_seed);
+
+/// Generates `count` queries of `num_edges` edges each from a single stored
+/// graph (NFV setting). Retries failed extractions with fresh random seeds.
+Result<std::vector<Query>> GenerateWorkload(const Graph& g, uint32_t count,
+                                            uint32_t num_edges,
+                                            uint64_t rng_seed);
+
+/// Generates `count` queries from a dataset (FTV setting): the source graph
+/// is drawn uniformly per query, as in the paper.
+Result<std::vector<Query>> GenerateWorkload(const GraphDataset& ds,
+                                            uint32_t count,
+                                            uint32_t num_edges,
+                                            uint64_t rng_seed);
+
+}  // namespace psi::gen
+
+#endif  // PSI_GEN_QUERY_GEN_HPP_

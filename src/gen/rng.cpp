@@ -1,0 +1,49 @@
+#include "gen/rng.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace psi {
+
+ZipfSampler::ZipfSampler(uint32_t k, double s) {
+  cumulative_.resize(k);
+  double acc = 0.0;
+  for (uint32_t i = 0; i < k; ++i) {
+    acc += 1.0 / std::pow(static_cast<double>(i + 1), s);
+    cumulative_[i] = acc;
+  }
+  for (double& c : cumulative_) c /= acc;
+}
+
+uint32_t ZipfSampler::Sample(Rng* rng) const {
+  const double u = rng->UniformReal();
+  auto it = std::lower_bound(cumulative_.begin(), cumulative_.end(), u);
+  if (it == cumulative_.end()) --it;
+  return static_cast<uint32_t>(it - cumulative_.begin());
+}
+
+double ZipfSampler::probability(uint32_t i) const {
+  if (i >= cumulative_.size()) return 0.0;
+  return i == 0 ? cumulative_[0] : cumulative_[i] - cumulative_[i - 1];
+}
+
+WeightedSampler::WeightedSampler(const std::vector<double>& weights) {
+  cumulative_.resize(weights.size());
+  double acc = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    cumulative_[i] = acc;
+  }
+  if (acc > 0) {
+    for (double& c : cumulative_) c /= acc;
+  }
+}
+
+uint32_t WeightedSampler::Sample(Rng* rng) const {
+  const double u = rng->UniformReal();
+  auto it = std::lower_bound(cumulative_.begin(), cumulative_.end(), u);
+  if (it == cumulative_.end()) --it;
+  return static_cast<uint32_t>(it - cumulative_.begin());
+}
+
+}  // namespace psi

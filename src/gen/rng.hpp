@@ -1,0 +1,70 @@
+// Deterministic random utilities for dataset/workload generation.
+// Every generator takes an explicit seed so each experiment is reproducible
+// run-to-run (DESIGN.md §3, "Determinism").
+
+#ifndef PSI_GEN_RNG_HPP_
+#define PSI_GEN_RNG_HPP_
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace psi {
+
+/// Thin deterministic wrapper around mt19937_64.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    return std::uniform_int_distribution<int64_t>(lo, hi)(engine_);
+  }
+  /// Uniform real in [0, 1).
+  double UniformReal() {
+    return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+  }
+  /// Gaussian sample.
+  double Normal(double mean, double std_dev) {
+    return std::normal_distribution<double>(mean, std_dev)(engine_);
+  }
+
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    std::shuffle(v->begin(), v->end(), engine_);
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+/// Samples indices [0, k) with probability proportional to 1/(i+1)^s —
+/// the Zipf label-frequency skew observed in the paper's real datasets.
+class ZipfSampler {
+ public:
+  ZipfSampler(uint32_t k, double s);
+  /// Draws one index.
+  uint32_t Sample(Rng* rng) const;
+  /// The normalized probability of index i.
+  double probability(uint32_t i) const;
+
+ private:
+  std::vector<double> cumulative_;
+};
+
+/// Samples indices [0, k) from an arbitrary weight vector.
+class WeightedSampler {
+ public:
+  explicit WeightedSampler(const std::vector<double>& weights);
+  uint32_t Sample(Rng* rng) const;
+
+ private:
+  std::vector<double> cumulative_;
+};
+
+}  // namespace psi
+
+#endif  // PSI_GEN_RNG_HPP_

@@ -1,0 +1,41 @@
+#include "ggsx/ggsx.hpp"
+
+#include "vf2/vf2.hpp"
+
+namespace psi {
+
+Status GgsxIndex::Build(const GraphDataset& dataset) {
+  dataset_ = &dataset;
+  for (uint32_t gid = 0; gid < dataset.size(); ++gid) {
+    trie_.AddGraph(gid, dataset.graph(gid), options_.max_path_edges);
+  }
+  return Status::OK();
+}
+
+std::vector<uint32_t> GgsxIndex::Filter(const Graph& query) const {
+  const auto query_paths = CollectQueryPaths(query, options_.max_path_edges);
+  std::vector<uint8_t> alive(dataset_->size(), 1);
+  for (const QueryPath& qp : query_paths) {
+    const auto* postings = trie_.Find(qp.labels);
+    if (postings == nullptr) return {};
+    std::vector<uint8_t> next_alive(dataset_->size(), 0);
+    for (const auto& [gid, posting] : *postings) {
+      if (alive[gid] && posting.count >= qp.count) next_alive[gid] = 1;
+    }
+    alive.swap(next_alive);
+  }
+  std::vector<uint32_t> out;
+  for (uint32_t gid = 0; gid < dataset_->size(); ++gid) {
+    if (alive[gid]) out.push_back(gid);
+  }
+  return out;
+}
+
+MatchResult GgsxIndex::VerifyCandidate(const Graph& query, uint32_t graph_id,
+                                       const MatchOptions& opts) const {
+  MatchOptions mo = opts;
+  mo.max_embeddings = 1;  // decision problem
+  return Vf2Match(query, dataset_->graph(graph_id), mo);
+}
+
+}  // namespace psi

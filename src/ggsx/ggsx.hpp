@@ -1,0 +1,57 @@
+// GGSX (Bonnici et al., IAPR PRIB 2010), per paper §3.1.1: like Grapes it
+// indexes label paths up to a maximum length (originally in a generalized
+// suffix tree), but it keeps *no location information* and is single-
+// threaded. Filtering prunes by path presence and occurrence counts only;
+// verification runs first-match VF2 against the *whole* candidate graph —
+// the two behavioural differences from Grapes that the paper's experiments
+// expose (GGSX pays for the missing locations with far larger verification
+// search spaces).
+
+#ifndef PSI_GGSX_GGSX_HPP_
+#define PSI_GGSX_GGSX_HPP_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/dataset.hpp"
+#include "core/graph.hpp"
+#include "core/status.hpp"
+#include "ftv/path_index.hpp"
+#include "match/matcher.hpp"
+
+namespace psi {
+
+struct GgsxOptions {
+  /// Maximum indexed path length in edges ("paths of up to size 4" in the
+  /// paper counts vertices, i.e. 3 edges).
+  uint32_t max_path_edges = 3;
+};
+
+class GgsxIndex {
+ public:
+  GgsxIndex() : trie_(/*store_locations=*/false) {}
+  explicit GgsxIndex(const GgsxOptions& options)
+      : options_(options), trie_(/*store_locations=*/false) {}
+
+  /// Indexes the dataset (single-threaded, as the original).
+  Status Build(const GraphDataset& dataset);
+
+  /// Count-based filtering; sound (no false dismissals).
+  std::vector<uint32_t> Filter(const Graph& query) const;
+
+  /// First-match VF2 against the full stored graph `graph_id`.
+  MatchResult VerifyCandidate(const Graph& query, uint32_t graph_id,
+                              const MatchOptions& opts) const;
+
+  const GraphDataset* dataset() const { return dataset_; }
+  const PathTrie& trie() const { return trie_; }
+
+ private:
+  GgsxOptions options_;
+  PathTrie trie_;
+  const GraphDataset* dataset_ = nullptr;
+};
+
+}  // namespace psi
+
+#endif  // PSI_GGSX_GGSX_HPP_

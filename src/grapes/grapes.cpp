@@ -1,0 +1,215 @@
+#include "grapes/grapes.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <set>
+#include <thread>
+
+#include "core/graph_algos.hpp"
+#include "vf2/vf2.hpp"
+
+namespace psi {
+
+Status GrapesIndex::Build(const GraphDataset& dataset) {
+  dataset_ = &dataset;
+  const uint32_t threads =
+      std::max<uint32_t>(1, std::min<uint32_t>(options_.num_threads,
+                                               dataset.size() ? dataset.size()
+                                                              : 1));
+  if (threads == 1) {
+    for (uint32_t gid = 0; gid < dataset.size(); ++gid) {
+      trie_.AddGraph(gid, dataset.graph(gid), options_.max_path_edges);
+    }
+  } else {
+    // Shard graphs across local tries, then merge (trie insertion is not
+    // thread-safe; local tries keep the hot loop lock-free).
+    std::vector<PathTrie> locals(threads, PathTrie(true));
+    std::vector<std::thread> workers;
+    for (uint32_t t = 0; t < threads; ++t) {
+      workers.emplace_back([&, t] {
+        for (uint32_t gid = t; gid < dataset.size(); gid += threads) {
+          locals[t].AddGraph(gid, dataset.graph(gid),
+                             options_.max_path_edges);
+        }
+      });
+    }
+    for (auto& w : workers) w.join();
+    for (const PathTrie& local : locals) trie_.Merge(local);
+  }
+
+  // Cache component subgraphs for the verification stage.
+  components_.clear();
+  components_.resize(dataset.size());
+  for (uint32_t gid = 0; gid < dataset.size(); ++gid) {
+    const Graph& g = dataset.graph(gid);
+    const uint32_t ncomp = g.NumComponents();
+    components_[gid].reserve(ncomp);
+    for (uint32_t c = 0; c < ncomp; ++c) {
+      auto comp = ExtractComponent(g, c);
+      if (!comp.ok()) return comp.status();
+      components_[gid].push_back(std::move(comp).value());
+    }
+  }
+  return Status::OK();
+}
+
+std::vector<GrapesCandidate> GrapesIndex::Filter(const Graph& query) const {
+  const auto query_paths =
+      CollectQueryPaths(query, options_.max_path_edges);
+
+  // Start from all graphs; each query path prunes by count, and its
+  // locations prune components.
+  const size_t num_graphs = dataset_->size();
+  std::vector<uint8_t> alive(num_graphs, 1);
+  // survivor_components[gid] = set of component ids that contain every
+  // query path seen so far.
+  std::vector<std::set<uint32_t>> survivor_components(num_graphs);
+  bool components_initialized = false;
+
+  for (const QueryPath& qp : query_paths) {
+    const auto* postings = trie_.Find(qp.labels);
+    if (postings == nullptr) {
+      return {};  // some query path exists nowhere: empty answer
+    }
+    std::vector<uint8_t> next_alive(num_graphs, 0);
+    for (const auto& [gid, posting] : *postings) {
+      if (!alive[gid] || posting.count < qp.count) continue;
+      // Components containing this path.
+      const auto& comp_of = dataset_->graph(gid).ComponentIds();
+      std::set<uint32_t> here;
+      for (VertexId loc : posting.locations) here.insert(comp_of[loc]);
+      if (!components_initialized) {
+        survivor_components[gid] = std::move(here);
+      } else {
+        std::set<uint32_t> both;
+        std::set_intersection(
+            survivor_components[gid].begin(), survivor_components[gid].end(),
+            here.begin(), here.end(), std::inserter(both, both.begin()));
+        survivor_components[gid] = std::move(both);
+      }
+      // A connected query must sit inside one component; a graph with no
+      // component containing all paths cannot contain the query.
+      if (query.NumComponents() <= 1 && survivor_components[gid].empty()) {
+        continue;
+      }
+      next_alive[gid] = 1;
+    }
+    alive.swap(next_alive);
+    components_initialized = true;
+  }
+
+  std::vector<GrapesCandidate> out;
+  for (uint32_t gid = 0; gid < num_graphs; ++gid) {
+    if (!alive[gid]) continue;
+    GrapesCandidate c;
+    c.graph_id = gid;
+    if (query.NumComponents() <= 1 && components_initialized) {
+      c.components.assign(survivor_components[gid].begin(),
+                          survivor_components[gid].end());
+    } else {
+      // Disconnected (or empty) query: verify against every component is
+      // unsound, so fall back to all components of the graph as one task.
+      for (uint32_t i = 0; i < components_[gid].size(); ++i) {
+        c.components.push_back(i);
+      }
+    }
+    out.push_back(std::move(c));
+  }
+  return out;
+}
+
+MatchResult GrapesIndex::VerifyCandidate(const Graph& query,
+                                         const GrapesCandidate& candidate,
+                                         const MatchOptions& opts) const {
+  MatchOptions mo = opts;
+  mo.max_embeddings = 1;  // decision problem: first match wins
+
+  const auto start = std::chrono::steady_clock::now();
+  // Disconnected queries span components; fall back to whole-graph VF2.
+  if (query.NumComponents() > 1) {
+    MatchResult r = Vf2Match(query, dataset_->graph(candidate.graph_id), mo);
+    return r;
+  }
+
+  const uint32_t threads =
+      std::max<uint32_t>(1, std::min<uint32_t>(
+                                options_.num_threads,
+                                candidate.components.empty()
+                                    ? 1
+                                    : candidate.components.size()));
+  MatchResult total;
+  if (threads == 1) {
+    total.complete = true;
+    for (uint32_t comp : candidate.components) {
+      MatchResult r =
+          Vf2Match(query, components_[candidate.graph_id][comp], mo);
+      total.stats.recursion_nodes += r.stats.recursion_nodes;
+      total.stats.candidates_tried += r.stats.candidates_tried;
+      if (r.found()) {
+        total.embedding_count = 1;
+        total.complete = true;
+        total.timed_out = false;
+        total.cancelled = false;
+        break;
+      }
+      if (!r.complete) {
+        // Killed or cancelled: the decision for this graph is unknown.
+        total.complete = false;
+        total.timed_out = r.timed_out;
+        total.cancelled = r.cancelled;
+        break;
+      }
+    }
+  } else {
+    // Grapes/N: components fan out across workers; any match wins, a
+    // shared token stops the rest. Workers also listen to the caller's
+    // token (e.g. the Ψ racer) through the secondary slot.
+    StopToken inner_stop;
+    std::atomic<bool> found{false};
+    std::atomic<bool> timed_out{false};
+    std::vector<std::thread> workers;
+    std::atomic<uint32_t> next{0};
+    for (uint32_t t = 0; t < threads; ++t) {
+      workers.emplace_back([&] {
+        for (;;) {
+          const uint32_t i = next.fetch_add(1);
+          if (i >= candidate.components.size()) return;
+          if (inner_stop.stop_requested()) return;
+          MatchOptions local = mo;
+          local.stop = opts.stop;
+          local.stop2 = &inner_stop;
+          MatchResult r = Vf2Match(
+              query,
+              components_[candidate.graph_id][candidate.components[i]],
+              local);
+          if (r.found()) {
+            found.store(true);
+            inner_stop.RequestStop();
+            return;
+          }
+          if (r.timed_out) {
+            timed_out.store(true);
+            return;
+          }
+          if (r.cancelled) return;
+        }
+      });
+    }
+    for (auto& w : workers) w.join();
+    total.embedding_count = found.load() ? 1 : 0;
+    if (found.load()) {
+      total.complete = true;
+    } else if (timed_out.load()) {
+      total.timed_out = true;
+    } else if (opts.stop != nullptr && opts.stop->stop_requested()) {
+      total.cancelled = true;
+    } else {
+      total.complete = true;  // every component exhausted, no match
+    }
+  }
+  total.elapsed = std::chrono::steady_clock::now() - start;
+  return total;
+}
+
+}  // namespace psi

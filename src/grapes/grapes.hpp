@@ -1,0 +1,82 @@
+// Grapes (Giugno et al., PLoS One 2013), per paper §3.1.1: path features up
+// to a maximum length indexed in a trie *with location information*, a
+// multi-threaded design, and a verification stage that extracts only the
+// relevant connected components of each candidate graph before running VF2
+// (modified, as in the paper's setup, to return after the first match —
+// FTV answers the decision problem).
+//
+// Index build is parallelised by sharding graphs across threads into local
+// tries that are then merged; verification can fan candidate components out
+// across `num_threads` workers (the paper's Grapes/1 vs Grapes/4).
+
+#ifndef PSI_GRAPES_GRAPES_HPP_
+#define PSI_GRAPES_GRAPES_HPP_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/dataset.hpp"
+#include "core/graph.hpp"
+#include "core/status.hpp"
+#include "ftv/path_index.hpp"
+#include "match/matcher.hpp"
+
+namespace psi {
+
+struct GrapesOptions {
+  /// Maximum indexed path length in edges. The paper's "paths of up to
+  /// size 4" counts vertices, i.e. 3 edges.
+  uint32_t max_path_edges = 3;
+  /// Worker threads for index build and candidate verification
+  /// (Grapes/1, Grapes/4 in the paper).
+  uint32_t num_threads = 1;
+};
+
+/// One filtering survivor: a stored graph plus the components that contain
+/// all query paths (only those undergo VF2).
+struct GrapesCandidate {
+  uint32_t graph_id = 0;
+  std::vector<uint32_t> components;
+};
+
+class GrapesIndex {
+ public:
+  GrapesIndex() : trie_(/*store_locations=*/true) {}
+  explicit GrapesIndex(const GrapesOptions& options)
+      : options_(options), trie_(/*store_locations=*/true) {}
+
+  /// Indexes the dataset: enumerates paths (sharded across threads),
+  /// merges tries, and caches each graph's connected components as
+  /// standalone graphs for the verification stage.
+  Status Build(const GraphDataset& dataset);
+
+  /// Filter stage: graphs (and their components) whose path counts cover
+  /// the query's. Sound: never drops a true answer.
+  std::vector<GrapesCandidate> Filter(const Graph& query) const;
+
+  /// Verification of one candidate: first-match VF2 over its relevant
+  /// components (fanned across num_threads workers when > 1). The
+  /// MatchOptions deadline/stop are honoured; decision semantics
+  /// (max_embeddings is forced to 1).
+  MatchResult VerifyCandidate(const Graph& query,
+                              const GrapesCandidate& candidate,
+                              const MatchOptions& opts) const;
+
+  const GraphDataset* dataset() const { return dataset_; }
+  const PathTrie& trie() const { return trie_; }
+  /// The cached component subgraphs of stored graph `graph_id`.
+  const std::vector<Graph>& components(uint32_t graph_id) const {
+    return components_[graph_id];
+  }
+
+ private:
+  GrapesOptions options_;
+  PathTrie trie_;
+  const GraphDataset* dataset_ = nullptr;
+  /// components_[graph_id][component_id] — standalone component graphs.
+  std::vector<std::vector<Graph>> components_;
+};
+
+}  // namespace psi
+
+#endif  // PSI_GRAPES_GRAPES_HPP_

@@ -1,0 +1,273 @@
+#include "graphql/graphql.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+namespace psi {
+
+namespace {
+
+// Sorted-multiset containment: is `a` contained in `b`?
+bool MultisetContained(const std::vector<LabelId>& a,
+                       const std::vector<LabelId>& b) {
+  size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] == b[j]) {
+      ++i;
+      ++j;
+    } else if (a[i] > b[j]) {
+      ++j;
+    } else {
+      return false;
+    }
+  }
+  return i == a.size();
+}
+
+// Per-query search state: candidate bitmaps/lists, refinement, ordering and
+// the final backtracking join.
+class GqlSearch {
+ public:
+  GqlSearch(const Graph& q, const Graph& g,
+            const std::vector<std::vector<LabelId>>& signatures,
+            const GraphQlOptions& options, const MatchOptions& opts)
+      : q_(q),
+        g_(g),
+        signatures_(signatures),
+        options_(options),
+        opts_(opts),
+        guard_(opts.stop, opts.deadline, opts.guard_period, opts.stop2) {}
+
+  MatchResult Run() {
+    const auto start = std::chrono::steady_clock::now();
+    MatchResult r;
+    if (q_.num_vertices() == 0) {
+      r.embedding_count = 1;
+      r.complete = true;
+      if (opts_.sink) opts_.sink(Embedding{});
+      r.elapsed = std::chrono::steady_clock::now() - start;
+      return r;
+    }
+    bool feasible = BuildCandidates();
+    if (feasible) feasible = Refine();
+    if (feasible && !guard_.interrupted()) {
+      BuildOrder();
+      map_.assign(q_.num_vertices(), kInvalidVertex);
+      used_.assign(g_.num_vertices(), 0);
+      Recurse(0);
+    }
+    r.embedding_count = found_;
+    r.complete = !guard_.interrupted();
+    r.timed_out = guard_.state() == Interrupt::kDeadline;
+    r.cancelled = guard_.state() == Interrupt::kCancelled;
+    r.stats = stats_;
+    r.elapsed = std::chrono::steady_clock::now() - start;
+    return r;
+  }
+
+ private:
+  // Stage 1: label + signature containment. Returns false if some query
+  // vertex ends up with no candidates.
+  bool BuildCandidates() {
+    const uint32_t nq = q_.num_vertices();
+    // Query-side signatures.
+    std::vector<std::vector<LabelId>> qsig(nq);
+    for (VertexId u = 0; u < nq; ++u) {
+      for (VertexId w : q_.neighbors(u)) qsig[u].push_back(q_.label(w));
+      std::sort(qsig[u].begin(), qsig[u].end());
+    }
+    cand_list_.assign(nq, {});
+    cand_bit_.assign(nq, std::vector<uint8_t>(g_.num_vertices(), 0));
+    for (VertexId u = 0; u < nq; ++u) {
+      for (VertexId v : g_.VerticesWithLabel(q_.label(u))) {
+        if (guard_.Check() != Interrupt::kNone) return false;
+        if (g_.degree(v) < q_.degree(u)) continue;
+        if (!MultisetContained(qsig[u], signatures_[v])) continue;
+        cand_list_[u].push_back(v);
+        cand_bit_[u][v] = 1;
+      }
+      if (cand_list_[u].empty()) return false;
+    }
+    return true;
+  }
+
+  // Bipartite semi-perfect matching test for candidate pair (u, v):
+  // every query neighbour of u needs a distinct data neighbour of v that is
+  // still a candidate for it (Kuhn's augmenting paths; degrees are small).
+  bool NeighborsMatchable(VertexId u, VertexId v) {
+    auto qn = q_.neighbors(u);
+    auto gn = g_.neighbors(v);
+    if (qn.size() > gn.size()) return false;
+    // match_right[j] = index into qn matched to gn[j], or -1.
+    match_right_.assign(gn.size(), -1);
+    for (size_t i = 0; i < qn.size(); ++i) {
+      visited_.assign(gn.size(), 0);
+      if (!Augment(qn, gn, static_cast<int>(i))) return false;
+    }
+    return true;
+  }
+
+  bool Augment(std::span<const VertexId> qn, std::span<const VertexId> gn,
+               int i) {
+    for (size_t j = 0; j < gn.size(); ++j) {
+      if (visited_[j] || !cand_bit_[qn[i]][gn[j]]) continue;
+      visited_[j] = 1;
+      if (match_right_[j] < 0 || Augment(qn, gn, match_right_[j])) {
+        match_right_[j] = i;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  // Stage 2: iterative pseudo-sub-iso refinement, up to refine_level rounds
+  // or until fixpoint. Returns false if a candidate set empties.
+  bool Refine() {
+    for (uint32_t round = 0; round < options_.refine_level; ++round) {
+      bool changed = false;
+      for (VertexId u = 0; u < q_.num_vertices(); ++u) {
+        auto& list = cand_list_[u];
+        size_t keep = 0;
+        for (size_t k = 0; k < list.size(); ++k) {
+          if (guard_.Check() != Interrupt::kNone) return false;
+          const VertexId v = list[k];
+          if (NeighborsMatchable(u, v)) {
+            list[keep++] = v;
+          } else {
+            cand_bit_[u][v] = 0;
+            changed = true;
+          }
+        }
+        list.resize(keep);
+        if (list.empty()) return false;
+      }
+      if (!changed) break;
+    }
+    return true;
+  }
+
+  // Stage 3: left-deep order — start at the smallest candidate list, then
+  // repeatedly take the connected vertex with the cheapest estimated join
+  // (candidate cardinality), breaking ties by vertex id.
+  void BuildOrder() {
+    const uint32_t nq = q_.num_vertices();
+    order_.clear();
+    order_.reserve(nq);
+    std::vector<uint8_t> chosen(nq, 0);
+    auto pick_best = [&](bool need_connected) {
+      VertexId best = kInvalidVertex;
+      for (VertexId u = 0; u < nq; ++u) {
+        if (chosen[u]) continue;
+        if (need_connected) {
+          bool connected = false;
+          for (VertexId w : q_.neighbors(u)) {
+            if (chosen[w]) {
+              connected = true;
+              break;
+            }
+          }
+          if (!connected) continue;
+        }
+        if (best == kInvalidVertex ||
+            cand_list_[u].size() < cand_list_[best].size()) {
+          best = u;
+        }
+      }
+      return best;
+    };
+    while (order_.size() < nq) {
+      VertexId next = pick_best(/*need_connected=*/!order_.empty());
+      if (next == kInvalidVertex) next = pick_best(false);  // new component
+      chosen[next] = 1;
+      order_.push_back(next);
+    }
+  }
+
+  bool Recurse(uint32_t depth) {
+    if (depth == order_.size()) {
+      ++found_;
+      if (opts_.sink && !opts_.sink(map_)) return false;
+      return found_ < opts_.max_embeddings;
+    }
+    ++stats_.recursion_nodes;
+    const VertexId u = order_[depth];
+    // Anchor on the placed neighbour with the smallest-degree image.
+    VertexId anchor_img = kInvalidVertex;
+    for (VertexId w : q_.neighbors(u)) {
+      if (map_[w] != kInvalidVertex &&
+          (anchor_img == kInvalidVertex ||
+           g_.degree(map_[w]) < g_.degree(anchor_img))) {
+        anchor_img = map_[w];
+      }
+    }
+    std::span<const VertexId> source =
+        anchor_img != kInvalidVertex
+            ? g_.neighbors(anchor_img)
+            : std::span<const VertexId>(cand_list_[u]);
+    for (VertexId v : source) {
+      if (guard_.Check() != Interrupt::kNone) return false;
+      ++stats_.candidates_tried;
+      if (used_[v] || !cand_bit_[u][v]) continue;
+      bool edges_ok = true;
+      auto qadj = q_.neighbors(u);
+      auto qel = q_.edge_labels(u);
+      for (size_t i = 0; i < qadj.size(); ++i) {
+        const VertexId w = qadj[i];
+        if (map_[w] != kInvalidVertex &&
+            !g_.HasEdgeWithLabel(v, map_[w], qel[i])) {
+          edges_ok = false;
+          break;
+        }
+      }
+      if (!edges_ok) continue;
+      map_[u] = v;
+      used_[v] = 1;
+      const bool keep_going = Recurse(depth + 1);
+      used_[v] = 0;
+      map_[u] = kInvalidVertex;
+      if (!keep_going) return false;
+    }
+    return true;
+  }
+
+  const Graph& q_;
+  const Graph& g_;
+  const std::vector<std::vector<LabelId>>& signatures_;
+  const GraphQlOptions& options_;
+  const MatchOptions& opts_;
+  CostGuard guard_;
+  MatchStats stats_;
+  uint64_t found_ = 0;
+
+  std::vector<std::vector<VertexId>> cand_list_;
+  std::vector<std::vector<uint8_t>> cand_bit_;
+  std::vector<VertexId> order_;
+  Embedding map_;
+  std::vector<uint8_t> used_;
+  // Scratch for Kuhn matching.
+  std::vector<int> match_right_;
+  std::vector<uint8_t> visited_;
+};
+
+}  // namespace
+
+Status GraphQlMatcher::Prepare(const Graph& data) {
+  data_ = &data;
+  data.EnsureLabelIndex();
+  signatures_.assign(data.num_vertices(), {});
+  for (VertexId v = 0; v < data.num_vertices(); ++v) {
+    auto& sig = signatures_[v];
+    sig.reserve(data.degree(v));
+    for (VertexId w : data.neighbors(v)) sig.push_back(data.label(w));
+    std::sort(sig.begin(), sig.end());
+  }
+  return Status::OK();
+}
+
+MatchResult GraphQlMatcher::Match(const Graph& query,
+                                  const MatchOptions& opts) const {
+  GqlSearch search(query, *data_, signatures_, options_, opts);
+  return search.Run();
+}
+
+}  // namespace psi

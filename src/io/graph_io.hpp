@@ -1,0 +1,49 @@
+// Dataset file formats.
+//
+// GFU — the format consumed by the original Grapes/GGSX binaries:
+//     #graph_name
+//     <num_vertices>
+//     <vertex label>            (one line per vertex, in id order)
+//     <num_edges>
+//     <u> <v>                   (one line per edge)
+//   A file may concatenate many graphs (an FTV dataset).
+//
+// TVE — the transactional format used by the implementations of [12]
+// (QuickSI/GraphQL/sPath) and common in graph-DB benchmarks:
+//     t # <graph_id>
+//     v <vertex_id> <label>
+//     e <u> <v>
+//
+// Both readers intern string labels through a shared LabelDict so graphs
+// loaded from different files are label-compatible.
+
+#ifndef PSI_IO_GRAPH_IO_HPP_
+#define PSI_IO_GRAPH_IO_HPP_
+
+#include <iosfwd>
+#include <string>
+
+#include "core/dataset.hpp"
+#include "core/graph.hpp"
+#include "core/status.hpp"
+#include "io/label_dict.hpp"
+
+namespace psi::io {
+
+/// Parses a GFU stream (one or more graphs).
+Result<GraphDataset> ReadGfu(std::istream& in, LabelDict* dict);
+Result<GraphDataset> ReadGfuFile(const std::string& path, LabelDict* dict);
+/// Writes a dataset in GFU form.
+Status WriteGfu(const GraphDataset& ds, const LabelDict& dict,
+                std::ostream& out);
+
+/// Parses a TVE stream (one or more `t # i` blocks).
+Result<GraphDataset> ReadTve(std::istream& in, LabelDict* dict);
+Result<GraphDataset> ReadTveFile(const std::string& path, LabelDict* dict);
+/// Writes a dataset in TVE form.
+Status WriteTve(const GraphDataset& ds, const LabelDict& dict,
+                std::ostream& out);
+
+}  // namespace psi::io
+
+#endif  // PSI_IO_GRAPH_IO_HPP_

@@ -1,0 +1,19 @@
+#include "io/label_dict.hpp"
+
+namespace psi::io {
+
+LabelId LabelDict::Intern(std::string_view label) {
+  auto it = ids_.find(std::string(label));
+  if (it != ids_.end()) return it->second;
+  const LabelId id = static_cast<LabelId>(names_.size());
+  names_.emplace_back(label);
+  ids_.emplace(names_.back(), id);
+  return id;
+}
+
+LabelId LabelDict::Lookup(std::string_view label) const {
+  auto it = ids_.find(std::string(label));
+  return it == ids_.end() ? kInvalidLabel : it->second;
+}
+
+}  // namespace psi::io

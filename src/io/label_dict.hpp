@@ -1,0 +1,36 @@
+// Bidirectional mapping between external string labels (as they appear in
+// GFU / transactional dataset files) and the dense integer LabelIds used
+// throughout the library.
+
+#ifndef PSI_IO_LABEL_DICT_HPP_
+#define PSI_IO_LABEL_DICT_HPP_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "core/graph.hpp"
+
+namespace psi::io {
+
+/// Interns label strings; ids are assigned densely in first-seen order.
+class LabelDict {
+ public:
+  /// Returns the id for `label`, creating one if unseen.
+  LabelId Intern(std::string_view label);
+  /// Returns the id for `label` or kInvalidLabel when unknown.
+  static constexpr LabelId kInvalidLabel = static_cast<LabelId>(-1);
+  LabelId Lookup(std::string_view label) const;
+  /// The external string for `id`. Precondition: id < size().
+  const std::string& name(LabelId id) const { return names_[id]; }
+  size_t size() const { return names_.size(); }
+
+ private:
+  std::unordered_map<std::string, LabelId> ids_;
+  std::vector<std::string> names_;
+};
+
+}  // namespace psi::io
+
+#endif  // PSI_IO_LABEL_DICT_HPP_

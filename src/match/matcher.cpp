@@ -1,0 +1,36 @@
+#include "match/matcher.hpp"
+
+#include <algorithm>
+
+namespace psi {
+
+bool IsValidEmbedding(const Graph& query, const Graph& data,
+                      const Embedding& emb) {
+  if (emb.size() != query.num_vertices()) return false;
+  // Injectivity.
+  std::vector<VertexId> sorted = emb;
+  std::sort(sorted.begin(), sorted.end());
+  if (std::adjacent_find(sorted.begin(), sorted.end()) != sorted.end()) {
+    return false;
+  }
+  // Labels + range.
+  for (VertexId qv = 0; qv < query.num_vertices(); ++qv) {
+    if (emb[qv] >= data.num_vertices()) return false;
+    if (query.label(qv) != data.label(emb[qv])) return false;
+  }
+  // Every query edge maps to a data edge with the same edge label
+  // (non-induced semantics, Definition 3).
+  for (VertexId qv = 0; qv < query.num_vertices(); ++qv) {
+    auto adj = query.neighbors(qv);
+    auto elabels = query.edge_labels(qv);
+    for (size_t i = 0; i < adj.size(); ++i) {
+      if (qv < adj[i] &&
+          !data.HasEdgeWithLabel(emb[qv], emb[adj[i]], elabels[i])) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace psi

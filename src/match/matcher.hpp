@@ -1,0 +1,109 @@
+// Common contract for all subgraph-isomorphism engines (VF2, QuickSI,
+// GraphQL, sPath).
+//
+// A Matcher is prepared once per stored graph (building whatever per-graph
+// index the algorithm maintains) and can then serve any number of Match()
+// calls concurrently: Match is const and keeps all search state on the
+// caller's stack, which is what lets the Ψ racer run several variants over
+// one shared index.
+
+#ifndef PSI_MATCH_MATCHER_HPP_
+#define PSI_MATCH_MATCHER_HPP_
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "core/graph.hpp"
+#include "core/status.hpp"
+#include "core/stop_token.hpp"
+
+namespace psi {
+
+/// One embedding: data-graph vertex assigned to each query vertex
+/// (indexed by query vertex id).
+using Embedding = std::vector<VertexId>;
+
+/// Receives embeddings as they are found. Return false to stop the search
+/// early (used by tests and by decision-mode callers).
+using EmbeddingSink = std::function<bool(const Embedding&)>;
+
+/// Knobs for one Match() call.
+struct MatchOptions {
+  /// Stop after this many embeddings. The paper caps NFV searches at 1000
+  /// (§3.2); FTV verification uses 1 (decision: first match wins).
+  uint64_t max_embeddings = 1000;
+  /// Per-call wall-clock cap; stands in for the paper's 10-minute limit.
+  Deadline deadline;
+  /// Cooperative cancellation, tripped by the Ψ racer when a sibling wins.
+  const StopToken* stop = nullptr;
+  /// Optional secondary token (used when a search must listen to two
+  /// cancellation sources, e.g. Grapes verification inside a Ψ race).
+  const StopToken* stop2 = nullptr;
+  /// Optional embedding consumer; leave empty to only count.
+  EmbeddingSink sink;
+  /// How many search steps between stop/deadline polls.
+  uint32_t guard_period = 256;
+};
+
+/// Search-effort counters, for tests and ablation benches.
+struct MatchStats {
+  uint64_t recursion_nodes = 0;   ///< backtracking tree nodes expanded
+  uint64_t candidates_tried = 0;  ///< (query vertex, data vertex) pairs tried
+};
+
+/// Outcome of one Match() call.
+struct MatchResult {
+  uint64_t embedding_count = 0;
+  /// Search ran to completion (exhausted the space or hit max_embeddings).
+  bool complete = false;
+  /// Stopped by the deadline — a "killed"/"hard" query in paper terms.
+  bool timed_out = false;
+  /// Stopped by the StopToken — lost a Ψ race.
+  bool cancelled = false;
+  std::chrono::nanoseconds elapsed{0};
+  MatchStats stats;
+
+  bool found() const { return embedding_count > 0; }
+  double elapsed_ms() const {
+    return std::chrono::duration<double, std::milli>(elapsed).count();
+  }
+};
+
+/// A subgraph-matching engine bound to one stored graph.
+class Matcher {
+ public:
+  virtual ~Matcher() = default;
+
+  /// Short stable identifier: "VF2", "QSI", "GQL", "SPA".
+  virtual std::string_view name() const = 0;
+
+  /// Builds the per-stored-graph index. Must be called exactly once before
+  /// Match. Not subject to the query cap (paper §3.2: the 10' limit does
+  /// not apply to indexing).
+  virtual Status Prepare(const Graph& data) = 0;
+
+  /// Finds embeddings of `query` in the prepared graph. Thread-safe:
+  /// concurrent calls on one prepared instance are allowed.
+  virtual MatchResult Match(const Graph& query,
+                            const MatchOptions& opts) const = 0;
+
+  /// The prepared stored graph, or nullptr before Prepare.
+  virtual const Graph* data() const = 0;
+};
+
+/// Factory signature used by portfolio configuration.
+using MatcherFactory = std::function<std::unique_ptr<Matcher>()>;
+
+/// Validates that `emb` is a genuine (non-induced) subgraph-isomorphism
+/// embedding of `query` into `data`: injective, label-preserving,
+/// edge-preserving. The ground truth every engine is tested against.
+bool IsValidEmbedding(const Graph& query, const Graph& data,
+                      const Embedding& emb);
+
+}  // namespace psi
+
+#endif  // PSI_MATCH_MATCHER_HPP_

@@ -1,0 +1,137 @@
+#include "metrics/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace psi {
+
+SummaryStats Summarize(std::span<const double> values) {
+  SummaryStats s;
+  s.count = values.size();
+  if (values.empty()) return s;
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  s.min = sorted.front();
+  s.max = sorted.back();
+  const size_t n = sorted.size();
+  s.median = (n % 2 == 1) ? sorted[n / 2]
+                          : 0.5 * (sorted[n / 2 - 1] + sorted[n / 2]);
+  double sum = 0.0;
+  for (double v : sorted) sum += v;
+  s.mean = sum / static_cast<double>(n);
+  double acc = 0.0;
+  for (double v : sorted) acc += (v - s.mean) * (v - s.mean);
+  s.std_dev = std::sqrt(acc / static_cast<double>(n));
+  return s;
+}
+
+double WlaRatio(std::span<const double> base, std::span<const double> alt) {
+  if (base.empty() || alt.empty()) return 0.0;
+  double sb = 0.0, sa = 0.0;
+  for (double v : base) sb += v;
+  for (double v : alt) sa += v;
+  if (sa == 0.0) return 0.0;
+  // avg(base)/avg(alt) == (sb/nb)/(sa/na).
+  return (sb / static_cast<double>(base.size())) /
+         (sa / static_cast<double>(alt.size()));
+}
+
+std::vector<double> PerQueryRatios(std::span<const double> base,
+                                   std::span<const double> alt) {
+  std::vector<double> out;
+  const size_t n = std::min(base.size(), alt.size());
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back(alt[i] > 0.0 ? base[i] / alt[i] : 0.0);
+  }
+  return out;
+}
+
+double QlaRatio(std::span<const double> base, std::span<const double> alt) {
+  auto ratios = PerQueryRatios(base, alt);
+  if (ratios.empty()) return 0.0;
+  double sum = 0.0;
+  for (double r : ratios) sum += r;
+  return sum / static_cast<double>(ratios.size());
+}
+
+std::vector<double> MaxMinRatios(
+    std::span<const std::vector<double>> per_query_instance_times) {
+  std::vector<double> out;
+  out.reserve(per_query_instance_times.size());
+  for (const auto& row : per_query_instance_times) {
+    if (row.empty()) continue;
+    const auto [lo, hi] = std::minmax_element(row.begin(), row.end());
+    out.push_back(*lo > 0.0 ? *hi / *lo : 0.0);
+  }
+  return out;
+}
+
+std::vector<double> BestOf(
+    std::span<const std::vector<double>> per_query_alternative_times) {
+  std::vector<double> out;
+  out.reserve(per_query_alternative_times.size());
+  for (const auto& row : per_query_alternative_times) {
+    if (row.empty()) {
+      out.push_back(0.0);
+      continue;
+    }
+    out.push_back(*std::min_element(row.begin(), row.end()));
+  }
+  return out;
+}
+
+std::string_view ToString(Bucket b) {
+  switch (b) {
+    case Bucket::kEasy: return "easy";
+    case Bucket::kMid: return "2\"-600\"";
+    case Bucket::kHard: return "hard";
+  }
+  return "?";
+}
+
+Bucket Classify(double ms, bool killed, const BucketThresholds& t) {
+  if (killed || (t.cap_ms > 0.0 && ms >= t.cap_ms)) return Bucket::kHard;
+  if (ms < t.easy_ms) return Bucket::kEasy;
+  return Bucket::kMid;
+}
+
+double BucketBreakdown::PercentEasy() const {
+  return total() == 0 ? 0.0 : 100.0 * easy_count / total();
+}
+double BucketBreakdown::PercentMid() const {
+  return total() == 0 ? 0.0 : 100.0 * mid_count / total();
+}
+double BucketBreakdown::PercentHard() const {
+  return total() == 0 ? 0.0 : 100.0 * hard_count / total();
+}
+
+BucketBreakdown BreakdownWorkload(std::span<const double> times_ms,
+                                  std::span<const uint8_t> killed,
+                                  const BucketThresholds& t) {
+  BucketBreakdown b;
+  double easy_sum = 0.0, mid_sum = 0.0;
+  for (size_t i = 0; i < times_ms.size(); ++i) {
+    const bool k = i < killed.size() && killed[i] != 0;
+    switch (Classify(times_ms[i], k, t)) {
+      case Bucket::kEasy:
+        ++b.easy_count;
+        easy_sum += times_ms[i];
+        break;
+      case Bucket::kMid:
+        ++b.mid_count;
+        mid_sum += times_ms[i];
+        break;
+      case Bucket::kHard:
+        ++b.hard_count;
+        break;
+    }
+  }
+  if (b.easy_count > 0) b.easy_avg_ms = easy_sum / b.easy_count;
+  if (b.mid_count > 0) b.mid_avg_ms = mid_sum / b.mid_count;
+  const size_t completed = b.easy_count + b.mid_count;
+  if (completed > 0) b.completed_avg_ms = (easy_sum + mid_sum) / completed;
+  return b;
+}
+
+}  // namespace psi

@@ -1,0 +1,88 @@
+// Performance metrics of paper §3.5.
+//
+// Two aggregation views of a ratio between measurement sets A (base) and
+// B (alternative):
+//   * WLA (workload-level): avg(A) / avg(B) — the system view, dominated
+//     by stragglers;
+//   * QLA (query-level):    avg_i(A_i / B_i) — the per-user view.
+// speedup* uses the base method's time over the best alternative (killed
+// queries enter at the cap, making all reported speedups lower bounds,
+// exactly as the paper notes). (max/min) measures the spread across
+// isomorphic instances of one query.
+
+#ifndef PSI_METRICS_METRICS_HPP_
+#define PSI_METRICS_METRICS_HPP_
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+namespace psi {
+
+/// Distribution summary used by the paper's statistics tables (5-9).
+struct SummaryStats {
+  double mean = 0.0;
+  double std_dev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double median = 0.0;
+  size_t count = 0;
+};
+SummaryStats Summarize(std::span<const double> values);
+
+/// avg(base) / avg(alt); 0 when either set is empty or avg(alt) == 0.
+double WlaRatio(std::span<const double> base, std::span<const double> alt);
+
+/// avg_i(base[i] / alt[i]); spans must be equal length.
+double QlaRatio(std::span<const double> base, std::span<const double> alt);
+
+/// Per-query ratios base[i]/alt[i] (the inputs to QLA summaries).
+std::vector<double> PerQueryRatios(std::span<const double> base,
+                                   std::span<const double> alt);
+
+/// Per-query (max/min) over isomorphic-instance times: for each row of
+/// `per_query_instance_times`, max(times)/min(times).
+std::vector<double> MaxMinRatios(
+    std::span<const std::vector<double>> per_query_instance_times);
+
+/// Per-query best-alternative time: element-wise min across columns.
+std::vector<double> BestOf(
+    std::span<const std::vector<double>> per_query_alternative_times);
+
+/// The paper's query-time buckets: easy (< 2"), 2"-600", hard/killed (cap).
+enum class Bucket { kEasy, kMid, kHard };
+std::string_view ToString(Bucket b);
+
+struct BucketThresholds {
+  /// The scaled stand-ins for 2 s and 600 s.
+  double easy_ms = 0.0;
+  double cap_ms = 0.0;
+  /// Paper protocol: easy threshold = cap / 300 (2 s vs 600 s).
+  static BucketThresholds FromCap(double cap_ms) {
+    return {cap_ms / 300.0, cap_ms};
+  }
+};
+
+/// `killed` marks queries terminated at the cap regardless of their
+/// recorded time.
+Bucket Classify(double ms, bool killed, const BucketThresholds& t);
+
+/// Aggregate of one workload's bucket structure (rows of Fig 1/2, Tab 3/4).
+struct BucketBreakdown {
+  size_t easy_count = 0, mid_count = 0, hard_count = 0;
+  double easy_avg_ms = 0.0;     ///< AET of easy queries
+  double mid_avg_ms = 0.0;      ///< AET of 2"-600" queries
+  double completed_avg_ms = 0.0;  ///< AET over easy+mid (completed)
+  double PercentEasy() const;
+  double PercentMid() const;
+  double PercentHard() const;
+  size_t total() const { return easy_count + mid_count + hard_count; }
+};
+BucketBreakdown BreakdownWorkload(std::span<const double> times_ms,
+                                  std::span<const uint8_t> killed,
+                                  const BucketThresholds& t);
+
+}  // namespace psi
+
+#endif  // PSI_METRICS_METRICS_HPP_

@@ -1,0 +1,90 @@
+#include "psi/engine.hpp"
+
+#include <algorithm>
+
+namespace psi {
+
+void PsiEngine::AddMatcher(std::unique_ptr<Matcher> matcher) {
+  matchers_.push_back(std::move(matcher));
+}
+
+Status PsiEngine::Prepare(const Graph& data) {
+  if (matchers_.empty()) {
+    return Status::InvalidArgument("no matchers registered");
+  }
+  data_ = &data;
+  for (auto& m : matchers_) {
+    PSI_RETURN_NOT_OK(m->Prepare(data));
+  }
+  stats_ = LabelStats::FromGraph(data);
+  portfolio_.name = "Psi";
+  portfolio_.entries.clear();
+  for (const auto& m : matchers_) {
+    for (Rewriting r : options_.rewritings) {
+      portfolio_.entries.push_back({m.get(), r, 0});
+    }
+  }
+  return Status::OK();
+}
+
+Portfolio PsiEngine::SelectPortfolio(const Graph& query) {
+  if (options_.portfolio_limit == 0 ||
+      options_.portfolio_limit >= portfolio_.entries.size()) {
+    return portfolio_;
+  }
+  const QueryFeatures f = ExtractFeatures(query, stats_);
+  std::vector<size_t> order;
+  {
+    std::lock_guard<std::mutex> lock(selector_mutex_);
+    // Until the selector has seen a reasonable history, race everything.
+    if (selector_.sample_count() < 8) return portfolio_;
+    order = selector_.Rank(f, portfolio_.entries.size());
+  }
+  Portfolio narrowed;
+  narrowed.name = portfolio_.name + "(top" +
+                  std::to_string(options_.portfolio_limit) + ")";
+  for (size_t i = 0;
+       i < options_.portfolio_limit && i < order.size(); ++i) {
+    narrowed.entries.push_back(portfolio_.entries[order[i]]);
+  }
+  return narrowed;
+}
+
+RaceResult PsiEngine::Run(const Graph& query, uint64_t max_embeddings) {
+  const Portfolio active = SelectPortfolio(query);
+  RaceOptions ro;
+  ro.budget = options_.budget;
+  ro.max_embeddings = max_embeddings;
+  ro.mode = options_.mode;
+  RaceResult r = RunPortfolio(active, query, stats_, ro);
+  if (options_.learn && r.completed()) {
+    // Map the winner back to its index in the *full* portfolio so learned
+    // preferences stay stable when narrowing changes.
+    const std::string winner = r.workers[r.winner].name;
+    for (size_t i = 0; i < portfolio_.entries.size(); ++i) {
+      if (EntryName(portfolio_.entries[i]) == winner) {
+        const QueryFeatures f = ExtractFeatures(query, stats_);
+        std::lock_guard<std::mutex> lock(selector_mutex_);
+        selector_.Observe(f, i);
+        break;
+      }
+    }
+  }
+  return r;
+}
+
+Result<bool> PsiEngine::Contains(const Graph& query) {
+  if (data_ == nullptr) return Status::InvalidArgument("not prepared");
+  RaceResult r = Run(query, /*max_embeddings=*/1);
+  if (!r.completed()) return Status::Aborted("all contenders hit the cap");
+  return r.result.found();
+}
+
+Result<uint64_t> PsiEngine::CountEmbeddings(const Graph& query) {
+  if (data_ == nullptr) return Status::InvalidArgument("not prepared");
+  RaceResult r = Run(query, options_.max_embeddings);
+  if (!r.completed()) return Status::Aborted("all contenders hit the cap");
+  return r.result.embedding_count;
+}
+
+}  // namespace psi

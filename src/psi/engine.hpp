@@ -1,0 +1,90 @@
+// PsiEngine — the user-facing facade over the whole system: owns a set of
+// prepared matchers and a rewriting list, answers decision/matching queries
+// by racing the portfolio, and (optionally) learns per-query variant
+// preferences from race outcomes to shrink future portfolios (the paper's
+// §9 direction).
+//
+// Typical use:
+//   PsiEngine engine;
+//   engine.AddMatcher(std::make_unique<GraphQlMatcher>());
+//   engine.AddMatcher(std::make_unique<SPathMatcher>());
+//   engine.Prepare(data);                       // builds all indexes
+//   auto contains = engine.Contains(query);     // decision
+//   auto count    = engine.CountEmbeddings(query);  // capped matching
+
+#ifndef PSI_PSI_ENGINE_HPP_
+#define PSI_PSI_ENGINE_HPP_
+
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "core/label_stats.hpp"
+#include "match/matcher.hpp"
+#include "psi/portfolio.hpp"
+#include "psi/racer.hpp"
+#include "rewrite/rewrite.hpp"
+#include "select/online_selector.hpp"
+
+namespace psi {
+
+struct PsiEngineOptions {
+  /// Per-query kill cap (0 = uncapped).
+  std::chrono::nanoseconds budget = std::chrono::seconds(10);
+  /// Embedding cap for matching calls (paper: 1000).
+  uint64_t max_embeddings = 1000;
+  RaceMode mode = RaceMode::kThreads;
+  /// Rewritings raced per matcher. Default: Orig + DND (the paper's most
+  /// cost-effective NFV configuration, Fig 14-15).
+  std::vector<Rewriting> rewritings = {Rewriting::kOriginal,
+                                       Rewriting::kDnd};
+  /// When > 0, race only the top `portfolio_limit` variants as ranked by
+  /// the online selector (falls back to the full portfolio until enough
+  /// outcomes have been observed).
+  size_t portfolio_limit = 0;
+  /// Learn from race outcomes (feeds the selector).
+  bool learn = true;
+};
+
+class PsiEngine {
+ public:
+  PsiEngine() = default;
+  explicit PsiEngine(PsiEngineOptions options)
+      : options_(std::move(options)) {}
+
+  /// Registers an engine. Call before Prepare.
+  void AddMatcher(std::unique_ptr<Matcher> matcher);
+
+  /// Builds every matcher's index over `data` and the label statistics
+  /// the ILF rewritings need. `data` must outlive the engine.
+  Status Prepare(const Graph& data);
+
+  /// Races the portfolio on `query` in decision mode (first match wins).
+  Result<bool> Contains(const Graph& query);
+
+  /// Races the portfolio in matching mode; returns the embedding count
+  /// (capped at options.max_embeddings).
+  Result<uint64_t> CountEmbeddings(const Graph& query);
+
+  /// Full-control entry point; exposes the complete race outcome.
+  RaceResult Run(const Graph& query, uint64_t max_embeddings);
+
+  const Portfolio& portfolio() const { return portfolio_; }
+  const LabelStats& stats() const { return stats_; }
+  size_t observed_races() const { return selector_.sample_count(); }
+
+ private:
+  Portfolio SelectPortfolio(const Graph& query);
+
+  PsiEngineOptions options_;
+  std::vector<std::unique_ptr<Matcher>> matchers_;
+  const Graph* data_ = nullptr;
+  LabelStats stats_;
+  Portfolio portfolio_;  // the full portfolio
+  OnlineSelector selector_;
+  std::mutex selector_mutex_;
+};
+
+}  // namespace psi
+
+#endif  // PSI_PSI_ENGINE_HPP_

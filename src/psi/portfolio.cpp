@@ -1,0 +1,81 @@
+#include "psi/portfolio.hpp"
+
+namespace psi {
+
+Portfolio MakeRewritingPortfolio(const Matcher& matcher,
+                                 std::span<const Rewriting> rewritings) {
+  Portfolio p;
+  p.name = "Psi(";
+  for (size_t i = 0; i < rewritings.size(); ++i) {
+    if (i > 0) p.name += "/";
+    p.name += ToString(rewritings[i]);
+    p.entries.push_back({&matcher, rewritings[i], 0});
+  }
+  p.name += ")";
+  return p;
+}
+
+Portfolio MakeMultiAlgorithmPortfolio(
+    std::span<const Matcher* const> matchers,
+    std::span<const Rewriting> rewritings) {
+  Portfolio p;
+  p.name = "Psi([";
+  for (size_t i = 0; i < matchers.size(); ++i) {
+    if (i > 0) p.name += "/";
+    p.name += matchers[i]->name();
+  }
+  p.name += "]-[";
+  for (size_t i = 0; i < rewritings.size(); ++i) {
+    if (i > 0) p.name += "/";
+    p.name += ToString(rewritings[i]);
+  }
+  p.name += "])";
+  for (const Matcher* m : matchers) {
+    for (Rewriting r : rewritings) {
+      p.entries.push_back({m, r, 0});
+    }
+  }
+  return p;
+}
+
+std::string EntryName(const PortfolioEntry& entry) {
+  std::string out(entry.matcher->name());
+  out += "-";
+  out += ToString(entry.rewriting);
+  return out;
+}
+
+RaceResult RunPortfolio(const Portfolio& portfolio, const Graph& query,
+                        const LabelStats& stats, const RaceOptions& options) {
+  // Rewrite once per entry up front; the rewritten graphs must outlive the
+  // race, so they are owned here.
+  std::vector<RewrittenQuery> rewritten;
+  rewritten.reserve(portfolio.entries.size());
+  std::vector<RaceVariant> variants;
+  variants.reserve(portfolio.entries.size());
+  for (const PortfolioEntry& e : portfolio.entries) {
+    auto rq = RewriteQuery(query, e.rewriting, stats, e.random_seed);
+    if (!rq.ok()) {
+      // Rewriting a valid query cannot fail; treat defensively by racing
+      // the original instead.
+      RewrittenQuery fallback;
+      fallback.graph = query;
+      fallback.rewriting = Rewriting::kOriginal;
+      rewritten.push_back(std::move(fallback));
+    } else {
+      rewritten.push_back(std::move(rq).value());
+    }
+  }
+  for (size_t i = 0; i < portfolio.entries.size(); ++i) {
+    const PortfolioEntry& e = portfolio.entries[i];
+    const Graph* gq = &rewritten[i].graph;
+    variants.push_back(RaceVariant{
+        EntryName(e),
+        [matcher = e.matcher, gq](const MatchOptions& mo) {
+          return matcher->Match(*gq, mo);
+        }});
+  }
+  return Race(variants, options);
+}
+
+}  // namespace psi

@@ -1,0 +1,58 @@
+// Ψ-framework portfolios: named sets of (algorithm, rewriting) contenders.
+//
+// The paper's NFV configurations are cross-products or unions such as
+// Ψ(Or/ILF/IND/DND) over one algorithm, or Ψ([GQL/SPA]-[Or/DND]) racing
+// both algorithms on both rewritings. A Portfolio captures one such
+// configuration against prebuilt (shared, immutable) matcher indexes;
+// RunPortfolio rewrites the query once per entry and races the contenders.
+
+#ifndef PSI_PSI_PORTFOLIO_HPP_
+#define PSI_PSI_PORTFOLIO_HPP_
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/label_stats.hpp"
+#include "match/matcher.hpp"
+#include "psi/racer.hpp"
+#include "rewrite/rewrite.hpp"
+
+namespace psi {
+
+/// One contender: a prepared matcher plus the rewriting it runs under.
+struct PortfolioEntry {
+  const Matcher* matcher = nullptr;
+  Rewriting rewriting = Rewriting::kOriginal;
+  /// Only used when rewriting == kRandom.
+  uint64_t random_seed = 0;
+};
+
+struct Portfolio {
+  std::string name;
+  std::vector<PortfolioEntry> entries;
+};
+
+/// "Ψ(R1/R2/...)" over a single algorithm.
+Portfolio MakeRewritingPortfolio(const Matcher& matcher,
+                                 std::span<const Rewriting> rewritings);
+
+/// "Ψ([A1/A2]-[R1/R2])": every algorithm races every listed rewriting.
+Portfolio MakeMultiAlgorithmPortfolio(
+    std::span<const Matcher* const> matchers,
+    std::span<const Rewriting> rewritings);
+
+/// Human-readable contender label, e.g. "GQL-ILF".
+std::string EntryName(const PortfolioEntry& entry);
+
+/// Races all portfolio entries on `query`. `stats` supplies the stored
+/// graph's label frequencies for the ILF family. Rewriting costs are a few
+/// tens of microseconds (measured in bench_ablation_overhead) and are
+/// included in each variant's budget, faithfully to the paper which found
+/// them negligible.
+RaceResult RunPortfolio(const Portfolio& portfolio, const Graph& query,
+                        const LabelStats& stats, const RaceOptions& options);
+
+}  // namespace psi
+
+#endif  // PSI_PSI_PORTFOLIO_HPP_

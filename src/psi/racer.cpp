@@ -1,0 +1,103 @@
+#include "psi/racer.hpp"
+
+#include <atomic>
+#include <thread>
+
+namespace psi {
+
+namespace {
+
+RaceResult RaceThreads(std::span<const RaceVariant> variants,
+                       const RaceOptions& options) {
+  RaceResult out;
+  out.workers.resize(variants.size());
+  StopToken stop;
+  std::atomic<int> winner{-1};
+  std::atomic<int64_t> winner_ns{0};
+
+  const auto start = std::chrono::steady_clock::now();
+  const Deadline shared_deadline = options.budget.count() > 0
+                                       ? Deadline::After(options.budget)
+                                       : Deadline();
+  std::vector<std::thread> threads;
+  threads.reserve(variants.size());
+  for (size_t i = 0; i < variants.size(); ++i) {
+    threads.emplace_back([&, i] {
+      MatchOptions mo;
+      mo.max_embeddings = options.max_embeddings;
+      mo.deadline = shared_deadline;
+      mo.stop = &stop;
+      mo.guard_period = options.guard_period;
+      MatchResult r = variants[i].run(mo);
+      out.workers[i].name = variants[i].name;
+      out.workers[i].result = r;
+      if (r.complete) {
+        int expected = -1;
+        if (winner.compare_exchange_strong(expected, static_cast<int>(i))) {
+          winner_ns.store(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                              std::chrono::steady_clock::now() - start)
+                              .count());
+          // First completion: call off the rest of the race.
+          stop.RequestStop();
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  out.winner = winner.load();
+  if (out.winner >= 0) {
+    out.result = out.workers[out.winner].result;
+    out.wall = std::chrono::nanoseconds(winner_ns.load());
+  } else {
+    // Everybody was killed at the cap.
+    out.wall = std::chrono::steady_clock::now() - start;
+  }
+  return out;
+}
+
+RaceResult RaceSequential(std::span<const RaceVariant> variants,
+                          const RaceOptions& options) {
+  RaceResult out;
+  out.workers.resize(variants.size());
+  std::chrono::nanoseconds best{0};
+  for (size_t i = 0; i < variants.size(); ++i) {
+    MatchOptions mo;
+    mo.max_embeddings = options.max_embeddings;
+    // Each variant gets its own full cap, measured from its own start —
+    // exactly the standalone execution the paper's speedup* needs.
+    if (options.budget.count() > 0) {
+      mo.deadline = Deadline::After(options.budget);
+    }
+    mo.guard_period = options.guard_period;
+    MatchResult r = variants[i].run(mo);
+    out.workers[i].name = variants[i].name;
+    out.workers[i].result = r;
+    if (r.complete && (out.winner < 0 || r.elapsed < best)) {
+      out.winner = static_cast<int>(i);
+      best = r.elapsed;
+    }
+  }
+  if (out.winner >= 0) {
+    out.result = out.workers[out.winner].result;
+    out.wall = best;
+  } else if (!out.workers.empty()) {
+    // All killed: the idealized race still costs the cap.
+    out.wall = out.workers[0].result.elapsed;
+  }
+  return out;
+}
+
+}  // namespace
+
+RaceResult Race(std::span<const RaceVariant> variants,
+                const RaceOptions& options) {
+  if (variants.empty()) return RaceResult{};
+  if (options.mode == RaceMode::kSequential ||
+      variants.size() == 1) {
+    return RaceSequential(variants, options);
+  }
+  return RaceThreads(variants, options);
+}
+
+}  // namespace psi

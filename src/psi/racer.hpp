@@ -1,0 +1,91 @@
+// The Ψ-framework racing executor (paper §8).
+//
+// A race runs N variants of the same sub-iso test — each variant an
+// (algorithm, query-rewriting) pair — and returns as soon as the first
+// variant *completes* (exhausts its search or reaches the embedding cap;
+// "no match" is as valid a completion as "found"). The remaining variants
+// are cancelled through a shared StopToken, which their CostGuards poll
+// every few hundred search steps; no thread is ever forcibly killed.
+//
+// Two execution modes:
+//  * kThreads    — real std::thread racing, first-finisher-wins. This is
+//                  the deployment mode; on a machine with >= N cores the
+//                  query latency equals the fastest variant's time plus a
+//                  small cancellation overhead.
+//  * kSequential — runs every variant to its own cap, one after another,
+//                  and reports the idealized race outcome (winner = the
+//                  fastest completed variant). This mode measures the full
+//                  per-variant time vector, which the paper's speedup*
+//                  analyses (§5-§7) need, and keeps results meaningful on
+//                  machines with fewer cores than variants.
+
+#ifndef PSI_PSI_RACER_HPP_
+#define PSI_PSI_RACER_HPP_
+
+#include <chrono>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/stop_token.hpp"
+#include "match/matcher.hpp"
+
+namespace psi {
+
+/// One racing contender. `run` must honour the MatchOptions it is given
+/// (deadline + stop token) — all library matchers do.
+struct RaceVariant {
+  std::string name;
+  std::function<MatchResult(const MatchOptions&)> run;
+};
+
+enum class RaceMode {
+  kThreads,
+  kSequential,
+};
+
+struct RaceOptions {
+  /// Per-test kill budget (the paper's 10-minute cap, scaled); zero means
+  /// uncapped. Kept relative rather than absolute so that sequential mode
+  /// can grant each variant its own full cap.
+  std::chrono::nanoseconds budget{0};
+  /// Embedding cap forwarded to every variant (1 = decision problem,
+  /// 1000 = the paper's NFV matching cap).
+  uint64_t max_embeddings = 1;
+  RaceMode mode = RaceMode::kThreads;
+  uint32_t guard_period = 256;
+};
+
+/// Per-variant outcome of a race.
+struct WorkerOutcome {
+  std::string name;
+  MatchResult result;
+};
+
+struct RaceResult {
+  /// Index of the winning variant, or -1 when every variant was killed.
+  int winner = -1;
+  /// The winner's MatchResult (default-constructed when winner == -1).
+  MatchResult result;
+  /// Wall-clock time until the winner completed (threads mode) or the
+  /// idealized min over completed variants (sequential mode). Equals the
+  /// cap when all variants were killed.
+  std::chrono::nanoseconds wall{0};
+  /// All per-variant outcomes, in variant order.
+  std::vector<WorkerOutcome> workers;
+
+  bool completed() const { return winner >= 0; }
+  double wall_ms() const {
+    return std::chrono::duration<double, std::milli>(wall).count();
+  }
+};
+
+/// Runs the race. Variants must be independently executable and must share
+/// no mutable state (library matchers share only immutable indexes).
+RaceResult Race(std::span<const RaceVariant> variants,
+                const RaceOptions& options);
+
+}  // namespace psi
+
+#endif  // PSI_PSI_RACER_HPP_

@@ -1,0 +1,121 @@
+#include "rewrite/rewrite.hpp"
+
+#include <algorithm>
+#include <array>
+#include <numeric>
+#include <random>
+
+#include "core/graph_algos.hpp"
+
+namespace psi {
+
+std::string_view ToString(Rewriting r) {
+  switch (r) {
+    case Rewriting::kOriginal: return "Orig";
+    case Rewriting::kIlf: return "ILF";
+    case Rewriting::kInd: return "IND";
+    case Rewriting::kDnd: return "DND";
+    case Rewriting::kIlfInd: return "ILF+IND";
+    case Rewriting::kIlfDnd: return "ILF+DND";
+    case Rewriting::kRandom: return "Random";
+  }
+  return "?";
+}
+
+std::span<const Rewriting> AllRewritings() {
+  static constexpr std::array<Rewriting, 5> kAll = {
+      Rewriting::kIlf, Rewriting::kInd, Rewriting::kDnd, Rewriting::kIlfInd,
+      Rewriting::kIlfDnd};
+  return kAll;
+}
+
+std::vector<VertexId> RewritePermutation(const Graph& query, Rewriting r,
+                                         const LabelStats& stats,
+                                         uint64_t random_seed) {
+  const uint32_t n = query.num_vertices();
+  std::vector<VertexId> order(n);  // order[i] = old id placed at new id i
+  std::iota(order.begin(), order.end(), 0);
+
+  // Sort keys. Stable sort with the original id as the implicit final
+  // tie-break, making "arbitrary" ties deterministic and reproducible.
+  auto freq = [&](VertexId v) { return stats.frequency(query.label(v)); };
+  auto deg = [&](VertexId v) { return query.degree(v); };
+
+  switch (r) {
+    case Rewriting::kOriginal:
+      break;
+    case Rewriting::kIlf:
+      std::stable_sort(order.begin(), order.end(),
+                       [&](VertexId a, VertexId b) { return freq(a) < freq(b); });
+      break;
+    case Rewriting::kInd:
+      std::stable_sort(order.begin(), order.end(),
+                       [&](VertexId a, VertexId b) { return deg(a) < deg(b); });
+      break;
+    case Rewriting::kDnd:
+      std::stable_sort(order.begin(), order.end(),
+                       [&](VertexId a, VertexId b) { return deg(a) > deg(b); });
+      break;
+    case Rewriting::kIlfInd:
+      std::stable_sort(order.begin(), order.end(),
+                       [&](VertexId a, VertexId b) {
+                         if (freq(a) != freq(b)) return freq(a) < freq(b);
+                         return deg(a) < deg(b);
+                       });
+      break;
+    case Rewriting::kIlfDnd:
+      std::stable_sort(order.begin(), order.end(),
+                       [&](VertexId a, VertexId b) {
+                         if (freq(a) != freq(b)) return freq(a) < freq(b);
+                         return deg(a) > deg(b);
+                       });
+      break;
+    case Rewriting::kRandom: {
+      std::mt19937_64 engine(random_seed);
+      std::shuffle(order.begin(), order.end(), engine);
+      break;
+    }
+  }
+
+  std::vector<VertexId> new_id_of(n);
+  for (uint32_t pos = 0; pos < n; ++pos) new_id_of[order[pos]] = pos;
+  return new_id_of;
+}
+
+Result<RewrittenQuery> RewriteQuery(const Graph& query, Rewriting r,
+                                    const LabelStats& stats,
+                                    uint64_t random_seed) {
+  RewrittenQuery out;
+  out.rewriting = r;
+  out.new_id_of = RewritePermutation(query, r, stats, random_seed);
+  auto g = ApplyPermutation(query, out.new_id_of);
+  if (!g.ok()) return g.status();
+  out.graph = std::move(g).value();
+  return out;
+}
+
+Result<std::vector<RewrittenQuery>> RandomInstances(const Graph& query,
+                                                    uint32_t k,
+                                                    uint64_t seed) {
+  std::vector<RewrittenQuery> out;
+  out.reserve(k);
+  LabelStats unused;
+  for (uint32_t i = 0; i < k; ++i) {
+    auto rq = RewriteQuery(query, Rewriting::kRandom, unused,
+                           seed * 1000003 + i);
+    if (!rq.ok()) return rq.status();
+    out.push_back(std::move(rq).value());
+  }
+  return out;
+}
+
+Embedding MapEmbeddingBack(const RewrittenQuery& rq,
+                           const Embedding& rewritten_embedding) {
+  Embedding original(rewritten_embedding.size());
+  for (VertexId old = 0; old < original.size(); ++old) {
+    original[old] = rewritten_embedding[rq.new_id_of[old]];
+  }
+  return original;
+}
+
+}  // namespace psi

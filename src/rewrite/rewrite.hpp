@@ -1,0 +1,81 @@
+// Isomorphic query rewritings (paper §6).
+//
+// A rewriting permutes the *vertex ids* of the query — structure and labels
+// are untouched, so the result is isomorphic to the original by
+// construction (Definition 2). Because every matching algorithm in this
+// library (faithful to the originals) breaks ordering ties by vertex id,
+// the permutation steers the search order and can change the runtime by
+// orders of magnitude.
+//
+// The five deterministic rewritings of the paper:
+//   ILF      — ids ascend with stored-graph label frequency (rarest first)
+//   IND      — ids ascend with query-vertex degree
+//   DND      — ids descend with query-vertex degree
+//   ILF+IND  — ILF, ties broken IND
+//   ILF+DND  — ILF, ties broken DND
+// plus kRandom (a seeded uniform permutation), used to generate the
+// "isomorphic instances" of §5, and kOriginal (identity) for completeness.
+
+#ifndef PSI_REWRITE_REWRITE_HPP_
+#define PSI_REWRITE_REWRITE_HPP_
+
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "core/graph.hpp"
+#include "core/label_stats.hpp"
+#include "core/status.hpp"
+#include "match/matcher.hpp"
+
+namespace psi {
+
+enum class Rewriting {
+  kOriginal = 0,
+  kIlf,
+  kInd,
+  kDnd,
+  kIlfInd,
+  kIlfDnd,
+  kRandom,
+};
+
+std::string_view ToString(Rewriting r);
+
+/// The five deterministic rewritings of the paper, in its listing order.
+std::span<const Rewriting> AllRewritings();
+
+/// A rewritten query plus the permutation that produced it
+/// (`new_id_of[old] == new`), so embeddings can be mapped back.
+struct RewrittenQuery {
+  Graph graph;
+  std::vector<VertexId> new_id_of;
+  Rewriting rewriting = Rewriting::kOriginal;
+};
+
+/// Computes only the permutation for `r` (exposed for tests/inspection).
+/// `stats` supplies stored-graph label frequencies (used by the ILF family;
+/// ignored by IND/DND/random). `random_seed` only matters for kRandom.
+std::vector<VertexId> RewritePermutation(const Graph& query, Rewriting r,
+                                         const LabelStats& stats,
+                                         uint64_t random_seed = 0);
+
+/// Applies rewriting `r` to `query`.
+Result<RewrittenQuery> RewriteQuery(const Graph& query, Rewriting r,
+                                    const LabelStats& stats,
+                                    uint64_t random_seed = 0);
+
+/// Generates `k` distinct-seed random isomorphic instances of `query`
+/// (the §5 experiment: "6 different rewritings per query").
+Result<std::vector<RewrittenQuery>> RandomInstances(const Graph& query,
+                                                    uint32_t k,
+                                                    uint64_t seed);
+
+/// Translates an embedding found for the rewritten query back to the
+/// original query's vertex numbering.
+Embedding MapEmbeddingBack(const RewrittenQuery& rq,
+                           const Embedding& rewritten_embedding);
+
+}  // namespace psi
+
+#endif  // PSI_REWRITE_REWRITE_HPP_

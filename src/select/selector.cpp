@@ -1,0 +1,72 @@
+#include "select/selector.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace psi {
+
+QueryFeatures ExtractFeatures(const Graph& query, const LabelStats& stats) {
+  QueryFeatures f;
+  f.num_vertices = query.num_vertices();
+  f.num_edges = static_cast<uint32_t>(query.num_edges());
+  if (f.num_vertices == 0) return f;
+  uint32_t low_degree = 0;
+  std::set<LabelId> labels;
+  uint64_t freq_sum = 0;
+  f.min_label_freq = static_cast<uint64_t>(-1);
+  for (VertexId v = 0; v < query.num_vertices(); ++v) {
+    const uint32_t d = query.degree(v);
+    f.max_degree = std::max(f.max_degree, d);
+    if (d <= 2) ++low_degree;
+    labels.insert(query.label(v));
+    const uint64_t freq = stats.frequency(query.label(v));
+    freq_sum += freq;
+    f.min_label_freq = std::min(f.min_label_freq, freq);
+  }
+  f.avg_degree = 2.0 * f.num_edges / f.num_vertices;
+  f.path_fraction = static_cast<double>(low_degree) / f.num_vertices;
+  f.distinct_labels = static_cast<uint32_t>(labels.size());
+  f.avg_label_freq = static_cast<double>(freq_sum) / f.num_vertices;
+  return f;
+}
+
+Rewriting SelectRewriting(const QueryFeatures& f) {
+  // Wordnet regime (§6.2): path-shaped query, barely any distinct labels —
+  // no permutation can help, skip the rewrite.
+  if (f.path_fraction > 0.9 && f.distinct_labels <= 2) {
+    return Rewriting::kOriginal;
+  }
+  // Informative labels: the rarest label is much rarer than the average
+  // one, so starting from it prunes hardest — the ILF family.
+  if (f.avg_label_freq > 0.0 &&
+      static_cast<double>(f.min_label_freq) < 0.5 * f.avg_label_freq) {
+    // Hub-y queries benefit from anchoring the hub early within equal-
+    // frequency groups (Fig 6: ILF+DND was a top FTV rewriting).
+    return f.max_degree >= 2.0 * f.avg_degree ? Rewriting::kIlfDnd
+                                              : Rewriting::kIlf;
+  }
+  // Labels carry little signal; fall back to structure.
+  if (f.max_degree >= 2.0 * f.avg_degree) return Rewriting::kDnd;
+  return Rewriting::kIlfInd;
+}
+
+size_t SelectAlgorithm(const QueryFeatures& f,
+                       std::span<const Matcher* const> matchers) {
+  if (matchers.empty()) return 0;
+  // Path-shaped queries with several labels play to sPath's shortest-path
+  // signatures; otherwise prefer the robust join engine (GraphQL), which
+  // the paper found to complete the most workloads.
+  size_t spa = matchers.size(), gql = matchers.size();
+  for (size_t i = 0; i < matchers.size(); ++i) {
+    if (matchers[i]->name() == "SPA") spa = i;
+    if (matchers[i]->name() == "GQL") gql = i;
+  }
+  if (f.path_fraction > 0.8 && f.distinct_labels >= 3 &&
+      spa < matchers.size()) {
+    return spa;
+  }
+  if (gql < matchers.size()) return gql;
+  return 0;
+}
+
+}  // namespace psi

@@ -1,0 +1,56 @@
+// Per-query variant selection — the extension the paper's §9 proposes as
+// future work ("predict which version of our framework — algorithms,
+// rewritings — to employ per query").
+//
+// Instead of racing all variants, a rule-based selector inspects cheap
+// query features (degree shape, label rarity against the stored graph) and
+// picks a single (rewriting, algorithm) to run. The rules encode the
+// paper's own empirical findings:
+//   * path-like queries over few labels (the wordnet regime, §6.2) gain
+//     nothing from rewritings -> keep the original;
+//   * skewed label frequencies -> the ILF family, with the DND tie-break
+//     when the query has high-degree hubs;
+//   * uniform labels but spread-out degrees -> DND.
+// bench_ablation_selector quantifies how much of the race's benefit this
+// recovers at 1/N of the work.
+
+#ifndef PSI_SELECT_SELECTOR_HPP_
+#define PSI_SELECT_SELECTOR_HPP_
+
+#include <cstdint>
+#include <span>
+
+#include "core/label_stats.hpp"
+#include "match/matcher.hpp"
+#include "rewrite/rewrite.hpp"
+
+namespace psi {
+
+/// Cheap per-query features (O(|V_q| + |E_q|) to extract).
+struct QueryFeatures {
+  uint32_t num_vertices = 0;
+  uint32_t num_edges = 0;
+  double avg_degree = 0.0;
+  uint32_t max_degree = 0;
+  /// Fraction of query vertices with degree <= 2 (1.0 = pure path/cycle).
+  double path_fraction = 0.0;
+  uint32_t distinct_labels = 0;
+  /// Stored-graph frequency of the query's rarest / average label.
+  uint64_t min_label_freq = 0;
+  double avg_label_freq = 0.0;
+};
+
+QueryFeatures ExtractFeatures(const Graph& query, const LabelStats& stats);
+
+/// Chooses the single rewriting to run for this query.
+Rewriting SelectRewriting(const QueryFeatures& f);
+
+/// Chooses among prepared matchers (e.g. {GQL, SPA}): index into
+/// `matchers`. Prefers the path-oriented engine for path-shaped queries
+/// with informative signatures and the robust join engine otherwise.
+size_t SelectAlgorithm(const QueryFeatures& f,
+                       std::span<const Matcher* const> matchers);
+
+}  // namespace psi
+
+#endif  // PSI_SELECT_SELECTOR_HPP_

@@ -1,0 +1,331 @@
+#include "spath/spath.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <deque>
+
+namespace psi {
+
+std::vector<std::vector<SPathMatcher::NsEntry>> BuildDistanceSignatures(
+    const Graph& g, uint32_t radius) {
+  radius = std::min(radius, SPathMatcher::kMaxRadius);
+  const uint32_t n = g.num_vertices();
+  std::vector<std::vector<SPathMatcher::NsEntry>> out(n);
+
+  // Epoch-stamped scratch so per-vertex BFS needs no O(n) clears.
+  std::vector<uint32_t> seen_epoch(n, 0);
+  std::vector<VertexId> frontier, next;
+  const LabelId universe = g.LabelUniverseUpperBound();
+  // counts[label][d-1] for the current BFS; `touched` lists dirty labels.
+  std::vector<std::array<uint32_t, SPathMatcher::kMaxRadius>> counts(
+      universe);
+  std::vector<LabelId> touched;
+
+  for (VertexId src = 0; src < n; ++src) {
+    const uint32_t epoch = src + 1;
+    seen_epoch[src] = epoch;
+    frontier.assign(1, src);
+    for (uint32_t d = 1; d <= radius && !frontier.empty(); ++d) {
+      next.clear();
+      for (VertexId v : frontier) {
+        for (VertexId w : g.neighbors(v)) {
+          if (seen_epoch[w] == epoch) continue;
+          seen_epoch[w] = epoch;
+          next.push_back(w);
+          const LabelId l = g.label(w);
+          if (counts[l][0] == 0 && counts[l][1] == 0 && counts[l][2] == 0 &&
+              counts[l][3] == 0) {
+            touched.push_back(l);
+          }
+          ++counts[l][d - 1];
+        }
+      }
+      frontier.swap(next);
+    }
+    auto& sig = out[src];
+    sig.reserve(touched.size());
+    std::sort(touched.begin(), touched.end());
+    for (LabelId l : touched) {
+      SPathMatcher::NsEntry e;
+      e.label = l;
+      uint32_t acc = 0;
+      for (uint32_t d = 0; d < SPathMatcher::kMaxRadius; ++d) {
+        acc += counts[l][d];
+        e.cum[d] = acc;
+        counts[l][d] = 0;
+      }
+      sig.push_back(e);
+    }
+    touched.clear();
+  }
+  return out;
+}
+
+namespace {
+
+using NsEntry = SPathMatcher::NsEntry;
+
+// Dominance test: every (label, cumulative count) requirement of the query
+// vertex must be covered by the data vertex at the same distance bound.
+bool SignatureDominates(const std::vector<NsEntry>& query_sig,
+                        const std::vector<NsEntry>& data_sig) {
+  size_t j = 0;
+  for (const NsEntry& qe : query_sig) {
+    while (j < data_sig.size() && data_sig[j].label < qe.label) ++j;
+    if (j == data_sig.size() || data_sig[j].label != qe.label) return false;
+    for (uint32_t d = 0; d < SPathMatcher::kMaxRadius; ++d) {
+      if (qe.cum[d] > data_sig[j].cum[d]) return false;
+    }
+  }
+  return true;
+}
+
+// Backtracking join over the path-cover order.
+class SpaSearch {
+ public:
+  SpaSearch(const Graph& q, const Graph& g,
+            const std::vector<std::vector<NsEntry>>& data_sig,
+            const SPathOptions& options, const MatchOptions& opts,
+            const SPathMatcher& matcher)
+      : q_(q),
+        g_(g),
+        data_sig_(data_sig),
+        options_(options),
+        opts_(opts),
+        matcher_(matcher),
+        guard_(opts.stop, opts.deadline, opts.guard_period, opts.stop2) {}
+
+  MatchResult Run() {
+    const auto start = std::chrono::steady_clock::now();
+    MatchResult r;
+    if (q_.num_vertices() == 0) {
+      r.embedding_count = 1;
+      r.complete = true;
+      if (opts_.sink) opts_.sink(Embedding{});
+      r.elapsed = std::chrono::steady_clock::now() - start;
+      return r;
+    }
+    if (BuildCandidates()) {
+      BuildOrder();
+      map_.assign(q_.num_vertices(), kInvalidVertex);
+      used_.assign(g_.num_vertices(), 0);
+      Recurse(0);
+    }
+    r.embedding_count = found_;
+    r.complete = !guard_.interrupted();
+    r.timed_out = guard_.state() == Interrupt::kDeadline;
+    r.cancelled = guard_.state() == Interrupt::kCancelled;
+    r.stats = stats_;
+    r.elapsed = std::chrono::steady_clock::now() - start;
+    return r;
+  }
+
+ private:
+  bool BuildCandidates() {
+    const auto query_sig =
+        BuildDistanceSignatures(q_, options_.radius);
+    const uint32_t nq = q_.num_vertices();
+    cand_list_.assign(nq, {});
+    cand_bit_.assign(nq, std::vector<uint8_t>(g_.num_vertices(), 0));
+    for (VertexId u = 0; u < nq; ++u) {
+      for (VertexId v : g_.VerticesWithLabel(q_.label(u))) {
+        if (guard_.Check() != Interrupt::kNone) return false;
+        if (g_.degree(v) < q_.degree(u)) continue;
+        if (!SignatureDominates(query_sig[u], data_sig_[v])) continue;
+        cand_list_[u].push_back(v);
+        cand_bit_[u][v] = 1;
+      }
+      if (cand_list_[u].empty()) return false;
+    }
+    return true;
+  }
+
+  // Flattens the greedy path cover into a vertex visit order.
+  void BuildOrder() {
+    order_.clear();
+    std::vector<uint8_t> placed(q_.num_vertices(), 0);
+    for (const auto& path : matcher_.DecomposeQuery(q_)) {
+      for (VertexId u : path) {
+        if (!placed[u]) {
+          placed[u] = 1;
+          order_.push_back(u);
+        }
+      }
+    }
+    // Safety net for isolated query vertices (absent from any path).
+    for (VertexId u = 0; u < q_.num_vertices(); ++u) {
+      if (!placed[u]) order_.push_back(u);
+    }
+  }
+
+  bool Recurse(uint32_t depth) {
+    if (depth == order_.size()) {
+      ++found_;
+      if (opts_.sink && !opts_.sink(map_)) return false;
+      return found_ < opts_.max_embeddings;
+    }
+    ++stats_.recursion_nodes;
+    const VertexId u = order_[depth];
+    VertexId anchor_img = kInvalidVertex;
+    for (VertexId w : q_.neighbors(u)) {
+      if (map_[w] != kInvalidVertex &&
+          (anchor_img == kInvalidVertex ||
+           g_.degree(map_[w]) < g_.degree(anchor_img))) {
+        anchor_img = map_[w];
+      }
+    }
+    std::span<const VertexId> source =
+        anchor_img != kInvalidVertex
+            ? g_.neighbors(anchor_img)
+            : std::span<const VertexId>(cand_list_[u]);
+    for (VertexId v : source) {
+      if (guard_.Check() != Interrupt::kNone) return false;
+      ++stats_.candidates_tried;
+      if (used_[v] || !cand_bit_[u][v]) continue;
+      // Edge-by-edge verification against the partial embedding,
+      // edge labels included.
+      bool edges_ok = true;
+      auto qadj = q_.neighbors(u);
+      auto qel = q_.edge_labels(u);
+      for (size_t i = 0; i < qadj.size(); ++i) {
+        const VertexId w = qadj[i];
+        if (map_[w] != kInvalidVertex &&
+            !g_.HasEdgeWithLabel(v, map_[w], qel[i])) {
+          edges_ok = false;
+          break;
+        }
+      }
+      if (!edges_ok) continue;
+      map_[u] = v;
+      used_[v] = 1;
+      const bool keep_going = Recurse(depth + 1);
+      used_[v] = 0;
+      map_[u] = kInvalidVertex;
+      if (!keep_going) return false;
+    }
+    return true;
+  }
+
+  const Graph& q_;
+  const Graph& g_;
+  const std::vector<std::vector<NsEntry>>& data_sig_;
+  const SPathOptions& options_;
+  const MatchOptions& opts_;
+  const SPathMatcher& matcher_;
+  CostGuard guard_;
+  MatchStats stats_;
+  uint64_t found_ = 0;
+
+  std::vector<std::vector<VertexId>> cand_list_;
+  std::vector<std::vector<uint8_t>> cand_bit_;
+  std::vector<VertexId> order_;
+  Embedding map_;
+  std::vector<uint8_t> used_;
+};
+
+}  // namespace
+
+Status SPathMatcher::Prepare(const Graph& data) {
+  data_ = &data;
+  data.EnsureLabelIndex();
+  ns_ = BuildDistanceSignatures(data, options_.radius);
+  return Status::OK();
+}
+
+std::vector<std::vector<VertexId>> SPathMatcher::DecomposeQuery(
+    const Graph& query) const {
+  const uint32_t n = query.num_vertices();
+  const uint32_t max_len = std::max<uint32_t>(1, options_.max_path_length);
+
+  // Path pool: for each start vertex (ascending id), a BFS tree with
+  // min-id parent preference; one shortest path per reached vertex.
+  std::vector<std::vector<VertexId>> pool;
+  std::vector<uint32_t> dist(n);
+  std::vector<VertexId> parent(n);
+  for (VertexId src = 0; src < n; ++src) {
+    std::fill(dist.begin(), dist.end(), static_cast<uint32_t>(-1));
+    dist[src] = 0;
+    parent[src] = kInvalidVertex;
+    std::deque<VertexId> queue{src};
+    while (!queue.empty()) {
+      const VertexId v = queue.front();
+      queue.pop_front();
+      if (dist[v] >= max_len) continue;
+      for (VertexId w : query.neighbors(v)) {
+        if (dist[w] != static_cast<uint32_t>(-1)) continue;
+        dist[w] = dist[v] + 1;
+        parent[w] = v;  // BFS pops ascending-id parents first
+        queue.push_back(w);
+        // Materialize the path src -> w.
+        std::vector<VertexId> path;
+        for (VertexId x = w; x != kInvalidVertex; x = parent[x]) {
+          path.push_back(x);
+        }
+        std::reverse(path.begin(), path.end());
+        pool.push_back(std::move(path));
+      }
+    }
+  }
+
+  // Greedy selectivity-driven edge cover. Estimated path cost = product of
+  // per-vertex candidate... at decomposition time the matcher does not have
+  // the candidate lists yet, so the original's proxy is used: label
+  // frequency in the stored graph per vertex on the path.
+  std::vector<double> score(pool.size());
+  for (size_t p = 0; p < pool.size(); ++p) {
+    double s = 1.0;
+    for (VertexId u : pool[p]) {
+      s *= static_cast<double>(
+               data_->VerticesWithLabel(query.label(u)).size()) +
+           1.0;
+    }
+    score[p] = s;
+  }
+
+  auto edge_key = [n](VertexId a, VertexId b) {
+    if (a > b) std::swap(a, b);
+    return static_cast<uint64_t>(a) * n + b;
+  };
+  std::vector<uint8_t> covered_edge(static_cast<size_t>(n) * n, 0);
+  uint64_t uncovered = query.num_edges();
+  std::vector<std::vector<VertexId>> selected;
+  std::vector<uint8_t> taken(pool.size(), 0);
+  while (uncovered > 0) {
+    size_t best = pool.size();
+    double best_rate = 0.0;
+    for (size_t p = 0; p < pool.size(); ++p) {
+      if (taken[p]) continue;
+      uint32_t fresh = 0;
+      for (size_t i = 0; i + 1 < pool[p].size(); ++i) {
+        if (!covered_edge[edge_key(pool[p][i], pool[p][i + 1])]) ++fresh;
+      }
+      if (fresh == 0) continue;
+      // Lower estimated result per newly covered edge wins; ties keep the
+      // earlier (lower start id, shorter) pool entry.
+      const double rate = score[p] / fresh;
+      if (best == pool.size() || rate < best_rate) {
+        best = p;
+        best_rate = rate;
+      }
+    }
+    if (best == pool.size()) break;  // disconnected leftovers
+    taken[best] = 1;
+    for (size_t i = 0; i + 1 < pool[best].size(); ++i) {
+      auto& flag = covered_edge[edge_key(pool[best][i], pool[best][i + 1])];
+      if (!flag) {
+        flag = 1;
+        --uncovered;
+      }
+    }
+    selected.push_back(pool[best]);
+  }
+  return selected;
+}
+
+MatchResult SPathMatcher::Match(const Graph& query,
+                                const MatchOptions& opts) const {
+  SpaSearch search(query, *data_, ns_, options_, opts, *this);
+  return search.Run();
+}
+
+}  // namespace psi

@@ -1,0 +1,175 @@
+#include "ullmann/ullmann.hpp"
+
+#include <chrono>
+#include <vector>
+
+namespace psi {
+
+namespace {
+
+// Classic Ullmann search: a candidate matrix M (query vertex -> feasible
+// data vertices), refined at every search node, with query vertices
+// assigned strictly in ascending id order.
+class UllmannState {
+ public:
+  UllmannState(const Graph& q, const Graph& g, const MatchOptions& opts)
+      : q_(q),
+        g_(g),
+        opts_(opts),
+        guard_(opts.stop, opts.deadline, opts.guard_period, opts.stop2),
+        nq_(q.num_vertices()),
+        ng_(g.num_vertices()),
+        map_(q.num_vertices(), kInvalidVertex),
+        used_(g.num_vertices(), 0) {}
+
+  MatchResult Run() {
+    const auto start = std::chrono::steady_clock::now();
+    MatchResult r;
+    if (nq_ == 0) {
+      r.embedding_count = 1;
+      r.complete = true;
+      if (opts_.sink) opts_.sink(Embedding{});
+      r.elapsed = std::chrono::steady_clock::now() - start;
+      return r;
+    }
+    if (BuildInitialMatrix()) {
+      Recurse(0, matrix_);
+    }
+    r.embedding_count = found_;
+    r.complete = !guard_.interrupted();
+    r.timed_out = guard_.state() == Interrupt::kDeadline;
+    r.cancelled = guard_.state() == Interrupt::kCancelled;
+    r.stats = stats_;
+    r.elapsed = std::chrono::steady_clock::now() - start;
+    return r;
+  }
+
+ private:
+  using Matrix = std::vector<uint8_t>;  // nq_ x ng_, row-major
+
+  // M[u][v] = 1 iff labels agree and deg(v) >= deg(u) — Ullmann's
+  // original seeding condition.
+  bool BuildInitialMatrix() {
+    matrix_.assign(static_cast<size_t>(nq_) * ng_, 0);
+    for (VertexId u = 0; u < nq_; ++u) {
+      bool any = false;
+      for (VertexId v : g_.VerticesWithLabel(q_.label(u))) {
+        if (g_.degree(v) >= q_.degree(u)) {
+          matrix_[static_cast<size_t>(u) * ng_ + v] = 1;
+          any = true;
+        }
+      }
+      if (!any) return false;
+    }
+    return Refine(&matrix_);
+  }
+
+  // Ullmann refinement to fixpoint: candidate v for u survives only if
+  // every neighbour u' of u still has some candidate among v's
+  // neighbours (through an equally labelled edge). Returns false when a
+  // row empties.
+  bool Refine(Matrix* m) {
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (VertexId u = 0; u < nq_; ++u) {
+        auto qadj = q_.neighbors(u);
+        auto qel = q_.edge_labels(u);
+        bool row_has_candidate = false;
+        for (VertexId v = 0; v < ng_; ++v) {
+          if (!(*m)[static_cast<size_t>(u) * ng_ + v]) continue;
+          if (guard_.Check() != Interrupt::kNone) return false;
+          bool ok = true;
+          for (size_t i = 0; i < qadj.size() && ok; ++i) {
+            const VertexId uprime = qadj[i];
+            bool supported = false;
+            auto gadj = g_.neighbors(v);
+            auto gel = g_.edge_labels(v);
+            for (size_t j = 0; j < gadj.size(); ++j) {
+              if (gel[j] == qel[i] &&
+                  (*m)[static_cast<size_t>(uprime) * ng_ + gadj[j]]) {
+                supported = true;
+                break;
+              }
+            }
+            ok = supported;
+          }
+          if (!ok) {
+            (*m)[static_cast<size_t>(u) * ng_ + v] = 0;
+            changed = true;
+          } else {
+            row_has_candidate = true;
+          }
+        }
+        if (!row_has_candidate) return false;
+      }
+    }
+    return true;
+  }
+
+  bool Recurse(VertexId depth, const Matrix& m) {
+    if (depth == nq_) {
+      ++found_;
+      if (opts_.sink && !opts_.sink(map_)) return false;
+      return found_ < opts_.max_embeddings;
+    }
+    ++stats_.recursion_nodes;
+    auto qadj = q_.neighbors(depth);
+    auto qel = q_.edge_labels(depth);
+    for (VertexId v = 0; v < ng_; ++v) {
+      if (guard_.Check() != Interrupt::kNone) return false;
+      if (used_[v] || !m[static_cast<size_t>(depth) * ng_ + v]) continue;
+      ++stats_.candidates_tried;
+      // Verify edges to already-assigned query vertices.
+      bool edges_ok = true;
+      for (size_t i = 0; i < qadj.size(); ++i) {
+        if (qadj[i] < depth &&
+            !g_.HasEdgeWithLabel(v, map_[qadj[i]], qel[i])) {
+          edges_ok = false;
+          break;
+        }
+      }
+      if (!edges_ok) continue;
+      // Descend with a refined copy of the matrix, row `depth` pinned
+      // to v (the textbook Ullmann step).
+      Matrix child = m;
+      for (VertexId w = 0; w < ng_; ++w) {
+        child[static_cast<size_t>(depth) * ng_ + w] = (w == v);
+      }
+      map_[depth] = v;
+      used_[v] = 1;
+      bool keep_going = true;
+      if (Refine(&child)) {
+        keep_going = Recurse(depth + 1, child);
+      } else if (guard_.interrupted()) {
+        keep_going = false;
+      }
+      used_[v] = 0;
+      map_[depth] = kInvalidVertex;
+      if (!keep_going) return false;
+    }
+    return true;
+  }
+
+  const Graph& q_;
+  const Graph& g_;
+  const MatchOptions& opts_;
+  CostGuard guard_;
+  MatchStats stats_;
+  uint64_t found_ = 0;
+  const uint32_t nq_;
+  const uint32_t ng_;
+  Matrix matrix_;
+  Embedding map_;
+  std::vector<uint8_t> used_;
+};
+
+}  // namespace
+
+MatchResult UllmannMatch(const Graph& query, const Graph& data,
+                         const MatchOptions& opts) {
+  UllmannState state(query, data, opts);
+  return state.Run();
+}
+
+}  // namespace psi

@@ -1,0 +1,40 @@
+// Ullmann's algorithm (JACM 1976) — the foundational subgraph-isomorphism
+// procedure the paper's related work builds on ([18]; the NFV methods'
+// "vertices and edges" index family). Included as a fifth portfolio
+// engine: it matches query vertices in pure ascending-id order with the
+// classic candidate-matrix refinement, making it the *most* rewriting-
+// sensitive engine in the library — a useful extreme for Ψ portfolios and
+// for studying the paper's Observation 2.
+
+#ifndef PSI_ULLMANN_ULLMANN_HPP_
+#define PSI_ULLMANN_ULLMANN_HPP_
+
+#include "match/matcher.hpp"
+
+namespace psi {
+
+/// Runs Ullmann's algorithm directly on a (query, data) pair.
+MatchResult UllmannMatch(const Graph& query, const Graph& data,
+                         const MatchOptions& opts);
+
+class UllmannMatcher : public Matcher {
+ public:
+  std::string_view name() const override { return "ULL"; }
+  Status Prepare(const Graph& data) override {
+    data_ = &data;
+    data.EnsureLabelIndex();
+    return Status::OK();
+  }
+  MatchResult Match(const Graph& query,
+                    const MatchOptions& opts) const override {
+    return UllmannMatch(query, *data_, opts);
+  }
+  const Graph* data() const override { return data_; }
+
+ private:
+  const Graph* data_ = nullptr;
+};
+
+}  // namespace psi
+
+#endif  // PSI_ULLMANN_ULLMANN_HPP_

@@ -1,0 +1,191 @@
+#include "vf2/vf2.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace psi {
+
+namespace {
+
+// Mutable search state for one Vf2Match call. All arrays are indexed by
+// vertex id; `in_q`/`in_g` hold the depth+1 at which a vertex entered the
+// terminal set (0 = never), enabling O(1) backtracking.
+class Vf2State {
+ public:
+  Vf2State(const Graph& q, const Graph& g, const MatchOptions& opts)
+      : q_(q),
+        g_(g),
+        opts_(opts),
+        guard_(opts.stop, opts.deadline, opts.guard_period, opts.stop2),
+        core_q_(q.num_vertices(), kInvalidVertex),
+        core_g_(g.num_vertices(), kInvalidVertex),
+        in_q_(q.num_vertices(), 0),
+        in_g_(g.num_vertices(), 0) {}
+
+  MatchResult Run() {
+    const auto start = std::chrono::steady_clock::now();
+    MatchResult r;
+    if (q_.num_vertices() == 0) {
+      // The empty query has exactly one (empty) embedding.
+      r.embedding_count = 1;
+      r.complete = true;
+      if (opts_.sink) opts_.sink(Embedding{});
+    } else if (FeasibleOnCounts()) {
+      Recurse(0);
+      r.embedding_count = found_;
+      r.complete = !guard_.interrupted();
+      r.timed_out = guard_.state() == Interrupt::kDeadline;
+      r.cancelled = guard_.state() == Interrupt::kCancelled;
+    } else {
+      r.complete = true;
+    }
+    r.stats = stats_;
+    r.elapsed = std::chrono::steady_clock::now() - start;
+    return r;
+  }
+
+ private:
+  // Cheap global reject: not enough vertices of some label in g.
+  bool FeasibleOnCounts() const {
+    if (q_.num_vertices() > g_.num_vertices()) return false;
+    if (q_.num_edges() > g_.num_edges()) return false;
+    for (VertexId qv = 0; qv < q_.num_vertices(); ++qv) {
+      if (g_.VerticesWithLabel(q_.label(qv)).empty()) return false;
+    }
+    return true;
+  }
+
+  // Chooses the next query vertex: smallest-ID unmatched vertex in the
+  // terminal set; if the terminal set is empty (start / disconnected query
+  // part), smallest-ID unmatched vertex overall.
+  VertexId NextQueryVertex() const {
+    VertexId fallback = kInvalidVertex;
+    for (VertexId qv = 0; qv < q_.num_vertices(); ++qv) {
+      if (core_q_[qv] != kInvalidVertex) continue;
+      if (in_q_[qv] != 0) return qv;
+      if (fallback == kInvalidVertex) fallback = qv;
+    }
+    return fallback;
+  }
+
+  // The three pruning rules of §3.1.1 for candidate pair (qv, gv).
+  bool Feasible(VertexId qv, VertexId gv) {
+    if (q_.label(qv) != g_.label(gv)) return false;
+    // Rule 1 — consistency: every matched neighbour of qv must map to a
+    // neighbour of gv through an equally-labelled edge (non-induced: one
+    // direction only).
+    {
+      auto adj = q_.neighbors(qv);
+      auto elabels = q_.edge_labels(qv);
+      for (size_t i = 0; i < adj.size(); ++i) {
+        const VertexId qw = adj[i];
+        if (core_q_[qw] != kInvalidVertex &&
+            !g_.HasEdgeWithLabel(gv, core_q_[qw], elabels[i])) {
+          return false;
+        }
+      }
+    }
+    // Rules 2 & 3 — lookahead: count qv's unmatched neighbours inside and
+    // outside the terminal set; gv must offer at least as many of each.
+    uint32_t q_term = 0, q_new = 0;
+    for (VertexId qw : q_.neighbors(qv)) {
+      if (core_q_[qw] != kInvalidVertex) continue;
+      in_q_[qw] != 0 ? ++q_term : ++q_new;
+    }
+    uint32_t g_term = 0, g_new = 0;
+    for (VertexId gw : g_.neighbors(gv)) {
+      if (core_g_[gw] != kInvalidVertex) continue;
+      in_g_[gw] != 0 ? ++g_term : ++g_new;
+    }
+    // A terminal data vertex can also serve a "new" query neighbour, hence
+    // the combined bound as the third rule.
+    return q_term <= g_term && (q_term + q_new) <= (g_term + g_new);
+  }
+
+  void Push(VertexId qv, VertexId gv, uint32_t depth) {
+    core_q_[qv] = gv;
+    core_g_[gv] = qv;
+    if (in_q_[qv] == 0) in_q_[qv] = depth + 1;
+    if (in_g_[gv] == 0) in_g_[gv] = depth + 1;
+    for (VertexId qw : q_.neighbors(qv)) {
+      if (in_q_[qw] == 0) in_q_[qw] = depth + 1;
+    }
+    for (VertexId gw : g_.neighbors(gv)) {
+      if (in_g_[gw] == 0) in_g_[gw] = depth + 1;
+    }
+  }
+
+  void Pop(VertexId qv, VertexId gv, uint32_t depth) {
+    for (VertexId qw : q_.neighbors(qv)) {
+      if (in_q_[qw] == depth + 1) in_q_[qw] = 0;
+    }
+    for (VertexId gw : g_.neighbors(gv)) {
+      if (in_g_[gw] == depth + 1) in_g_[gw] = 0;
+    }
+    if (in_q_[qv] == depth + 1) in_q_[qv] = 0;
+    if (in_g_[gv] == depth + 1) in_g_[gv] = 0;
+    core_q_[qv] = kInvalidVertex;
+    core_g_[gv] = kInvalidVertex;
+  }
+
+  // Returns false when the search should unwind entirely (cap reached or
+  // interrupted).
+  bool Recurse(uint32_t depth) {
+    if (depth == q_.num_vertices()) {
+      ++found_;
+      if (opts_.sink && !opts_.sink(core_q_)) return false;
+      return found_ < opts_.max_embeddings;
+    }
+    ++stats_.recursion_nodes;
+    const VertexId qv = NextQueryVertex();
+
+    // Candidate enumeration in ascending data-vertex id. If qv has a matched
+    // neighbour, its image's adjacency is the tightest candidate source
+    // (rule 1 pre-applied); otherwise fall back to the label index.
+    VertexId anchor = kInvalidVertex;
+    for (VertexId qw : q_.neighbors(qv)) {
+      if (core_q_[qw] != kInvalidVertex &&
+          (anchor == kInvalidVertex ||
+           g_.degree(core_q_[qw]) < g_.degree(anchor))) {
+        anchor = core_q_[qw];
+      }
+    }
+    std::span<const VertexId> candidates =
+        anchor != kInvalidVertex ? g_.neighbors(anchor)
+                                 : g_.VerticesWithLabel(q_.label(qv));
+
+    for (VertexId gv : candidates) {
+      if (guard_.Check() != Interrupt::kNone) return false;
+      if (core_g_[gv] != kInvalidVertex) continue;
+      ++stats_.candidates_tried;
+      if (!Feasible(qv, gv)) continue;
+      Push(qv, gv, depth);
+      const bool keep_going = Recurse(depth + 1);
+      Pop(qv, gv, depth);
+      if (!keep_going) return false;
+    }
+    return true;
+  }
+
+  const Graph& q_;
+  const Graph& g_;
+  const MatchOptions& opts_;
+  CostGuard guard_;
+  MatchStats stats_;
+  uint64_t found_ = 0;
+  std::vector<VertexId> core_q_;
+  std::vector<VertexId> core_g_;
+  // Depth+1 at which the vertex joined the terminal set; 0 = not a member.
+  std::vector<uint32_t> in_q_;
+  std::vector<uint32_t> in_g_;
+};
+
+}  // namespace
+
+MatchResult Vf2Match(const Graph& query, const Graph& data,
+                     const MatchOptions& opts) {
+  Vf2State state(query, data, opts);
+  return state.Run();
+}
+
+}  // namespace psi

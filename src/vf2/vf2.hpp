@@ -1,0 +1,46 @@
+// VF2 subgraph-isomorphism algorithm (Cordella, Foggia, Sansone, Vento,
+// TPAMI 2004), non-induced and vertex-labelled, as used by Grapes and GGSX
+// for their verification stage (paper §3.1.1).
+//
+// Ordering contract (load-bearing for the paper's findings): VF2 imposes no
+// algorithmic query-vertex order — the next query vertex is the *smallest-ID*
+// unmatched vertex adjacent to the matched region, and data-graph candidates
+// are tried in ascending vertex id. Query rewritings therefore directly
+// steer the search.
+
+#ifndef PSI_VF2_VF2_HPP_
+#define PSI_VF2_VF2_HPP_
+
+#include "match/matcher.hpp"
+
+namespace psi {
+
+/// Runs VF2 directly on a (query, data) pair — the FTV verification entry
+/// point, where each candidate graph is matched once and no per-graph state
+/// is worth keeping.
+MatchResult Vf2Match(const Graph& query, const Graph& data,
+                     const MatchOptions& opts);
+
+/// Matcher adapter so VF2 can participate in NFV portfolios. Prepare() just
+/// records the stored graph (VF2 keeps no index).
+class Vf2Matcher : public Matcher {
+ public:
+  std::string_view name() const override { return "VF2"; }
+  Status Prepare(const Graph& data) override {
+    data_ = &data;
+    data.EnsureLabelIndex();
+    return Status::OK();
+  }
+  MatchResult Match(const Graph& query,
+                    const MatchOptions& opts) const override {
+    return Vf2Match(query, *data_, opts);
+  }
+  const Graph* data() const override { return data_; }
+
+ private:
+  const Graph* data_ = nullptr;
+};
+
+}  // namespace psi
+
+#endif  // PSI_VF2_VF2_HPP_

@@ -1,0 +1,202 @@
+#include "workload/runner.hpp"
+
+#include <chrono>
+
+namespace psi {
+
+namespace {
+
+std::chrono::nanoseconds BudgetOf(const RunnerOptions& options) {
+  if (options.cap_ms <= 0.0) return std::chrono::nanoseconds(0);
+  return std::chrono::nanoseconds(
+      static_cast<int64_t>(options.cap_ms * 1e6));
+}
+
+QueryRecord ToRecord(const MatchResult& r, const RunnerOptions& options) {
+  QueryRecord rec;
+  rec.killed = !r.complete;
+  // Killed tests are charged the cap, as in the paper's speedup*
+  // computations ("for queries killed at the 10' limit we use this time").
+  rec.ms = rec.killed && options.cap_ms > 0.0 ? options.cap_ms
+                                              : r.elapsed_ms();
+  rec.matched = r.found();
+  rec.embeddings = r.embedding_count;
+  return rec;
+}
+
+}  // namespace
+
+QueryRecord RunOne(const Matcher& matcher, const Graph& query,
+                   const RunnerOptions& options) {
+  MatchOptions mo;
+  mo.max_embeddings = options.max_embeddings;
+  const auto budget = BudgetOf(options);
+  if (budget.count() > 0) mo.deadline = Deadline::After(budget);
+  return ToRecord(matcher.Match(query, mo), options);
+}
+
+std::vector<QueryRecord> RunWorkload(const Matcher& matcher,
+                                     std::span<const gen::Query> workload,
+                                     const RunnerOptions& options) {
+  std::vector<QueryRecord> out;
+  out.reserve(workload.size());
+  for (const gen::Query& q : workload) {
+    out.push_back(RunOne(matcher, q.graph, options));
+  }
+  return out;
+}
+
+QueryRecord RunOnePsi(const Portfolio& portfolio, const Graph& query,
+                      const LabelStats& stats, const RunnerOptions& options,
+                      RaceMode mode) {
+  RaceOptions ro;
+  ro.budget = BudgetOf(options);
+  ro.max_embeddings = options.max_embeddings;
+  ro.mode = mode;
+  const RaceResult race = RunPortfolio(portfolio, query, stats, ro);
+  QueryRecord rec;
+  rec.killed = !race.completed();
+  rec.ms = rec.killed && options.cap_ms > 0.0
+               ? options.cap_ms
+               : std::chrono::duration<double, std::milli>(race.wall).count();
+  rec.matched = race.completed() && race.result.found();
+  rec.embeddings = race.completed() ? race.result.embedding_count : 0;
+  return rec;
+}
+
+std::vector<QueryRecord> RunWorkloadPsi(const Portfolio& portfolio,
+                                        std::span<const gen::Query> workload,
+                                        const LabelStats& stats,
+                                        const RunnerOptions& options,
+                                        RaceMode mode) {
+  std::vector<QueryRecord> out;
+  out.reserve(workload.size());
+  for (const gen::Query& q : workload) {
+    out.push_back(RunOnePsi(portfolio, q.graph, stats, options, mode));
+  }
+  return out;
+}
+
+std::vector<FtvPairRecord> RunFtvWorkload(
+    const GrapesIndex& index, std::span<const gen::Query> workload,
+    const RunnerOptions& options) {
+  std::vector<FtvPairRecord> out;
+  const auto budget = BudgetOf(options);
+  for (uint32_t qi = 0; qi < workload.size(); ++qi) {
+    const Graph& query = workload[qi].graph;
+    for (const GrapesCandidate& cand : index.Filter(query)) {
+      MatchOptions mo;
+      mo.max_embeddings = 1;
+      if (budget.count() > 0) mo.deadline = Deadline::After(budget);
+      const MatchResult r = index.VerifyCandidate(query, cand, mo);
+      FtvPairRecord rec;
+      rec.query_index = qi;
+      rec.graph_id = cand.graph_id;
+      rec.killed = !r.complete;
+      rec.ms = rec.killed && options.cap_ms > 0.0 ? options.cap_ms
+                                                  : r.elapsed_ms();
+      rec.matched = r.found();
+      out.push_back(rec);
+    }
+  }
+  return out;
+}
+
+std::vector<FtvPairRecord> RunFtvWorkload(
+    const GgsxIndex& index, std::span<const gen::Query> workload,
+    const RunnerOptions& options) {
+  std::vector<FtvPairRecord> out;
+  const auto budget = BudgetOf(options);
+  for (uint32_t qi = 0; qi < workload.size(); ++qi) {
+    const Graph& query = workload[qi].graph;
+    for (uint32_t gid : index.Filter(query)) {
+      MatchOptions mo;
+      mo.max_embeddings = 1;
+      if (budget.count() > 0) mo.deadline = Deadline::After(budget);
+      const MatchResult r = index.VerifyCandidate(query, gid, mo);
+      FtvPairRecord rec;
+      rec.query_index = qi;
+      rec.graph_id = gid;
+      rec.killed = !r.complete;
+      rec.ms = rec.killed && options.cap_ms > 0.0 ? options.cap_ms
+                                                  : r.elapsed_ms();
+      rec.matched = r.found();
+      out.push_back(rec);
+    }
+  }
+  return out;
+}
+
+std::vector<FtvPairRecord> RunFtvWorkloadPsi(
+    const GrapesIndex& index, std::span<const gen::Query> workload,
+    std::span<const Rewriting> rewritings, const LabelStats& stats,
+    const RunnerOptions& options, RaceMode mode) {
+  std::vector<FtvPairRecord> out;
+  for (uint32_t qi = 0; qi < workload.size(); ++qi) {
+    const Graph& query = workload[qi].graph;
+    // Rewrite once per query; instances are shared across candidates.
+    std::vector<RewrittenQuery> instances;
+    instances.reserve(rewritings.size());
+    for (Rewriting r : rewritings) {
+      auto rq = RewriteQuery(query, r, stats);
+      if (rq.ok()) instances.push_back(std::move(rq).value());
+    }
+    for (const GrapesCandidate& cand : index.Filter(query)) {
+      std::vector<RaceVariant> variants;
+      variants.reserve(instances.size());
+      for (const RewrittenQuery& inst : instances) {
+        variants.push_back(RaceVariant{
+            std::string(ToString(inst.rewriting)),
+            [&index, &inst, &cand](const MatchOptions& mo) {
+              return index.VerifyCandidate(inst.graph, cand, mo);
+            }});
+      }
+      RaceOptions ro;
+      ro.budget = BudgetOf(options);
+      ro.max_embeddings = 1;
+      ro.mode = mode;
+      const RaceResult race = Race(variants, ro);
+      FtvPairRecord rec;
+      rec.query_index = qi;
+      rec.graph_id = cand.graph_id;
+      rec.killed = !race.completed();
+      rec.ms = rec.killed && options.cap_ms > 0.0
+                   ? options.cap_ms
+                   : std::chrono::duration<double, std::milli>(race.wall)
+                         .count();
+      rec.matched = race.completed() && race.result.found();
+      out.push_back(rec);
+    }
+  }
+  return out;
+}
+
+std::vector<double> TimesOf(std::span<const QueryRecord> records) {
+  std::vector<double> out;
+  out.reserve(records.size());
+  for (const auto& r : records) out.push_back(r.ms);
+  return out;
+}
+
+std::vector<uint8_t> KilledOf(std::span<const QueryRecord> records) {
+  std::vector<uint8_t> out;
+  out.reserve(records.size());
+  for (const auto& r : records) out.push_back(r.killed ? 1 : 0);
+  return out;
+}
+
+std::vector<double> TimesOf(std::span<const FtvPairRecord> records) {
+  std::vector<double> out;
+  out.reserve(records.size());
+  for (const auto& r : records) out.push_back(r.ms);
+  return out;
+}
+
+std::vector<uint8_t> KilledOf(std::span<const FtvPairRecord> records) {
+  std::vector<uint8_t> out;
+  out.reserve(records.size());
+  for (const auto& r : records) out.push_back(r.killed ? 1 : 0);
+  return out;
+}
+
+}  // namespace psi

@@ -1,0 +1,95 @@
+// Workload execution harness implementing the paper's experimental
+// protocol (§3.2-§3.5): every sub-iso test runs under a kill cap (the
+// scaled stand-in for the 10-minute limit); killed tests are recorded at
+// the cap and classified "hard". The FTV runner measures each individual
+// (query, stored-graph) verification separately (§4: "we execute each
+// individual query against a single stored graph at a time"), excluding
+// the filtering time, which the paper found to be trivial overhead.
+
+#ifndef PSI_WORKLOAD_RUNNER_HPP_
+#define PSI_WORKLOAD_RUNNER_HPP_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/stop_token.hpp"
+#include "gen/query_gen.hpp"
+#include "ggsx/ggsx.hpp"
+#include "grapes/grapes.hpp"
+#include "match/matcher.hpp"
+#include "metrics/metrics.hpp"
+#include "psi/portfolio.hpp"
+
+namespace psi {
+
+/// Outcome of one capped sub-iso test.
+struct QueryRecord {
+  double ms = 0.0;        ///< measured time; killed tests carry the cap
+  bool killed = false;    ///< terminated at the cap ("hard")
+  bool matched = false;   ///< at least one embedding found
+  uint64_t embeddings = 0;
+};
+
+struct RunnerOptions {
+  /// Per-test budget in milliseconds (<= 0: uncapped).
+  double cap_ms = 250.0;
+  /// Embedding cap (paper: 1000 for NFV matching, 1 for FTV decision).
+  uint64_t max_embeddings = 1000;
+};
+
+/// Runs one query against a prepared NFV matcher.
+QueryRecord RunOne(const Matcher& matcher, const Graph& query,
+                   const RunnerOptions& options);
+
+/// Runs a whole workload; one record per query.
+std::vector<QueryRecord> RunWorkload(const Matcher& matcher,
+                                     std::span<const gen::Query> workload,
+                                     const RunnerOptions& options);
+
+/// Runs one query through a Ψ portfolio race; the record reflects the
+/// race outcome (killed only when *every* contender was killed).
+QueryRecord RunOnePsi(const Portfolio& portfolio, const Graph& query,
+                      const LabelStats& stats, const RunnerOptions& options,
+                      RaceMode mode);
+std::vector<QueryRecord> RunWorkloadPsi(const Portfolio& portfolio,
+                                        std::span<const gen::Query> workload,
+                                        const LabelStats& stats,
+                                        const RunnerOptions& options,
+                                        RaceMode mode);
+
+/// One (query, stored graph) verification data point of the FTV protocol.
+struct FtvPairRecord {
+  uint32_t query_index = 0;
+  uint32_t graph_id = 0;
+  double ms = 0.0;
+  bool killed = false;
+  bool matched = false;
+};
+
+/// Grapes: filter (untimed), then verify each candidate under the cap.
+std::vector<FtvPairRecord> RunFtvWorkload(
+    const GrapesIndex& index, std::span<const gen::Query> workload,
+    const RunnerOptions& options);
+
+/// GGSX: ditto, against whole candidate graphs.
+std::vector<FtvPairRecord> RunFtvWorkload(
+    const GgsxIndex& index, std::span<const gen::Query> workload,
+    const RunnerOptions& options);
+
+/// Ψ-framework over Grapes verification: per candidate graph, races one
+/// VF2 verification per rewriting (paper §8, FTV side).
+std::vector<FtvPairRecord> RunFtvWorkloadPsi(
+    const GrapesIndex& index, std::span<const gen::Query> workload,
+    std::span<const Rewriting> rewritings, const LabelStats& stats,
+    const RunnerOptions& options, RaceMode mode);
+
+/// Convenience: extract the times / kill flags of a record series.
+std::vector<double> TimesOf(std::span<const QueryRecord> records);
+std::vector<uint8_t> KilledOf(std::span<const QueryRecord> records);
+std::vector<double> TimesOf(std::span<const FtvPairRecord> records);
+std::vector<uint8_t> KilledOf(std::span<const FtvPairRecord> records);
+
+}  // namespace psi
+
+#endif  // PSI_WORKLOAD_RUNNER_HPP_

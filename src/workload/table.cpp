@@ -1,0 +1,46 @@
+#include "workload/table.hpp"
+
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace psi {
+
+void TextTable::AddRow(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+void TextTable::Print(std::ostream& out) const {
+  std::vector<size_t> width;
+  for (const auto& row : rows_) {
+    if (width.size() < row.size()) width.resize(row.size(), 0);
+    for (size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  for (size_t r = 0; r < rows_.size(); ++r) {
+    for (size_t c = 0; c < rows_[r].size(); ++c) {
+      if (c > 0) out << "  ";
+      out << std::setw(static_cast<int>(width[c]))
+          << (c == 0 ? std::left : std::right) << rows_[r][c];
+      // Reset alignment for the next cell.
+      out << std::right;
+    }
+    out << '\n';
+    if (r == 0) {
+      size_t total = 0;
+      for (size_t c = 0; c < width.size(); ++c) {
+        total += width[c] + (c > 0 ? 2 : 0);
+      }
+      out << std::string(total, '-') << '\n';
+    }
+  }
+}
+
+std::string TextTable::Num(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+}  // namespace psi

@@ -1,0 +1,29 @@
+// Minimal fixed-width text table used by the bench binaries to print
+// paper-style rows.
+
+#ifndef PSI_WORKLOAD_TABLE_HPP_
+#define PSI_WORKLOAD_TABLE_HPP_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace psi {
+
+/// Accumulates rows of strings and prints them with aligned columns.
+class TextTable {
+ public:
+  /// First row added is treated as the header.
+  void AddRow(std::vector<std::string> cells);
+  void Print(std::ostream& out) const;
+
+  /// Fixed-precision float formatting helper ("12.34").
+  static std::string Num(double v, int precision = 2);
+
+ private:
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace psi
+
+#endif  // PSI_WORKLOAD_TABLE_HPP_

@@ -1,0 +1,170 @@
+#include "gen/dataset_gen.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/graph_algos.hpp"
+#include "core/label_stats.hpp"
+#include "gen/rng.hpp"
+
+namespace psi::gen {
+namespace {
+
+TEST(RngTest, Deterministic) {
+  Rng a(99), b(99);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.UniformInt(0, 1000), b.UniformInt(0, 1000));
+  }
+}
+
+TEST(RngTest, UniformIntInRange) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t v = rng.UniformInt(3, 7);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 7);
+  }
+}
+
+TEST(ZipfSamplerTest, SkewFavoursLowIndices) {
+  Rng rng(5);
+  ZipfSampler z(10, 1.5);
+  std::vector<int> hist(10, 0);
+  for (int i = 0; i < 20000; ++i) ++hist[z.Sample(&rng)];
+  EXPECT_GT(hist[0], hist[4]);
+  EXPECT_GT(hist[0], 3 * hist[9]);
+  EXPECT_GT(z.probability(0), z.probability(9));
+}
+
+TEST(ZipfSamplerTest, ProbabilitiesSumToOne) {
+  ZipfSampler z(20, 1.0);
+  double sum = 0;
+  for (uint32_t i = 0; i < 20; ++i) sum += z.probability(i);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(WeightedSamplerTest, RespectsWeights) {
+  Rng rng(6);
+  WeightedSampler s({0.0, 1.0, 3.0});
+  std::vector<int> hist(3, 0);
+  for (int i = 0; i < 10000; ++i) ++hist[s.Sample(&rng)];
+  EXPECT_EQ(hist[0], 0);
+  EXPECT_GT(hist[2], 2 * hist[1]);
+}
+
+TEST(GraphGenLikeTest, HonoursParameters) {
+  GraphGenLikeOptions o;
+  o.num_graphs = 12;
+  o.avg_nodes = 80;
+  o.density = 0.05;
+  o.num_labels = 6;
+  o.seed = 3;
+  auto ds = GraphGenLike(o);
+  ASSERT_EQ(ds.size(), 12u);
+  auto c = ds.ComputeCharacteristics();
+  EXPECT_EQ(c.num_disconnected, 0u);  // GraphGen graphs are connected
+  EXPECT_LE(c.num_labels, 6u);
+  EXPECT_NEAR(c.avg_nodes, 80.0, 40.0);
+  EXPECT_NEAR(c.avg_density, 0.05, 0.02);
+}
+
+TEST(GraphGenLikeTest, DeterministicAcrossRuns) {
+  GraphGenLikeOptions o;
+  o.num_graphs = 3;
+  o.avg_nodes = 40;
+  o.seed = 17;
+  auto a = GraphGenLike(o);
+  auto b = GraphGenLike(o);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_TRUE(a.graph(i).IdenticalTo(b.graph(i)));
+  }
+}
+
+TEST(PpiLikeTest, EveryGraphDisconnectedAsInTable1) {
+  PpiLikeOptions o;
+  o.num_graphs = 5;
+  o.avg_nodes = 300;
+  o.seed = 9;
+  auto ds = PpiLike(o);
+  ASSERT_EQ(ds.size(), 5u);
+  for (const Graph& g : ds.graphs()) {
+    EXPECT_GT(g.NumComponents(), 1u) << g.name();
+  }
+}
+
+TEST(PpiLikeTest, LabelSubsetPerGraph) {
+  PpiLikeOptions o;
+  o.num_graphs = 4;
+  o.avg_nodes = 400;
+  o.num_labels = 46;
+  o.labels_per_graph = 20;
+  o.seed = 10;
+  auto ds = PpiLike(o);
+  for (const Graph& g : ds.graphs()) {
+    EXPECT_LE(g.NumDistinctLabels(), 20u);
+  }
+}
+
+TEST(PpiLikeTest, HeavyTailedDegrees) {
+  PpiLikeOptions o;
+  o.num_graphs = 2;
+  o.avg_nodes = 600;
+  o.avg_degree = 10.0;
+  o.seed = 11;
+  auto ds = PpiLike(o);
+  for (const Graph& g : ds.graphs()) {
+    auto s = SummarizeDegrees(g);
+    EXPECT_GT(s.max, 3 * s.mean) << "preferential attachment hub expected";
+  }
+}
+
+TEST(LargeGraphTest, MatchesRequestedSize) {
+  LargeGraphOptions o;
+  o.num_vertices = 500;
+  o.num_edges = 1500;
+  o.num_labels = 10;
+  o.seed = 21;
+  const Graph g = LargeGraph(o);
+  EXPECT_EQ(g.num_vertices(), 500u);
+  EXPECT_NEAR(static_cast<double>(g.num_edges()), 1500.0, 80.0);
+  EXPECT_LE(g.NumDistinctLabels(), 10u);
+}
+
+TEST(LargeGraphTest, ZipfLabelSkew) {
+  LargeGraphOptions o;
+  o.num_vertices = 4000;
+  o.num_edges = 8000;
+  o.num_labels = 5;
+  o.label_zipf_s = 2.0;
+  o.seed = 22;
+  const Graph g = LargeGraph(o);
+  auto stats = LabelStats::FromGraph(g);
+  // Rank-0 label dominates: more than half the vertices.
+  EXPECT_GT(stats.frequency(0), g.num_vertices() / 2);
+  EXPECT_GT(stats.frequency(0), 10 * stats.frequency(4));
+}
+
+TEST(NamedDatasetsTest, YeastLikeShape) {
+  const Graph g = YeastLike(/*scale=*/4);
+  EXPECT_NEAR(g.num_vertices(), 3112 / 4, 2);
+  EXPECT_GT(g.NumDistinctLabels(), 40u);
+  EXPECT_NEAR(g.AverageDegree(), 8.0, 3.0);
+}
+
+TEST(NamedDatasetsTest, HumanLikeIsDenser) {
+  const Graph y = YeastLike(4);
+  const Graph h = HumanLike(4);
+  EXPECT_GT(h.AverageDegree(), 2.5 * y.AverageDegree());
+}
+
+TEST(NamedDatasetsTest, WordnetLikeIsSparseWithFewLabels) {
+  const Graph w = WordnetLike(/*scale=*/16);
+  EXPECT_LE(w.NumDistinctLabels(), 5u);
+  EXPECT_LT(w.AverageDegree(), 4.5);
+  auto stats = LabelStats::FromGraph(w);
+  // Extreme skew: dominant label covers most vertices (paper §6.2).
+  EXPECT_GT(stats.frequency(0), w.num_vertices() * 6 / 10);
+}
+
+}  // namespace
+}  // namespace psi::gen

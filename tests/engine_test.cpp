@@ -1,0 +1,128 @@
+#include "psi/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/dataset_gen.hpp"
+#include "gen/query_gen.hpp"
+#include "graphql/graphql.hpp"
+#include "quicksi/quicksi.hpp"
+#include "spath/spath.hpp"
+#include "tests/test_util.hpp"
+#include "vf2/vf2.hpp"
+
+namespace psi {
+namespace {
+
+PsiEngineOptions FastOptions() {
+  PsiEngineOptions o;
+  o.budget = std::chrono::seconds(5);
+  o.mode = RaceMode::kThreads;
+  return o;
+}
+
+TEST(PsiEngineTest, PrepareRequiresMatchers) {
+  PsiEngine engine;
+  const Graph g = testing::MakePath({0, 1});
+  EXPECT_FALSE(engine.Prepare(g).ok());
+}
+
+TEST(PsiEngineTest, QueriesBeforePrepareFail) {
+  PsiEngine engine;
+  const Graph q = testing::MakePath({0, 1});
+  EXPECT_FALSE(engine.Contains(q).ok());
+  EXPECT_FALSE(engine.CountEmbeddings(q).ok());
+}
+
+TEST(PsiEngineTest, DecisionAndCountingEndToEnd) {
+  const Graph data = gen::YeastLike(8, 301);
+  PsiEngine engine(FastOptions());
+  engine.AddMatcher(std::make_unique<GraphQlMatcher>());
+  engine.AddMatcher(std::make_unique<SPathMatcher>());
+  ASSERT_TRUE(engine.Prepare(data).ok());
+  EXPECT_EQ(engine.portfolio().entries.size(), 4u);  // 2 engines x 2 rw
+
+  auto w = gen::GenerateWorkload(data, 5, 6, 302);
+  ASSERT_TRUE(w.ok());
+  for (const auto& q : *w) {
+    auto contains = engine.Contains(q.graph);
+    ASSERT_TRUE(contains.ok());
+    EXPECT_TRUE(*contains);  // planted queries always embed
+
+    auto count = engine.CountEmbeddings(q.graph);
+    ASSERT_TRUE(count.ok());
+    EXPECT_GE(*count, 1u);
+    // Cross-check the count against a direct uncapped-cap VF2 run.
+    MatchOptions mo;
+    mo.max_embeddings = 1000;
+    EXPECT_EQ(*count, Vf2Match(q.graph, data, mo).embedding_count);
+  }
+}
+
+TEST(PsiEngineTest, NegativeQueriesAnswerNo) {
+  const Graph data = gen::YeastLike(8, 303);
+  PsiEngine engine(FastOptions());
+  engine.AddMatcher(std::make_unique<GraphQlMatcher>());
+  engine.AddMatcher(std::make_unique<SPathMatcher>());
+  ASSERT_TRUE(engine.Prepare(data).ok());
+  const Graph absent = testing::MakePath({500000, 500001});
+  auto contains = engine.Contains(absent);
+  ASSERT_TRUE(contains.ok());
+  EXPECT_FALSE(*contains);
+}
+
+TEST(PsiEngineTest, LearningAccumulatesObservations) {
+  const Graph data = gen::YeastLike(8, 304);
+  PsiEngineOptions o = FastOptions();
+  o.learn = true;
+  PsiEngine engine(o);
+  engine.AddMatcher(std::make_unique<GraphQlMatcher>());
+  engine.AddMatcher(std::make_unique<QuickSiMatcher>());
+  ASSERT_TRUE(engine.Prepare(data).ok());
+  auto w = gen::GenerateWorkload(data, 6, 5, 305);
+  ASSERT_TRUE(w.ok());
+  for (const auto& q : *w) {
+    auto r = engine.Contains(q.graph);
+    ASSERT_TRUE(r.ok());
+  }
+  EXPECT_EQ(engine.observed_races(), 6u);
+}
+
+TEST(PsiEngineTest, NarrowedPortfolioStillAnswersCorrectly) {
+  const Graph data = gen::YeastLike(8, 306);
+  PsiEngineOptions o = FastOptions();
+  o.portfolio_limit = 2;  // race only the selector's top-2 once trained
+  o.rewritings = {Rewriting::kOriginal, Rewriting::kIlf, Rewriting::kDnd};
+  PsiEngine engine(o);
+  engine.AddMatcher(std::make_unique<GraphQlMatcher>());
+  engine.AddMatcher(std::make_unique<SPathMatcher>());
+  ASSERT_TRUE(engine.Prepare(data).ok());
+  ASSERT_EQ(engine.portfolio().entries.size(), 6u);
+  auto w = gen::GenerateWorkload(data, 14, 6, 307);
+  ASSERT_TRUE(w.ok());
+  for (const auto& q : *w) {
+    auto contains = engine.Contains(q.graph);
+    ASSERT_TRUE(contains.ok());
+    EXPECT_TRUE(*contains);
+  }
+  EXPECT_GE(engine.observed_races(), 14u);
+}
+
+TEST(PsiEngineTest, SequentialModeWorks) {
+  const Graph data = gen::YeastLike(8, 308);
+  PsiEngineOptions o = FastOptions();
+  o.mode = RaceMode::kSequential;
+  PsiEngine engine(o);
+  engine.AddMatcher(std::make_unique<Vf2Matcher>());
+  engine.AddMatcher(std::make_unique<GraphQlMatcher>());
+  ASSERT_TRUE(engine.Prepare(data).ok());
+  auto w = gen::GenerateWorkload(data, 3, 5, 309);
+  ASSERT_TRUE(w.ok());
+  for (const auto& q : *w) {
+    auto contains = engine.Contains(q.graph);
+    ASSERT_TRUE(contains.ok());
+    EXPECT_TRUE(*contains);
+  }
+}
+
+}  // namespace
+}  // namespace psi

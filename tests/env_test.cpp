@@ -1,0 +1,53 @@
+#include "core/env.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+namespace psi {
+namespace {
+
+TEST(EnvTest, DefaultWhenUnset) {
+  unsetenv("PSI_TEST_VAR");
+  EXPECT_EQ(EnvInt("PSI_TEST_VAR", 42), 42);
+}
+
+TEST(EnvTest, ParsesInteger) {
+  setenv("PSI_TEST_VAR", "123", 1);
+  EXPECT_EQ(EnvInt("PSI_TEST_VAR", 42), 123);
+  setenv("PSI_TEST_VAR", "-7", 1);
+  EXPECT_EQ(EnvInt("PSI_TEST_VAR", 42), -7);
+  unsetenv("PSI_TEST_VAR");
+}
+
+TEST(EnvTest, RejectsGarbage) {
+  setenv("PSI_TEST_VAR", "12abc", 1);
+  EXPECT_EQ(EnvInt("PSI_TEST_VAR", 42), 42);
+  setenv("PSI_TEST_VAR", "", 1);
+  EXPECT_EQ(EnvInt("PSI_TEST_VAR", 42), 42);
+  unsetenv("PSI_TEST_VAR");
+}
+
+TEST(EnvTest, KnobsHaveSaneDefaults) {
+  unsetenv("PSI_CAP_MS");
+  unsetenv("PSI_SCALE");
+  unsetenv("PSI_THREADS");
+  EXPECT_EQ(CapMillis(), 250);
+  EXPECT_EQ(Scale(), 1);
+  EXPECT_GE(ThreadBudget(), 1);
+}
+
+TEST(EnvTest, KnobsReadEnvironment) {
+  setenv("PSI_CAP_MS", "777", 1);
+  setenv("PSI_SCALE", "3", 1);
+  setenv("PSI_THREADS", "9", 1);
+  EXPECT_EQ(CapMillis(), 777);
+  EXPECT_EQ(Scale(), 3);
+  EXPECT_EQ(ThreadBudget(), 9);
+  unsetenv("PSI_CAP_MS");
+  unsetenv("PSI_SCALE");
+  unsetenv("PSI_THREADS");
+}
+
+}  // namespace
+}  // namespace psi

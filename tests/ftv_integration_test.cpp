@@ -1,0 +1,145 @@
+// Cross-module FTV integration on the hub-heavy PPI-like dataset:
+// Grapes and GGSX filtering soundness and consistency, component pruning,
+// and Ψ-racing equivalence, on graphs whose preferential-attachment hubs
+// stress very different code paths than the uniform GraphGen-like data.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "gen/dataset_gen.hpp"
+#include "gen/query_gen.hpp"
+#include "ggsx/ggsx.hpp"
+#include "grapes/grapes.hpp"
+#include "rewrite/rewrite.hpp"
+#include "tests/test_util.hpp"
+#include "vf2/vf2.hpp"
+#include "workload/runner.hpp"
+
+namespace psi {
+namespace {
+
+class FtvIntegrationTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    gen::PpiLikeOptions o;
+    o.num_graphs = 6;
+    o.avg_nodes = 220;
+    o.avg_degree = 8.0;
+    o.num_labels = 30;
+    o.labels_per_graph = 18;
+    o.seed = 777;
+    dataset_ = new GraphDataset(gen::PpiLike(o));
+    grapes_ = new GrapesIndex();
+    ASSERT_TRUE(grapes_->Build(*dataset_).ok());
+    ggsx_ = new GgsxIndex();
+    ASSERT_TRUE(ggsx_->Build(*dataset_).ok());
+    auto w = gen::GenerateWorkload(*dataset_, 12, 6, 778);
+    ASSERT_TRUE(w.ok());
+    workload_ = new std::vector<gen::Query>(std::move(w).value());
+  }
+  static void TearDownTestSuite() {
+    delete workload_;
+    delete ggsx_;
+    delete grapes_;
+    delete dataset_;
+  }
+
+  static GraphDataset* dataset_;
+  static GrapesIndex* grapes_;
+  static GgsxIndex* ggsx_;
+  static std::vector<gen::Query>* workload_;
+};
+
+GraphDataset* FtvIntegrationTest::dataset_ = nullptr;
+GrapesIndex* FtvIntegrationTest::grapes_ = nullptr;
+GgsxIndex* FtvIntegrationTest::ggsx_ = nullptr;
+std::vector<gen::Query>* FtvIntegrationTest::workload_ = nullptr;
+
+TEST_F(FtvIntegrationTest, GrapesCandidatesAreSubsetOfGgsx) {
+  // Grapes = GGSX count filter + location/component pruning, so its
+  // candidate set can only shrink.
+  for (const auto& q : *workload_) {
+    auto gg = ggsx_->Filter(q.graph);
+    std::set<uint32_t> ggsx_set(gg.begin(), gg.end());
+    for (const auto& cand : grapes_->Filter(q.graph)) {
+      EXPECT_TRUE(ggsx_set.count(cand.graph_id))
+          << "Grapes kept a graph GGSX dropped";
+    }
+  }
+}
+
+TEST_F(FtvIntegrationTest, BothFiltersAreSoundOnHubGraphs) {
+  MatchOptions mo;
+  mo.max_embeddings = 1;
+  for (const auto& q : *workload_) {
+    std::set<uint32_t> truth;
+    for (uint32_t gid = 0; gid < dataset_->size(); ++gid) {
+      if (Vf2Match(q.graph, dataset_->graph(gid), mo).found()) {
+        truth.insert(gid);
+      }
+    }
+    auto gg = ggsx_->Filter(q.graph);
+    std::set<uint32_t> ggsx_set(gg.begin(), gg.end());
+    std::set<uint32_t> grapes_set;
+    for (const auto& c : grapes_->Filter(q.graph)) {
+      grapes_set.insert(c.graph_id);
+    }
+    for (uint32_t t : truth) {
+      EXPECT_TRUE(ggsx_set.count(t)) << "GGSX false dismissal";
+      EXPECT_TRUE(grapes_set.count(t)) << "Grapes false dismissal";
+    }
+  }
+}
+
+TEST_F(FtvIntegrationTest, ComponentPruningNeverDropsTheMatch) {
+  MatchOptions mo;
+  mo.max_embeddings = 1;
+  for (const auto& q : *workload_) {
+    for (const auto& cand : grapes_->Filter(q.graph)) {
+      const bool in_whole =
+          Vf2Match(q.graph, dataset_->graph(cand.graph_id), mo).found();
+      const bool in_components =
+          grapes_->VerifyCandidate(q.graph, cand, mo).found();
+      EXPECT_EQ(in_whole, in_components)
+          << "component-restricted verification changed the answer for "
+          << "graph " << cand.graph_id;
+    }
+  }
+}
+
+TEST_F(FtvIntegrationTest, PsiRacingPreservesEveryDecision) {
+  const LabelStats stats = LabelStats::FromGraphs(dataset_->graphs());
+  RunnerOptions ro;
+  ro.cap_ms = 5000.0;
+  auto plain = RunFtvWorkload(*grapes_, *workload_, ro);
+  auto raced = RunFtvWorkloadPsi(*grapes_, *workload_, AllRewritings(),
+                                 stats, ro, RaceMode::kThreads);
+  ASSERT_EQ(plain.size(), raced.size());
+  for (size_t i = 0; i < plain.size(); ++i) {
+    EXPECT_EQ(plain[i].matched, raced[i].matched)
+        << "Ψ changed the decision for pair " << i;
+  }
+}
+
+TEST_F(FtvIntegrationTest, RewritingsDoNotChangeFiltering) {
+  // Label paths are invariant under vertex renumbering, so the candidate
+  // set must be identical for every isomorphic instance.
+  const LabelStats stats = LabelStats::FromGraphs(dataset_->graphs());
+  for (const auto& q : *workload_) {
+    auto base = grapes_->Filter(q.graph);
+    for (Rewriting r : AllRewritings()) {
+      auto rq = RewriteQuery(q.graph, r, stats);
+      ASSERT_TRUE(rq.ok());
+      auto rewritten = grapes_->Filter(rq->graph);
+      ASSERT_EQ(base.size(), rewritten.size()) << ToString(r);
+      for (size_t i = 0; i < base.size(); ++i) {
+        EXPECT_EQ(base[i].graph_id, rewritten[i].graph_id);
+        EXPECT_EQ(base[i].components, rewritten[i].components);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace psi

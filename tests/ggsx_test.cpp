@@ -1,0 +1,99 @@
+#include "ggsx/ggsx.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/dataset_gen.hpp"
+#include "gen/query_gen.hpp"
+#include "grapes/grapes.hpp"
+#include "tests/test_util.hpp"
+#include "vf2/vf2.hpp"
+
+namespace psi {
+namespace {
+
+GraphDataset SmallDataset(uint64_t seed = 52, uint32_t graphs = 8) {
+  gen::GraphGenLikeOptions o;
+  o.num_graphs = graphs;
+  o.avg_nodes = 35;
+  o.density = 0.09;
+  o.num_labels = 5;
+  o.seed = seed;
+  return gen::GraphGenLike(o);
+}
+
+TEST(GgsxFilterTest, NoFalseDismissals) {
+  auto ds = SmallDataset();
+  GgsxIndex index;
+  ASSERT_TRUE(index.Build(ds).ok());
+  auto w = gen::GenerateWorkload(ds, 12, 5, 11);
+  ASSERT_TRUE(w.ok());
+  MatchOptions mo;
+  mo.max_embeddings = 1;
+  for (const auto& query : *w) {
+    auto candidates = index.Filter(query.graph);
+    std::set<uint32_t> cand_ids(candidates.begin(), candidates.end());
+    for (uint32_t gid = 0; gid < ds.size(); ++gid) {
+      if (Vf2Match(query.graph, ds.graph(gid), mo).found()) {
+        EXPECT_TRUE(cand_ids.count(gid)) << "false dismissal of " << gid;
+      }
+    }
+  }
+}
+
+TEST(GgsxFilterTest, MissingPathEmptiesCandidates) {
+  auto ds = SmallDataset(53, 3);
+  GgsxIndex index;
+  ASSERT_TRUE(index.Build(ds).ok());
+  // A query over labels absent from the dataset filters to nothing.
+  const Graph q = testing::MakePath({77, 78});
+  EXPECT_TRUE(index.Filter(q).empty());
+}
+
+TEST(GgsxEndToEndTest, DecisionMatchesGroundTruth) {
+  auto ds = SmallDataset(54);
+  GgsxIndex index;
+  ASSERT_TRUE(index.Build(ds).ok());
+  auto w = gen::GenerateWorkload(ds, 10, 6, 13);
+  ASSERT_TRUE(w.ok());
+  MatchOptions mo;
+  mo.max_embeddings = 1;
+  for (const auto& query : *w) {
+    std::set<uint32_t> answered;
+    for (uint32_t gid : index.Filter(query.graph)) {
+      auto r = index.VerifyCandidate(query.graph, gid, mo);
+      ASSERT_TRUE(r.complete);
+      if (r.found()) answered.insert(gid);
+    }
+    std::set<uint32_t> truth;
+    for (uint32_t gid = 0; gid < ds.size(); ++gid) {
+      if (Vf2Match(query.graph, ds.graph(gid), mo).found()) {
+        truth.insert(gid);
+      }
+    }
+    EXPECT_EQ(answered, truth);
+  }
+}
+
+TEST(GgsxVsGrapesTest, GrapesNeverKeepsMoreCandidates) {
+  // Grapes' location-based component pruning is at least as selective as
+  // GGSX's count-only filter at equal path length.
+  auto ds = SmallDataset(55);
+  GgsxOptions go;
+  go.max_path_edges = 3;
+  GgsxIndex ggsx(go);
+  ASSERT_TRUE(ggsx.Build(ds).ok());
+  GrapesOptions gr;
+  gr.max_path_edges = 3;
+  GrapesIndex grapes(gr);
+  ASSERT_TRUE(grapes.Build(ds).ok());
+  auto w = gen::GenerateWorkload(ds, 10, 5, 17);
+  ASSERT_TRUE(w.ok());
+  for (const auto& query : *w) {
+    auto ggsx_c = ggsx.Filter(query.graph);
+    auto grapes_c = grapes.Filter(query.graph);
+    EXPECT_LE(grapes_c.size(), ggsx_c.size());
+  }
+}
+
+}  // namespace
+}  // namespace psi

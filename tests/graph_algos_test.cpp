@@ -1,0 +1,136 @@
+#include "core/graph_algos.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "tests/test_util.hpp"
+
+namespace psi {
+namespace {
+
+using testing::MakeCycle;
+using testing::MakeGraph;
+using testing::MakePath;
+using testing::MakeStar;
+
+TEST(PermutationTest, IsPermutationAcceptsValid) {
+  EXPECT_TRUE(IsPermutation(std::vector<VertexId>{2, 0, 1}));
+  EXPECT_TRUE(IsPermutation(std::vector<VertexId>{}));
+}
+
+TEST(PermutationTest, IsPermutationRejectsInvalid) {
+  EXPECT_FALSE(IsPermutation(std::vector<VertexId>{0, 0}));
+  EXPECT_FALSE(IsPermutation(std::vector<VertexId>{1, 2}));
+}
+
+TEST(ApplyPermutationTest, IdentityKeepsGraph) {
+  const Graph g = MakeCycle({4, 5, 6, 7});
+  std::vector<VertexId> id(4);
+  std::iota(id.begin(), id.end(), 0);
+  auto r = ApplyPermutation(g, id);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->IdenticalTo(g));
+}
+
+TEST(ApplyPermutationTest, RelabelsVerticesAndEdges) {
+  // Path 0(a)-1(b)-2(c), reverse the ids.
+  const Graph g = MakePath({10, 20, 30});
+  auto r = ApplyPermutation(g, std::vector<VertexId>{2, 1, 0});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->label(0), 30u);
+  EXPECT_EQ(r->label(1), 20u);
+  EXPECT_EQ(r->label(2), 10u);
+  EXPECT_TRUE(r->HasEdge(2, 1));
+  EXPECT_TRUE(r->HasEdge(1, 0));
+  EXPECT_FALSE(r->HasEdge(2, 0));
+}
+
+TEST(ApplyPermutationTest, PreservesDegreeMultiset) {
+  const Graph g = MakeStar({0, 1, 1, 1, 1});
+  auto r = ApplyPermutation(g, std::vector<VertexId>{4, 0, 1, 2, 3});
+  ASSERT_TRUE(r.ok());
+  std::vector<uint32_t> da, db;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    da.push_back(g.degree(v));
+    db.push_back(r->degree(v));
+  }
+  std::sort(da.begin(), da.end());
+  std::sort(db.begin(), db.end());
+  EXPECT_EQ(da, db);
+}
+
+TEST(ApplyPermutationTest, RejectsBadInput) {
+  const Graph g = MakePath({0, 1});
+  EXPECT_FALSE(ApplyPermutation(g, std::vector<VertexId>{0}).ok());
+  EXPECT_FALSE(ApplyPermutation(g, std::vector<VertexId>{1, 1}).ok());
+}
+
+TEST(BfsTest, DistancesOnPath) {
+  const Graph g = MakePath({0, 0, 0, 0, 0});
+  auto d = BfsDistances(g, 0);
+  EXPECT_EQ(d, (std::vector<uint32_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(BfsTest, UnreachableMarked) {
+  const Graph g = MakeGraph({0, 0, 0}, {{0, 1}});
+  auto d = BfsDistances(g, 0);
+  EXPECT_EQ(d[2], kUnreachableDistance);
+}
+
+TEST(BfsTest, MaxDepthTruncates) {
+  const Graph g = MakePath({0, 0, 0, 0, 0});
+  auto d = BfsDistances(g, 0, /*max_depth=*/2);
+  EXPECT_EQ(d[2], 2u);
+  EXPECT_EQ(d[3], kUnreachableDistance);
+}
+
+TEST(InducedSubgraphTest, ExtractsTriangle) {
+  // Square with a diagonal; induce on {0,1,2} which forms a triangle.
+  const Graph g = MakeGraph({0, 1, 2, 3},
+                            {{0, 1}, {1, 2}, {2, 3}, {3, 0}, {0, 2}});
+  std::vector<VertexId> old_of_new;
+  auto s = InducedSubgraph(g, std::vector<VertexId>{0, 1, 2}, &old_of_new);
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->num_vertices(), 3u);
+  EXPECT_EQ(s->num_edges(), 3u);
+  EXPECT_EQ(old_of_new, (std::vector<VertexId>{0, 1, 2}));
+}
+
+TEST(InducedSubgraphTest, RejectsDuplicates) {
+  const Graph g = MakePath({0, 1});
+  EXPECT_FALSE(InducedSubgraph(g, std::vector<VertexId>{0, 0}).ok());
+}
+
+TEST(ExtractComponentTest, PullsOutOneComponent) {
+  const Graph g = MakeGraph({0, 1, 2, 3, 4}, {{0, 1}, {2, 3}, {3, 4}});
+  auto c0 = ExtractComponent(g, g.ComponentIds()[0]);
+  ASSERT_TRUE(c0.ok());
+  EXPECT_EQ(c0->num_vertices(), 2u);
+  auto c1 = ExtractComponent(g, g.ComponentIds()[2]);
+  ASSERT_TRUE(c1.ok());
+  EXPECT_EQ(c1->num_vertices(), 3u);
+  EXPECT_EQ(c1->num_edges(), 2u);
+  EXPECT_FALSE(ExtractComponent(g, 999).ok());
+}
+
+TEST(DiameterTest, PathDiameter) {
+  const Graph g = MakePath({0, 0, 0, 0, 0, 0});
+  EXPECT_EQ(EstimateDiameter(g), 5u);
+}
+
+TEST(DiameterTest, CliqueDiameterIsOne) {
+  const Graph g = testing::MakeClique({0, 0, 0, 0});
+  EXPECT_EQ(EstimateDiameter(g), 1u);
+}
+
+TEST(DegreeSummaryTest, StarDegrees) {
+  const Graph g = MakeStar({0, 1, 1, 1});
+  auto s = SummarizeDegrees(g);
+  EXPECT_EQ(s.max, 3u);
+  EXPECT_EQ(s.min, 1u);
+  EXPECT_DOUBLE_EQ(s.mean, 1.5);
+}
+
+}  // namespace
+}  // namespace psi

@@ -1,0 +1,149 @@
+#include "core/graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "tests/test_util.hpp"
+
+namespace psi {
+namespace {
+
+using testing::MakeClique;
+using testing::MakeGraph;
+using testing::MakePath;
+
+TEST(GraphBuilderTest, EmptyGraph) {
+  GraphBuilder b;
+  auto g = b.Build("empty");
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_vertices(), 0u);
+  EXPECT_EQ(g->num_edges(), 0u);
+  EXPECT_EQ(g->name(), "empty");
+}
+
+TEST(GraphBuilderTest, RejectsSelfLoop) {
+  GraphBuilder b;
+  b.AddVertex(0);
+  b.AddEdge(0, 0);
+  auto g = b.Build();
+  ASSERT_FALSE(g.ok());
+  EXPECT_EQ(g.status().code(), Status::Code::kInvalidArgument);
+}
+
+TEST(GraphBuilderTest, RejectsDuplicateEdgeBothDirections) {
+  GraphBuilder b;
+  b.AddVertex(0);
+  b.AddVertex(1);
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 0);  // same undirected edge
+  auto g = b.Build();
+  ASSERT_FALSE(g.ok());
+  EXPECT_EQ(g.status().code(), Status::Code::kInvalidArgument);
+}
+
+TEST(GraphBuilderTest, RejectsOutOfRangeEndpoint) {
+  GraphBuilder b;
+  b.AddVertex(0);
+  b.AddEdge(0, 7);
+  EXPECT_FALSE(b.Build().ok());
+}
+
+TEST(GraphTest, AdjacencyIsSortedAndSymmetric) {
+  const Graph g = MakeGraph({0, 1, 2, 3},
+                            {{3, 0}, {2, 0}, {1, 3}, {1, 2}, {0, 1}});
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    auto adj = g.neighbors(v);
+    EXPECT_TRUE(std::is_sorted(adj.begin(), adj.end()));
+    for (VertexId w : adj) {
+      EXPECT_TRUE(g.HasEdge(w, v)) << v << "-" << w;
+    }
+  }
+}
+
+TEST(GraphTest, DegreeSumEqualsTwiceEdges) {
+  const Graph g = MakeGraph({0, 0, 1, 1, 2},
+                            {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0}, {1, 3}});
+  uint64_t sum = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) sum += g.degree(v);
+  EXPECT_EQ(sum, 2 * g.num_edges());
+}
+
+TEST(GraphTest, HasEdgeBothOrders) {
+  const Graph g = MakePath({0, 1, 2});
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(1, 0));
+  EXPECT_FALSE(g.HasEdge(0, 2));
+  EXPECT_FALSE(g.HasEdge(2, 0));
+  EXPECT_FALSE(g.HasEdge(0, 99));
+}
+
+TEST(GraphTest, LabelIndexPartitionsVertices) {
+  const Graph g = MakeGraph({5, 3, 5, 3, 5}, {{0, 1}, {1, 2}, {2, 3}, {3, 4}});
+  auto with5 = g.VerticesWithLabel(5);
+  auto with3 = g.VerticesWithLabel(3);
+  EXPECT_EQ(std::vector<VertexId>(with5.begin(), with5.end()),
+            (std::vector<VertexId>{0, 2, 4}));
+  EXPECT_EQ(std::vector<VertexId>(with3.begin(), with3.end()),
+            (std::vector<VertexId>{1, 3}));
+  EXPECT_TRUE(g.VerticesWithLabel(4).empty());
+  EXPECT_TRUE(g.VerticesWithLabel(1000).empty());
+}
+
+TEST(GraphTest, DistinctLabelsAndUniverse) {
+  const Graph g = MakeGraph({7, 2, 7}, {{0, 1}, {1, 2}});
+  EXPECT_EQ(g.NumDistinctLabels(), 2u);
+  EXPECT_EQ(g.LabelUniverseUpperBound(), 8u);
+}
+
+TEST(GraphTest, DensityAndAverageDegree) {
+  const Graph k4 = MakeClique({0, 0, 0, 0});
+  EXPECT_DOUBLE_EQ(k4.Density(), 1.0);
+  EXPECT_DOUBLE_EQ(k4.AverageDegree(), 3.0);
+  const Graph p3 = MakePath({0, 0, 0});
+  EXPECT_DOUBLE_EQ(p3.AverageDegree(), 4.0 / 3.0);
+}
+
+TEST(GraphTest, ComponentsSingle) {
+  const Graph g = MakePath({0, 0, 0, 0});
+  EXPECT_EQ(g.NumComponents(), 1u);
+}
+
+TEST(GraphTest, ComponentsMultiple) {
+  // Two components: {0,1}, {2,3,4}; vertex 5 isolated.
+  const Graph g = MakeGraph({0, 0, 0, 0, 0, 0}, {{0, 1}, {2, 3}, {3, 4}});
+  EXPECT_EQ(g.NumComponents(), 3u);
+  const auto& comp = g.ComponentIds();
+  EXPECT_EQ(comp[0], comp[1]);
+  EXPECT_EQ(comp[2], comp[3]);
+  EXPECT_EQ(comp[3], comp[4]);
+  EXPECT_NE(comp[0], comp[2]);
+  EXPECT_NE(comp[4], comp[5]);
+}
+
+TEST(GraphTest, IdenticalToDetectsDifference) {
+  const Graph a = MakePath({0, 1, 2});
+  const Graph b = MakePath({0, 1, 2});
+  const Graph c = MakePath({0, 2, 1});
+  EXPECT_TRUE(a.IdenticalTo(b));
+  EXPECT_FALSE(a.IdenticalTo(c));
+}
+
+TEST(GraphBuilderTest, LargeDenseBuild) {
+  // Builder handles a few thousand edges without issue and sorts adjacency.
+  GraphBuilder b;
+  const uint32_t n = 200;
+  for (uint32_t v = 0; v < n; ++v) b.AddVertex(v % 7);
+  for (uint32_t u = 0; u < n; ++u) {
+    for (uint32_t v = u + 1; v < n; v += 3) b.AddEdge(v, u);
+  }
+  auto g = b.Build();
+  ASSERT_TRUE(g.ok());
+  for (VertexId v = 0; v < n; ++v) {
+    auto adj = g->neighbors(v);
+    EXPECT_TRUE(std::is_sorted(adj.begin(), adj.end()));
+  }
+}
+
+}  // namespace
+}  // namespace psi

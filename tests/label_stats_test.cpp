@@ -1,0 +1,66 @@
+#include "core/label_stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/dataset.hpp"
+#include "tests/test_util.hpp"
+
+namespace psi {
+namespace {
+
+using testing::MakeGraph;
+using testing::MakePath;
+
+TEST(LabelStatsTest, SingleGraphCounts) {
+  const Graph g = MakeGraph({0, 1, 1, 2, 1}, {{0, 1}, {1, 2}, {2, 3}, {3, 4}});
+  auto s = LabelStats::FromGraph(g);
+  EXPECT_EQ(s.frequency(0), 1u);
+  EXPECT_EQ(s.frequency(1), 3u);
+  EXPECT_EQ(s.frequency(2), 1u);
+  EXPECT_EQ(s.frequency(99), 0u);
+  EXPECT_EQ(s.total_vertices(), 5u);
+  EXPECT_EQ(s.num_labels_seen(), 3u);
+}
+
+TEST(LabelStatsTest, MultiGraphAggregation) {
+  std::vector<Graph> graphs;
+  graphs.push_back(MakePath({0, 0}));
+  graphs.push_back(MakePath({0, 1, 1}));
+  auto s = LabelStats::FromGraphs(graphs);
+  EXPECT_EQ(s.frequency(0), 3u);
+  EXPECT_EQ(s.frequency(1), 2u);
+  EXPECT_EQ(s.total_vertices(), 5u);
+}
+
+TEST(LabelStatsTest, MeanAndStdDev) {
+  const Graph g = MakeGraph({0, 0, 0, 1}, {{0, 1}, {1, 2}, {2, 3}});
+  auto s = LabelStats::FromGraph(g);
+  EXPECT_DOUBLE_EQ(s.MeanFrequency(), 2.0);   // (3+1)/2
+  EXPECT_DOUBLE_EQ(s.StdDevFrequency(), 1.0);  // sqrt(((3-2)^2+(1-2)^2)/2)
+}
+
+TEST(LabelStatsTest, EmptyGraph) {
+  GraphBuilder b;
+  auto g = b.Build();
+  ASSERT_TRUE(g.ok());
+  auto s = LabelStats::FromGraph(*g);
+  EXPECT_EQ(s.total_vertices(), 0u);
+  EXPECT_EQ(s.num_labels_seen(), 0u);
+  EXPECT_DOUBLE_EQ(s.MeanFrequency(), 0.0);
+}
+
+TEST(DatasetTest, CharacteristicsMatchTable1Shape) {
+  GraphDataset ds;
+  ds.Add(MakeGraph({0, 1, 2}, {{0, 1}, {1, 2}}));          // connected
+  ds.Add(MakeGraph({0, 1, 2, 3}, {{0, 1}, {2, 3}}));       // 2 components
+  auto c = ds.ComputeCharacteristics();
+  EXPECT_EQ(c.num_graphs, 2u);
+  EXPECT_EQ(c.num_disconnected, 1u);
+  EXPECT_EQ(c.num_labels, 4u);
+  EXPECT_DOUBLE_EQ(c.avg_nodes, 3.5);
+  EXPECT_DOUBLE_EQ(c.avg_edges, 2.0);
+  EXPECT_GT(c.avg_degree, 0.0);
+}
+
+}  // namespace
+}  // namespace psi

@@ -1,0 +1,240 @@
+// Cross-engine integration suite: VF2, QuickSI, GraphQL and sPath must all
+// agree with a brute-force oracle (and hence with each other) on randomized
+// graphs, under rewritings, and on planted queries. This is the library's
+// strongest correctness property: four independently implemented engines
+// with different index structures and orders converging on identical
+// embedding counts.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "gen/dataset_gen.hpp"
+#include "gen/query_gen.hpp"
+#include "graphql/graphql.hpp"
+#include "quicksi/quicksi.hpp"
+#include "rewrite/rewrite.hpp"
+#include "spath/spath.hpp"
+#include "tests/test_util.hpp"
+#include "vf2/vf2.hpp"
+
+namespace psi {
+namespace {
+
+using testing::BruteForceCount;
+
+std::vector<std::unique_ptr<Matcher>> AllEngines(const Graph& data) {
+  std::vector<std::unique_ptr<Matcher>> out;
+  out.push_back(std::make_unique<Vf2Matcher>());
+  out.push_back(std::make_unique<QuickSiMatcher>());
+  out.push_back(std::make_unique<GraphQlMatcher>());
+  out.push_back(std::make_unique<SPathMatcher>());
+  for (auto& m : out) {
+    EXPECT_TRUE(m->Prepare(data).ok()) << m->name();
+  }
+  return out;
+}
+
+MatchOptions CountAll() {
+  MatchOptions o;
+  o.max_embeddings = UINT64_MAX;
+  return o;
+}
+
+struct CrossParam {
+  uint64_t seed;
+  uint32_t data_n;
+  uint32_t data_m;
+  uint32_t labels;
+  uint32_t query_edges;
+};
+
+class EnginesAgreeWithOracle : public ::testing::TestWithParam<CrossParam> {};
+
+TEST_P(EnginesAgreeWithOracle, CountsMatchBruteForce) {
+  const auto p = GetParam();
+  gen::LargeGraphOptions o;
+  o.num_vertices = p.data_n;
+  o.num_edges = p.data_m;
+  o.num_labels = p.labels;
+  o.label_zipf_s = 0.9;
+  o.seed = p.seed;
+  const Graph g = gen::LargeGraph(o);
+  auto engines = AllEngines(g);
+  auto w = gen::GenerateWorkload(g, 4, p.query_edges, p.seed + 1000);
+  ASSERT_TRUE(w.ok());
+  for (const auto& query : *w) {
+    const uint64_t oracle = BruteForceCount(query.graph, g);
+    for (const auto& m : engines) {
+      auto r = m->Match(query.graph, CountAll());
+      ASSERT_TRUE(r.complete) << m->name();
+      EXPECT_EQ(r.embedding_count, oracle)
+          << m->name() << " seed=" << p.seed;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, EnginesAgreeWithOracle,
+    ::testing::Values(CrossParam{101, 14, 30, 3, 4},
+                      CrossParam{102, 16, 40, 4, 5},
+                      CrossParam{103, 18, 36, 2, 4},
+                      CrossParam{104, 20, 50, 5, 5},
+                      CrossParam{105, 22, 44, 3, 6},
+                      CrossParam{106, 24, 60, 6, 5},
+                      CrossParam{107, 26, 52, 4, 6},
+                      CrossParam{108, 28, 70, 5, 6}));
+
+class EnginesInvariantUnderRewriting
+    : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(EnginesInvariantUnderRewriting, AllRewritingsSameCount) {
+  const uint64_t seed = GetParam();
+  gen::LargeGraphOptions o;
+  o.num_vertices = 40;
+  o.num_edges = 110;
+  o.num_labels = 4;
+  o.seed = seed;
+  const Graph g = gen::LargeGraph(o);
+  const LabelStats stats = LabelStats::FromGraph(g);
+  auto engines = AllEngines(g);
+  auto w = gen::GenerateWorkload(g, 2, 6, seed + 2000);
+  ASSERT_TRUE(w.ok());
+  for (const auto& query : *w) {
+    for (const auto& m : engines) {
+      const uint64_t base =
+          m->Match(query.graph, CountAll()).embedding_count;
+      for (Rewriting r : AllRewritings()) {
+        auto rq = RewriteQuery(query.graph, r, stats);
+        ASSERT_TRUE(rq.ok());
+        EXPECT_EQ(m->Match(rq->graph, CountAll()).embedding_count, base)
+            << m->name() << " under " << ToString(r);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, EnginesInvariantUnderRewriting,
+                         ::testing::Values(201, 202, 203, 204));
+
+// Every engine must find a planted query in realistic-sized stored graphs
+// (decision correctness at scale where brute force is impossible).
+class EnginesFindPlantedQueries : public ::testing::TestWithParam<uint32_t> {
+};
+
+TEST_P(EnginesFindPlantedQueries, DecisionOnYeastLike) {
+  const uint32_t query_edges = GetParam();
+  const Graph g = gen::YeastLike(/*scale=*/4, /*seed=*/77);
+  auto engines = AllEngines(g);
+  auto w = gen::GenerateWorkload(g, 5, query_edges, 4242);
+  ASSERT_TRUE(w.ok());
+  MatchOptions decide;
+  decide.max_embeddings = 1;
+  for (const auto& query : *w) {
+    for (const auto& m : engines) {
+      auto r = m->Match(query.graph, decide);
+      EXPECT_TRUE(r.found()) << m->name() << " q" << query_edges;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, EnginesFindPlantedQueries,
+                         ::testing::Values(4, 8, 12, 16));
+
+// Sink-captured embeddings from every engine must validate.
+TEST(EnginesEmitValidEmbeddings, OnHumanLikeSample) {
+  const Graph g = gen::HumanLike(/*scale=*/8, /*seed=*/5);
+  auto engines = AllEngines(g);
+  auto w = gen::GenerateWorkload(g, 3, 6, 99);
+  ASSERT_TRUE(w.ok());
+  for (const auto& query : *w) {
+    for (const auto& m : engines) {
+      MatchOptions o;
+      o.max_embeddings = 50;
+      size_t validated = 0;
+      o.sink = [&](const Embedding& e) {
+        EXPECT_TRUE(IsValidEmbedding(query.graph, g, e)) << m->name();
+        ++validated;
+        return true;
+      };
+      auto r = m->Match(query.graph, o);
+      EXPECT_EQ(validated, r.embedding_count) << m->name();
+    }
+  }
+}
+
+// All engines respect cancellation and deadlines.
+TEST(EnginesRespectInterrupts, CancelAndDeadline) {
+  // Unlabelled dense graph makes counting all embeddings intractable.
+  const Graph g = testing::MakeClique(std::vector<LabelId>(32, 0));
+  const Graph q = testing::MakeClique(std::vector<LabelId>(7, 0));
+  auto engines = AllEngines(g);
+  for (const auto& m : engines) {
+    {
+      StopToken stop;
+      stop.RequestStop();
+      MatchOptions o = CountAll();
+      o.stop = &stop;
+      o.guard_period = 1;
+      auto r = m->Match(q, o);
+      EXPECT_TRUE(r.cancelled) << m->name();
+      EXPECT_FALSE(r.complete) << m->name();
+    }
+    {
+      MatchOptions o = CountAll();
+      o.deadline = Deadline::AfterMillis(2);
+      o.guard_period = 16;
+      auto r = m->Match(q, o);
+      EXPECT_TRUE(r.timed_out) << m->name();
+    }
+  }
+}
+
+// The secondary stop token interrupts searches just like the primary.
+TEST(EnginesRespectInterrupts, SecondaryToken) {
+  const Graph g = testing::MakeClique(std::vector<LabelId>(28, 0));
+  const Graph q = testing::MakeClique(std::vector<LabelId>(6, 0));
+  auto engines = AllEngines(g);
+  for (const auto& m : engines) {
+    StopToken stop;
+    stop.RequestStop();
+    MatchOptions o = CountAll();
+    o.stop2 = &stop;
+    o.guard_period = 1;
+    auto r = m->Match(q, o);
+    EXPECT_TRUE(r.cancelled) << m->name();
+  }
+}
+
+// Embedding cap semantics shared by all engines.
+TEST(EnginesHonourCap, MaxEmbeddings) {
+  const Graph g = testing::MakeClique(std::vector<LabelId>(10, 0));
+  const Graph q = testing::MakePath({0, 0, 0});
+  auto engines = AllEngines(g);
+  for (const auto& m : engines) {
+    MatchOptions o;
+    o.max_embeddings = 7;
+    auto r = m->Match(q, o);
+    EXPECT_EQ(r.embedding_count, 7u) << m->name();
+    EXPECT_TRUE(r.complete) << m->name();
+  }
+}
+
+// No-match cases complete quickly and report zero.
+TEST(EnginesRejectImpossible, MissingLabelAndTooLarge) {
+  const Graph g = gen::YeastLike(/*scale=*/8, /*seed=*/3);
+  auto engines = AllEngines(g);
+  const Graph missing = testing::MakePath({100000, 100001});
+  const Graph too_big = testing::MakeClique(std::vector<LabelId>(12, 0));
+  for (const auto& m : engines) {
+    auto r1 = m->Match(missing, CountAll());
+    EXPECT_TRUE(r1.complete) << m->name();
+    EXPECT_EQ(r1.embedding_count, 0u) << m->name();
+    auto r2 = m->Match(too_big, CountAll());
+    EXPECT_TRUE(r2.complete) << m->name();
+    EXPECT_EQ(r2.embedding_count, 0u) << m->name();
+  }
+}
+
+}  // namespace
+}  // namespace psi

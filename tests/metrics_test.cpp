@@ -1,0 +1,103 @@
+#include "metrics/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace psi {
+namespace {
+
+TEST(SummarizeTest, KnownValues) {
+  const double vals[] = {1.0, 2.0, 3.0, 4.0};
+  auto s = Summarize(vals);
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+  EXPECT_DOUBLE_EQ(s.median, 2.5);
+  EXPECT_NEAR(s.std_dev, 1.1180, 1e-3);
+  EXPECT_EQ(s.count, 4u);
+}
+
+TEST(SummarizeTest, OddMedianAndEmpty) {
+  const double vals[] = {5.0, 1.0, 3.0};
+  EXPECT_DOUBLE_EQ(Summarize(vals).median, 3.0);
+  EXPECT_EQ(Summarize({}).count, 0u);
+}
+
+TEST(WlaTest, MatchesPaperDefinition) {
+  // WLA = avg(base)/avg(alt): dominated by the straggler in base.
+  const double base[] = {1.0, 1.0, 598.0};  // avg 200
+  const double alt[] = {1.0, 1.0, 1.0};     // avg 1
+  EXPECT_DOUBLE_EQ(WlaRatio(base, alt), 200.0);
+}
+
+TEST(QlaTest, MatchesPaperDefinition) {
+  // QLA = avg of per-query ratios: the straggler counts once.
+  const double base[] = {2.0, 2.0, 600.0};
+  const double alt[] = {1.0, 2.0, 200.0};
+  // ratios: 2, 1, 3 -> avg 2.
+  EXPECT_DOUBLE_EQ(QlaRatio(base, alt), 2.0);
+}
+
+TEST(QlaVsWlaTest, StragglersSeparateTheTwoViews) {
+  // The paper's reason for reporting both: one straggler inflates WLA far
+  // beyond QLA.
+  const double base[] = {1.0, 1.0, 1.0, 1000.0};
+  const double alt[] = {1.0, 1.0, 1.0, 1.0};
+  EXPECT_GT(WlaRatio(base, alt), 100.0);
+  EXPECT_LT(QlaRatio(base, alt), 300.0);
+}
+
+TEST(MaxMinTest, PerQuerySpread) {
+  std::vector<std::vector<double>> rows = {{1.0, 10.0, 5.0}, {2.0, 2.0}};
+  auto r = MaxMinRatios(rows);
+  ASSERT_EQ(r.size(), 2u);
+  EXPECT_DOUBLE_EQ(r[0], 10.0);
+  EXPECT_DOUBLE_EQ(r[1], 1.0);  // no variation -> metric floor of 1
+}
+
+TEST(BestOfTest, ElementwiseMin) {
+  std::vector<std::vector<double>> rows = {{3.0, 1.0, 2.0}, {5.0, 7.0}};
+  auto b = BestOf(rows);
+  EXPECT_EQ(b, (std::vector<double>{1.0, 5.0}));
+}
+
+TEST(BucketTest, ThresholdsFromCap) {
+  auto t = BucketThresholds::FromCap(600000.0);  // the paper's actual cap
+  EXPECT_DOUBLE_EQ(t.easy_ms, 2000.0);           // = the paper's 2"
+  EXPECT_EQ(Classify(1999.0, false, t), Bucket::kEasy);
+  EXPECT_EQ(Classify(2000.0, false, t), Bucket::kMid);
+  EXPECT_EQ(Classify(599999.0, false, t), Bucket::kMid);
+  EXPECT_EQ(Classify(600000.0, false, t), Bucket::kHard);
+  EXPECT_EQ(Classify(1.0, /*killed=*/true, t), Bucket::kHard);
+}
+
+TEST(BucketTest, BreakdownAveragesAndPercentages) {
+  auto t = BucketThresholds::FromCap(300.0);  // easy < 1ms
+  const double times[] = {0.5, 0.5, 10.0, 300.0};
+  const uint8_t killed[] = {0, 0, 0, 1};
+  auto b = BreakdownWorkload(times, killed, t);
+  EXPECT_EQ(b.easy_count, 2u);
+  EXPECT_EQ(b.mid_count, 1u);
+  EXPECT_EQ(b.hard_count, 1u);
+  EXPECT_DOUBLE_EQ(b.easy_avg_ms, 0.5);
+  EXPECT_DOUBLE_EQ(b.mid_avg_ms, 10.0);
+  EXPECT_DOUBLE_EQ(b.completed_avg_ms, 11.0 / 3.0);
+  EXPECT_DOUBLE_EQ(b.PercentHard(), 25.0);
+  EXPECT_DOUBLE_EQ(b.PercentEasy(), 50.0);
+}
+
+TEST(BucketTest, ToStringNames) {
+  EXPECT_EQ(ToString(Bucket::kEasy), "easy");
+  EXPECT_EQ(ToString(Bucket::kMid), "2\"-600\"");
+  EXPECT_EQ(ToString(Bucket::kHard), "hard");
+}
+
+TEST(RatioEdgeCases, EmptyAndZeroInputs) {
+  EXPECT_DOUBLE_EQ(WlaRatio({}, {}), 0.0);
+  const double zeros[] = {0.0};
+  const double ones[] = {1.0};
+  EXPECT_DOUBLE_EQ(WlaRatio(ones, zeros), 0.0);
+  EXPECT_DOUBLE_EQ(QlaRatio(ones, zeros), 0.0);
+}
+
+}  // namespace
+}  // namespace psi

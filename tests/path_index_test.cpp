@@ -1,0 +1,165 @@
+#include "ftv/path_index.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "gen/dataset_gen.hpp"
+#include "gen/query_gen.hpp"
+#include "tests/test_util.hpp"
+
+namespace psi {
+namespace {
+
+using testing::MakeCycle;
+using testing::MakeGraph;
+using testing::MakePath;
+
+TEST(EnumeratePathsTest, PathGraphCounts) {
+  // Path a-b-c: 0-edge paths: 3; 1-edge: 4 (each edge, both directions);
+  // 2-edge: 2 (the full path, both directions).
+  const Graph g = MakePath({0, 1, 2});
+  std::map<size_t, int> by_length;
+  EnumeratePaths(g, 2, [&](std::span<const VertexId> p) {
+    ++by_length[p.size() - 1];
+  });
+  EXPECT_EQ(by_length[0], 3);
+  EXPECT_EQ(by_length[1], 4);
+  EXPECT_EQ(by_length[2], 2);
+}
+
+TEST(EnumeratePathsTest, SimplePathsOnly) {
+  const Graph g = MakeCycle({0, 0, 0});
+  EnumeratePaths(g, 3, [&](std::span<const VertexId> p) {
+    std::set<VertexId> s(p.begin(), p.end());
+    EXPECT_EQ(s.size(), p.size()) << "vertex repeated on a path";
+  });
+}
+
+TEST(EnumeratePathsTest, MaxEdgesZeroGivesVerticesOnly) {
+  const Graph g = MakeCycle({0, 1, 2, 3});
+  int count = 0;
+  EnumeratePaths(g, 0, [&](std::span<const VertexId> p) {
+    EXPECT_EQ(p.size(), 1u);
+    ++count;
+  });
+  EXPECT_EQ(count, 4);
+}
+
+TEST(PathTrieTest, CountsAndLocations) {
+  PathTrie trie(/*store_locations=*/true);
+  const Graph g = MakePath({0, 1, 0});
+  trie.AddGraph(7, g, 2);
+  // Label path "0 1": from vertex 0 and from vertex 2.
+  const auto* postings = trie.Find(std::vector<LabelId>{0, 1});
+  ASSERT_NE(postings, nullptr);
+  ASSERT_TRUE(postings->count(7));
+  const PathPosting& p = postings->at(7);
+  EXPECT_EQ(p.count, 2u);
+  EXPECT_EQ(p.locations, (std::vector<VertexId>{0, 2}));
+}
+
+TEST(PathTrieTest, NoLocationsWhenDisabled) {
+  PathTrie trie(/*store_locations=*/false);
+  const Graph g = MakePath({0, 1});
+  trie.AddGraph(0, g, 1);
+  const auto* postings = trie.Find(std::vector<LabelId>{0, 1});
+  ASSERT_NE(postings, nullptr);
+  EXPECT_TRUE(postings->at(0).locations.empty());
+  EXPECT_EQ(postings->at(0).count, 1u);
+}
+
+TEST(PathTrieTest, FindMissingReturnsNull) {
+  PathTrie trie(true);
+  trie.AddGraph(0, MakePath({0, 1}), 1);
+  EXPECT_EQ(trie.Find(std::vector<LabelId>{5}), nullptr);
+  EXPECT_EQ(trie.Find(std::vector<LabelId>{0, 1, 1}), nullptr);
+}
+
+TEST(PathTrieTest, MergeCombinesCountsAndLocations) {
+  PathTrie a(true), b(true);
+  a.AddGraph(0, MakePath({0, 1}), 1);
+  b.AddGraph(1, MakePath({0, 1}), 1);
+  b.AddGraph(0, MakePath({0, 1}), 1);  // same graph id contributes again
+  a.Merge(b);
+  const auto* postings = a.Find(std::vector<LabelId>{0, 1});
+  ASSERT_NE(postings, nullptr);
+  EXPECT_EQ(postings->at(0).count, 2u);
+  EXPECT_EQ(postings->at(1).count, 1u);
+}
+
+TEST(PathTrieTest, MergedEqualsSequentialBuild) {
+  gen::GraphGenLikeOptions o;
+  o.num_graphs = 6;
+  o.avg_nodes = 25;
+  o.num_labels = 4;
+  o.seed = 5;
+  auto ds = gen::GraphGenLike(o);
+
+  PathTrie sequential(true);
+  for (uint32_t gid = 0; gid < ds.size(); ++gid) {
+    sequential.AddGraph(gid, ds.graph(gid), 2);
+  }
+  PathTrie shard_a(true), shard_b(true);
+  for (uint32_t gid = 0; gid < ds.size(); ++gid) {
+    (gid % 2 == 0 ? shard_a : shard_b).AddGraph(gid, ds.graph(gid), 2);
+  }
+  shard_a.Merge(shard_b);
+
+  // Compare on the query paths of each graph.
+  for (uint32_t gid = 0; gid < ds.size(); ++gid) {
+    for (const auto& qp : CollectQueryPaths(ds.graph(gid), 2)) {
+      const auto* p1 = sequential.Find(qp.labels);
+      const auto* p2 = shard_a.Find(qp.labels);
+      ASSERT_NE(p1, nullptr);
+      ASSERT_NE(p2, nullptr);
+      ASSERT_TRUE(p1->count(gid));
+      ASSERT_TRUE(p2->count(gid));
+      EXPECT_EQ(p1->at(gid).count, p2->at(gid).count);
+      EXPECT_EQ(p1->at(gid).locations, p2->at(gid).locations);
+    }
+  }
+}
+
+TEST(CollectQueryPathsTest, CountsMatchEnumeration) {
+  const Graph q = MakeCycle({0, 1, 0, 1});
+  auto paths = CollectQueryPaths(q, 2);
+  // Sum of counts equals the total number of enumerated paths.
+  uint64_t total_collected = 0;
+  for (const auto& qp : paths) total_collected += qp.count;
+  uint64_t total_enumerated = 0;
+  EnumeratePaths(q, 2, [&](std::span<const VertexId>) {
+    ++total_enumerated;
+  });
+  EXPECT_EQ(total_collected, total_enumerated);
+  // Label sequences are unique.
+  std::set<std::vector<LabelId>> seen;
+  for (const auto& qp : paths) {
+    EXPECT_TRUE(seen.insert(qp.labels).second);
+  }
+}
+
+TEST(CollectQueryPathsTest, QueryPathCountsNeverExceedSourceGraph) {
+  // Soundness backbone of FTV filtering: counts in an extracted subgraph
+  // are covered by counts in the stored graph.
+  gen::LargeGraphOptions o;
+  o.num_vertices = 60;
+  o.num_edges = 140;
+  o.num_labels = 4;
+  o.seed = 9;
+  const Graph g = gen::LargeGraph(o);
+  PathTrie trie(false);
+  trie.AddGraph(0, g, 3);
+  auto w = gen::GenerateWorkload(g, 5, 6, 123);
+  ASSERT_TRUE(w.ok());
+  for (const auto& query : *w) {
+    for (const auto& qp : CollectQueryPaths(query.graph, 3)) {
+      const auto* postings = trie.Find(qp.labels);
+      ASSERT_NE(postings, nullptr) << "query path missing from source";
+      EXPECT_GE(postings->at(0).count, qp.count);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace psi

@@ -1,0 +1,103 @@
+#include "psi/portfolio.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/dataset_gen.hpp"
+#include "gen/query_gen.hpp"
+#include "graphql/graphql.hpp"
+#include "spath/spath.hpp"
+#include "tests/test_util.hpp"
+#include "vf2/vf2.hpp"
+
+namespace psi {
+namespace {
+
+class PortfolioTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    data_ = gen::YeastLike(/*scale=*/8, /*seed=*/71);
+    stats_ = LabelStats::FromGraph(data_);
+    ASSERT_TRUE(gql_.Prepare(data_).ok());
+    ASSERT_TRUE(spa_.Prepare(data_).ok());
+    auto w = gen::GenerateWorkload(data_, 4, 8, 81);
+    ASSERT_TRUE(w.ok());
+    workload_ = std::move(w).value();
+  }
+
+  Graph data_;
+  LabelStats stats_;
+  GraphQlMatcher gql_;
+  SPathMatcher spa_;
+  std::vector<gen::Query> workload_;
+};
+
+TEST_F(PortfolioTest, RewritingPortfolioNaming) {
+  auto p = MakeRewritingPortfolio(gql_, AllRewritings());
+  EXPECT_EQ(p.name, "Psi(ILF/IND/DND/ILF+IND/ILF+DND)");
+  EXPECT_EQ(p.entries.size(), 5u);
+  for (const auto& e : p.entries) EXPECT_EQ(e.matcher, &gql_);
+}
+
+TEST_F(PortfolioTest, MultiAlgorithmPortfolioCrossProduct) {
+  const Matcher* ms[] = {&gql_, &spa_};
+  const Rewriting rs[] = {Rewriting::kOriginal, Rewriting::kDnd};
+  auto p = MakeMultiAlgorithmPortfolio(ms, rs);
+  EXPECT_EQ(p.name, "Psi([GQL/SPA]-[Orig/DND])");
+  ASSERT_EQ(p.entries.size(), 4u);
+  EXPECT_EQ(EntryName(p.entries[0]), "GQL-Orig");
+  EXPECT_EQ(EntryName(p.entries[3]), "SPA-DND");
+}
+
+TEST_F(PortfolioTest, RaceFindsPlantedQuery) {
+  auto p = MakeRewritingPortfolio(gql_, AllRewritings());
+  RaceOptions ro;
+  ro.budget = std::chrono::seconds(5);
+  ro.max_embeddings = 1;
+  ro.mode = RaceMode::kThreads;
+  for (const auto& q : workload_) {
+    auto r = RunPortfolio(p, q.graph, stats_, ro);
+    ASSERT_TRUE(r.completed());
+    EXPECT_TRUE(r.result.found());
+    EXPECT_EQ(r.workers.size(), 5u);
+  }
+}
+
+TEST_F(PortfolioTest, SequentialModeRunsEveryEntry) {
+  const Matcher* ms[] = {&gql_, &spa_};
+  const Rewriting rs[] = {Rewriting::kOriginal, Rewriting::kIlf};
+  auto p = MakeMultiAlgorithmPortfolio(ms, rs);
+  RaceOptions ro;
+  ro.budget = std::chrono::seconds(5);
+  ro.max_embeddings = 1;
+  ro.mode = RaceMode::kSequential;
+  auto r = RunPortfolio(p, workload_[0].graph, stats_, ro);
+  ASSERT_TRUE(r.completed());
+  for (const auto& w : r.workers) {
+    EXPECT_TRUE(w.result.complete) << w.name;
+    EXPECT_TRUE(w.result.found()) << w.name;
+  }
+}
+
+TEST_F(PortfolioTest, RaceResultConsistentAcrossVariants) {
+  // Decision answers must agree between all completed variants: the race
+  // winner's found() equals every other completed contender's found().
+  const Matcher* ms[] = {&gql_, &spa_};
+  const Rewriting rs[] = {Rewriting::kOriginal, Rewriting::kDnd};
+  auto p = MakeMultiAlgorithmPortfolio(ms, rs);
+  RaceOptions ro;
+  ro.budget = std::chrono::seconds(5);
+  ro.max_embeddings = 1;
+  ro.mode = RaceMode::kSequential;
+  for (const auto& q : workload_) {
+    auto r = RunPortfolio(p, q.graph, stats_, ro);
+    ASSERT_TRUE(r.completed());
+    for (const auto& w : r.workers) {
+      if (w.result.complete) {
+        EXPECT_EQ(w.result.found(), r.result.found()) << w.name;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace psi

@@ -1,0 +1,124 @@
+#include "gen/query_gen.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/dataset_gen.hpp"
+#include "tests/test_util.hpp"
+#include "vf2/vf2.hpp"
+
+namespace psi::gen {
+namespace {
+
+Graph TestGraph(uint64_t seed = 31) {
+  LargeGraphOptions o;
+  o.num_vertices = 200;
+  o.num_edges = 700;
+  o.num_labels = 8;
+  o.seed = seed;
+  return LargeGraph(o);
+}
+
+TEST(ExtractQueryTest, ProducesRequestedEdgeCount) {
+  const Graph g = TestGraph();
+  auto q = ExtractQuery(g, 0, 10, 77);
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->num_edges(), 10u);
+}
+
+TEST(ExtractQueryTest, QueryIsConnected) {
+  const Graph g = TestGraph();
+  for (uint64_t s = 0; s < 10; ++s) {
+    auto q = ExtractQuery(g, static_cast<VertexId>(s * 13 % 200), 8, s);
+    ASSERT_TRUE(q.ok());
+    EXPECT_EQ(q->NumComponents(), 1u) << "seed " << s;
+  }
+}
+
+TEST(ExtractQueryTest, QueryAlwaysMatchesItsSource) {
+  // The planted-query property: an extracted query must embed in the graph
+  // it came from (every engine is later validated on this).
+  const Graph g = TestGraph(33);
+  for (uint64_t s = 0; s < 8; ++s) {
+    auto q = ExtractQuery(g, static_cast<VertexId>((s * 31) % 200), 12, s);
+    ASSERT_TRUE(q.ok());
+    MatchOptions o;
+    o.max_embeddings = 1;
+    EXPECT_TRUE(Vf2Match(*q, g, o).found()) << "seed " << s;
+  }
+}
+
+TEST(ExtractQueryTest, RejectsBadArguments) {
+  const Graph g = TestGraph();
+  EXPECT_FALSE(ExtractQuery(g, 10000, 5, 1).ok());
+  EXPECT_FALSE(ExtractQuery(g, 0, 0, 1).ok());
+}
+
+TEST(ExtractQueryTest, FailsOnTinyComponent) {
+  // Two-vertex component cannot supply a 5-edge query.
+  const Graph g = psi::testing::MakeGraph({0, 0, 0, 0, 0},
+                                          {{0, 1}, {2, 3}, {3, 4}, {2, 4}});
+  auto q = ExtractQuery(g, 0, 5, 3);
+  EXPECT_FALSE(q.ok());
+  EXPECT_EQ(q.status().code(), Status::Code::kNotFound);
+}
+
+TEST(ExtractQueryTest, DeterministicGivenSeed) {
+  const Graph g = TestGraph();
+  auto a = ExtractQuery(g, 5, 9, 1234);
+  auto b = ExtractQuery(g, 5, 9, 1234);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_TRUE(a->IdenticalTo(*b));
+}
+
+TEST(GenerateWorkloadTest, SingleGraphWorkload) {
+  const Graph g = TestGraph();
+  auto w = GenerateWorkload(g, 25, 6, 55);
+  ASSERT_TRUE(w.ok());
+  ASSERT_EQ(w->size(), 25u);
+  for (const auto& q : *w) {
+    EXPECT_EQ(q.graph.num_edges(), 6u);
+    EXPECT_EQ(q.source_graph, 0u);
+    EXPECT_EQ(q.num_edges, 6u);
+  }
+}
+
+TEST(GenerateWorkloadTest, DatasetWorkloadDrawsFromManyGraphs) {
+  GraphGenLikeOptions o;
+  o.num_graphs = 10;
+  o.avg_nodes = 60;
+  o.density = 0.08;
+  o.num_labels = 5;
+  o.seed = 70;
+  auto ds = GraphGenLike(o);
+  auto w = GenerateWorkload(ds, 40, 5, 99);
+  ASSERT_TRUE(w.ok());
+  std::set<uint32_t> sources;
+  for (const auto& q : *w) {
+    EXPECT_LT(q.source_graph, ds.size());
+    sources.insert(q.source_graph);
+    MatchOptions mo;
+    mo.max_embeddings = 1;
+    EXPECT_TRUE(Vf2Match(q.graph, ds.graph(q.source_graph), mo).found());
+  }
+  EXPECT_GT(sources.size(), 3u) << "queries should spread across the dataset";
+}
+
+TEST(GenerateWorkloadTest, DeterministicGivenSeed) {
+  const Graph g = TestGraph();
+  auto a = GenerateWorkload(g, 5, 7, 1000);
+  auto b = GenerateWorkload(g, 5, 7, 1000);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  for (size_t i = 0; i < a->size(); ++i) {
+    EXPECT_TRUE((*a)[i].graph.IdenticalTo((*b)[i].graph));
+  }
+}
+
+TEST(GenerateWorkloadTest, EmptyDatasetRejected) {
+  GraphDataset empty;
+  EXPECT_FALSE(GenerateWorkload(empty, 1, 3, 1).ok());
+}
+
+}  // namespace
+}  // namespace psi::gen

@@ -1,0 +1,136 @@
+#include "quicksi/quicksi.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/graph_algos.hpp"
+#include "gen/dataset_gen.hpp"
+#include "tests/test_util.hpp"
+
+namespace psi {
+namespace {
+
+using testing::MakeGraph;
+using testing::MakePath;
+using testing::MakeStar;
+
+TEST(QuickSiSequenceTest, CoversEveryVertexOnce) {
+  QuickSiMatcher m;
+  const Graph g = gen::YeastLike(/*scale=*/8, /*seed=*/1);
+  ASSERT_TRUE(m.Prepare(g).ok());
+  const Graph q = MakeGraph({0, 1, 2, 0}, {{0, 1}, {1, 2}, {2, 3}, {3, 0}});
+  auto seq = m.CompileSequence(q);
+  ASSERT_EQ(seq.size(), q.num_vertices());
+  std::vector<bool> seen(q.num_vertices(), false);
+  for (const auto& e : seq) {
+    ASSERT_LT(e.vertex, q.num_vertices());
+    EXPECT_FALSE(seen[e.vertex]) << "vertex placed twice";
+    seen[e.vertex] = true;
+  }
+}
+
+TEST(QuickSiSequenceTest, ParentsPrecedeChildren) {
+  QuickSiMatcher m;
+  const Graph g = gen::YeastLike(8, 1);
+  ASSERT_TRUE(m.Prepare(g).ok());
+  const Graph q = MakeStar({0, 1, 2, 3, 4});
+  auto seq = m.CompileSequence(q);
+  std::vector<int> position(q.num_vertices(), -1);
+  for (size_t i = 0; i < seq.size(); ++i) {
+    position[seq[i].vertex] = static_cast<int>(i);
+  }
+  for (size_t i = 0; i < seq.size(); ++i) {
+    if (seq[i].parent != kInvalidVertex) {
+      EXPECT_LT(position[seq[i].parent], static_cast<int>(i));
+      EXPECT_TRUE(q.HasEdge(seq[i].vertex, seq[i].parent));
+    }
+    for (VertexId b : seq[i].back_edges) {
+      EXPECT_LT(position[b], static_cast<int>(i));
+      EXPECT_TRUE(q.HasEdge(seq[i].vertex, b));
+    }
+  }
+}
+
+TEST(QuickSiSequenceTest, TriangleHasBackEdge) {
+  QuickSiMatcher m;
+  const Graph g = testing::MakeClique({0, 0, 0, 0});
+  ASSERT_TRUE(m.Prepare(g).ok());
+  const Graph q = testing::MakeCycle({0, 0, 0});
+  auto seq = m.CompileSequence(q);
+  ASSERT_EQ(seq.size(), 3u);
+  // The third placed vertex closes the triangle: exactly one back edge.
+  EXPECT_EQ(seq[2].back_edges.size(), 1u);
+}
+
+TEST(QuickSiSequenceTest, RootHasRarestLabel) {
+  // Data: label 9 appears once, label 1 many times.
+  GraphBuilder b;
+  b.AddVertex(9);
+  for (int i = 0; i < 10; ++i) b.AddVertex(1);
+  for (VertexId v = 1; v <= 10; ++v) b.AddEdge(0, v);
+  auto g = b.Build();
+  ASSERT_TRUE(g.ok());
+  QuickSiMatcher m;
+  ASSERT_TRUE(m.Prepare(*g).ok());
+  const Graph q = MakePath({1, 9, 1});  // middle vertex has the rare label
+  auto seq = m.CompileSequence(q);
+  EXPECT_EQ(q.label(seq[0].vertex), 9u);
+}
+
+TEST(QuickSiSequenceTest, RewritingChangesTieBreaks) {
+  // All labels equal => sequence order falls back to vertex ids, so a
+  // permuted query must yield a different vertex order (same structure).
+  QuickSiMatcher m;
+  const Graph g = testing::MakeClique(std::vector<LabelId>(8, 0));
+  ASSERT_TRUE(m.Prepare(g).ok());
+  const Graph q = testing::MakeCycle(std::vector<LabelId>(5, 0));
+  auto seq1 = m.CompileSequence(q);
+  // Reverse the ids.
+  auto rq = ApplyPermutation(q, std::vector<VertexId>{4, 3, 2, 1, 0});
+  ASSERT_TRUE(rq.ok());
+  auto seq2 = m.CompileSequence(*rq);
+  // Both sequences visit vertex 0 first (smallest id tie-break), which
+  // corresponds to *different* original vertices — ids steer the order.
+  EXPECT_EQ(seq1[0].vertex, 0u);
+  EXPECT_EQ(seq2[0].vertex, 0u);
+}
+
+TEST(QuickSiMatchTest, CountsOnKnownGraph) {
+  QuickSiMatcher m;
+  const Graph g = MakeGraph({0, 1, 0, 1}, {{0, 1}, {1, 2}, {2, 3}, {3, 0}});
+  ASSERT_TRUE(m.Prepare(g).ok());
+  MatchOptions all;
+  all.max_embeddings = UINT64_MAX;
+  // 0-1 edges in the 4-cycle with alternating labels: 4 oriented choices.
+  auto r = m.Match(testing::MakePath({0, 1}), all);
+  EXPECT_TRUE(r.complete);
+  EXPECT_EQ(r.embedding_count, 4u);
+  EXPECT_EQ(m.name(), "QSI");
+}
+
+TEST(QuickSiMatchTest, DisconnectedQueryForest) {
+  QuickSiMatcher m;
+  const Graph g = MakeGraph({0, 0, 1, 1}, {{0, 1}, {2, 3}});
+  ASSERT_TRUE(m.Prepare(g).ok());
+  const Graph q = MakeGraph({0, 0, 1, 1}, {{0, 1}, {2, 3}});
+  MatchOptions all;
+  all.max_embeddings = UINT64_MAX;
+  auto r = m.Match(q, all);
+  EXPECT_TRUE(r.complete);
+  EXPECT_EQ(r.embedding_count, 4u);  // 2 per component, independent
+}
+
+TEST(QuickSiMatchTest, EmptyQuery) {
+  QuickSiMatcher m;
+  const Graph g = MakePath({0, 0});
+  ASSERT_TRUE(m.Prepare(g).ok());
+  GraphBuilder b;
+  auto q = b.Build();
+  ASSERT_TRUE(q.ok());
+  MatchOptions all;
+  auto r = m.Match(*q, all);
+  EXPECT_EQ(r.embedding_count, 1u);
+  EXPECT_TRUE(r.complete);
+}
+
+}  // namespace
+}  // namespace psi

@@ -1,0 +1,206 @@
+#include "rewrite/rewrite.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/graph_algos.hpp"
+#include "gen/dataset_gen.hpp"
+#include "gen/query_gen.hpp"
+#include "tests/test_util.hpp"
+#include "vf2/vf2.hpp"
+
+namespace psi {
+namespace {
+
+using testing::MakeGraph;
+using testing::MakePath;
+using testing::MakeStar;
+
+// The Fig. 5 example: labels A=0 (freq 20), B=1 (freq 15), C=2 (freq 10).
+LabelStats Fig5Stats() {
+  GraphBuilder b;
+  for (int i = 0; i < 20; ++i) b.AddVertex(0);
+  for (int i = 0; i < 15; ++i) b.AddVertex(1);
+  for (int i = 0; i < 10; ++i) b.AddVertex(2);
+  auto g = b.Build();
+  return LabelStats::FromGraph(*g);
+}
+
+// A 7-vertex query in the spirit of Fig. 5: three A, two B, two C.
+Graph Fig5Query() {
+  return MakeGraph({0, 0, 0, 1, 1, 2, 2},
+                   {{0, 1}, {0, 2}, {1, 2}, {1, 3}, {2, 4}, {3, 5}, {4, 6}});
+}
+
+TEST(RewriteTest, ToStringNames) {
+  EXPECT_EQ(ToString(Rewriting::kOriginal), "Orig");
+  EXPECT_EQ(ToString(Rewriting::kIlf), "ILF");
+  EXPECT_EQ(ToString(Rewriting::kInd), "IND");
+  EXPECT_EQ(ToString(Rewriting::kDnd), "DND");
+  EXPECT_EQ(ToString(Rewriting::kIlfInd), "ILF+IND");
+  EXPECT_EQ(ToString(Rewriting::kIlfDnd), "ILF+DND");
+}
+
+TEST(RewriteTest, AllRewritingsListsFive) {
+  EXPECT_EQ(AllRewritings().size(), 5u);
+}
+
+TEST(RewriteTest, OriginalIsIdentity) {
+  const Graph q = Fig5Query();
+  auto rq = RewriteQuery(q, Rewriting::kOriginal, Fig5Stats());
+  ASSERT_TRUE(rq.ok());
+  EXPECT_TRUE(rq->graph.IdenticalTo(q));
+}
+
+TEST(RewriteTest, EveryRewritingYieldsPermutation) {
+  const Graph q = Fig5Query();
+  const LabelStats stats = Fig5Stats();
+  for (Rewriting r : AllRewritings()) {
+    auto p = RewritePermutation(q, r, stats);
+    EXPECT_TRUE(IsPermutation(p)) << ToString(r);
+  }
+}
+
+TEST(RewriteTest, IlfOrdersByIncreasingLabelFrequency) {
+  const Graph q = Fig5Query();
+  const LabelStats stats = Fig5Stats();
+  auto rq = RewriteQuery(q, Rewriting::kIlf, stats);
+  ASSERT_TRUE(rq.ok());
+  // New ids must be sorted so that rarer labels come first: C(10) before
+  // B(15) before A(20).
+  for (VertexId v = 0; v + 1 < rq->graph.num_vertices(); ++v) {
+    EXPECT_LE(stats.frequency(rq->graph.label(v)),
+              stats.frequency(rq->graph.label(v + 1)));
+  }
+  // Vertex 0 must be a C (rarest), vertex 6 an A (most frequent).
+  EXPECT_EQ(rq->graph.label(0), 2u);
+  EXPECT_EQ(rq->graph.label(6), 0u);
+}
+
+TEST(RewriteTest, IndOrdersByIncreasingDegree) {
+  const Graph q = MakeStar({0, 1, 1, 1, 1});  // centre degree 4
+  auto rq = RewriteQuery(q, Rewriting::kInd, LabelStats());
+  ASSERT_TRUE(rq.ok());
+  for (VertexId v = 0; v + 1 < rq->graph.num_vertices(); ++v) {
+    EXPECT_LE(rq->graph.degree(v), rq->graph.degree(v + 1));
+  }
+  EXPECT_EQ(rq->graph.degree(4), 4u);  // centre pushed last
+}
+
+TEST(RewriteTest, DndOrdersByDecreasingDegree) {
+  const Graph q = MakeStar({0, 1, 1, 1, 1});
+  auto rq = RewriteQuery(q, Rewriting::kDnd, LabelStats());
+  ASSERT_TRUE(rq.ok());
+  for (VertexId v = 0; v + 1 < rq->graph.num_vertices(); ++v) {
+    EXPECT_GE(rq->graph.degree(v), rq->graph.degree(v + 1));
+  }
+  EXPECT_EQ(rq->graph.degree(0), 4u);  // centre first
+}
+
+TEST(RewriteTest, IlfIndBreaksTiesByDegree) {
+  const Graph q = Fig5Query();
+  const LabelStats stats = Fig5Stats();
+  auto rq = RewriteQuery(q, Rewriting::kIlfInd, stats);
+  ASSERT_TRUE(rq.ok());
+  const Graph& g = rq->graph;
+  for (VertexId v = 0; v + 1 < g.num_vertices(); ++v) {
+    const auto fa = stats.frequency(g.label(v));
+    const auto fb = stats.frequency(g.label(v + 1));
+    EXPECT_LE(fa, fb);
+    if (fa == fb) {
+      EXPECT_LE(g.degree(v), g.degree(v + 1));
+    }
+  }
+}
+
+TEST(RewriteTest, IlfDndBreaksTiesByDecreasingDegree) {
+  const Graph q = Fig5Query();
+  const LabelStats stats = Fig5Stats();
+  auto rq = RewriteQuery(q, Rewriting::kIlfDnd, stats);
+  ASSERT_TRUE(rq.ok());
+  const Graph& g = rq->graph;
+  for (VertexId v = 0; v + 1 < g.num_vertices(); ++v) {
+    const auto fa = stats.frequency(g.label(v));
+    const auto fb = stats.frequency(g.label(v + 1));
+    EXPECT_LE(fa, fb);
+    if (fa == fb) {
+      EXPECT_GE(g.degree(v), g.degree(v + 1));
+    }
+  }
+}
+
+TEST(RewriteTest, RandomInstancesAreDistinctAndDeterministic) {
+  const Graph q = Fig5Query();
+  auto a = RandomInstances(q, 6, 42);
+  auto b = RandomInstances(q, 6, 42);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->size(), 6u);
+  for (size_t i = 0; i < a->size(); ++i) {
+    EXPECT_TRUE((*a)[i].graph.IdenticalTo((*b)[i].graph)) << i;
+  }
+}
+
+TEST(RewriteTest, MapEmbeddingBackInvertsPermutation) {
+  const Graph q = Fig5Query();
+  const Graph g = Fig5Query();  // match the query against itself
+  const LabelStats stats = Fig5Stats();
+  auto rq = RewriteQuery(q, Rewriting::kDnd, stats);
+  ASSERT_TRUE(rq.ok());
+  MatchOptions opts;
+  opts.max_embeddings = 1;
+  Embedding captured;
+  opts.sink = [&](const Embedding& e) {
+    captured = e;
+    return false;
+  };
+  auto r = Vf2Match(rq->graph, g, opts);
+  ASSERT_TRUE(r.found());
+  const Embedding original = MapEmbeddingBack(*rq, captured);
+  EXPECT_TRUE(IsValidEmbedding(q, g, original));
+}
+
+// Property sweep: every rewriting of every random query stays isomorphic
+// (same label multiset, same degree multiset, valid mapping) and preserves
+// VF2 match counts.
+class RewritePropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RewritePropertyTest, RewritingsPreserveStructure) {
+  const uint64_t seed = GetParam();
+  gen::LargeGraphOptions o;
+  o.num_vertices = 30;
+  o.num_edges = 70;
+  o.num_labels = 4;
+  o.seed = seed;
+  const Graph g = gen::LargeGraph(o);
+  const LabelStats stats = LabelStats::FromGraph(g);
+  auto w = gen::GenerateWorkload(g, 2, 6, seed + 5);
+  ASSERT_TRUE(w.ok());
+  for (const auto& query : *w) {
+    MatchOptions all;
+    all.max_embeddings = UINT64_MAX;
+    const uint64_t base_count =
+        Vf2Match(query.graph, g, all).embedding_count;
+    for (Rewriting r : AllRewritings()) {
+      auto rq = RewriteQuery(query.graph, r, stats);
+      ASSERT_TRUE(rq.ok());
+      EXPECT_EQ(rq->graph.num_vertices(), query.graph.num_vertices());
+      EXPECT_EQ(rq->graph.num_edges(), query.graph.num_edges());
+      EXPECT_TRUE(IsPermutation(rq->new_id_of));
+      // Edge preservation under the mapping.
+      for (VertexId v = 0; v < query.graph.num_vertices(); ++v) {
+        for (VertexId u : query.graph.neighbors(v)) {
+          EXPECT_TRUE(rq->graph.HasEdge(rq->new_id_of[v], rq->new_id_of[u]));
+        }
+        EXPECT_EQ(rq->graph.label(rq->new_id_of[v]), query.graph.label(v));
+      }
+      EXPECT_EQ(Vf2Match(rq->graph, g, all).embedding_count, base_count)
+          << ToString(r);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, RewritePropertyTest,
+                         ::testing::Values(7, 17, 27, 37));
+
+}  // namespace
+}  // namespace psi

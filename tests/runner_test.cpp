@@ -1,0 +1,152 @@
+#include "workload/runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "gen/dataset_gen.hpp"
+#include "graphql/graphql.hpp"
+#include "spath/spath.hpp"
+#include "tests/test_util.hpp"
+#include "vf2/vf2.hpp"
+#include "workload/table.hpp"
+
+namespace psi {
+namespace {
+
+TEST(RunnerTest, RecordsPlantedQueriesAsMatched) {
+  const Graph g = gen::YeastLike(8, 61);
+  Vf2Matcher m;
+  ASSERT_TRUE(m.Prepare(g).ok());
+  auto w = gen::GenerateWorkload(g, 6, 6, 62);
+  ASSERT_TRUE(w.ok());
+  RunnerOptions ro;
+  ro.cap_ms = 5000.0;
+  ro.max_embeddings = 1;
+  auto records = RunWorkload(m, *w, ro);
+  ASSERT_EQ(records.size(), 6u);
+  for (const auto& r : records) {
+    EXPECT_TRUE(r.matched);
+    EXPECT_FALSE(r.killed);
+    EXPECT_GT(r.ms, 0.0);
+    EXPECT_LT(r.ms, 5000.0);
+  }
+}
+
+TEST(RunnerTest, KilledQueriesChargedTheCap) {
+  // Unlabelled clique counting blows any 1ms budget.
+  const Graph g = testing::MakeClique(std::vector<LabelId>(40, 0));
+  Vf2Matcher m;
+  ASSERT_TRUE(m.Prepare(g).ok());
+  gen::Query q;
+  q.graph = testing::MakeClique(std::vector<LabelId>(8, 0));
+  RunnerOptions ro;
+  ro.cap_ms = 1.0;
+  ro.max_embeddings = UINT64_MAX;
+  auto records = RunWorkload(m, std::vector<gen::Query>{q}, ro);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_TRUE(records[0].killed);
+  EXPECT_DOUBLE_EQ(records[0].ms, 1.0);  // charged exactly the cap
+}
+
+TEST(RunnerTest, PsiWorkloadCompletesWhereSingleVariantMay) {
+  const Graph g = gen::YeastLike(8, 63);
+  const LabelStats stats = LabelStats::FromGraph(g);
+  GraphQlMatcher gql;
+  ASSERT_TRUE(gql.Prepare(g).ok());
+  auto w = gen::GenerateWorkload(g, 4, 8, 64);
+  ASSERT_TRUE(w.ok());
+  auto p = MakeRewritingPortfolio(gql, AllRewritings());
+  RunnerOptions ro;
+  ro.cap_ms = 5000.0;
+  ro.max_embeddings = 1;
+  auto records =
+      RunWorkloadPsi(p, *w, stats, ro, RaceMode::kSequential);
+  for (const auto& r : records) {
+    EXPECT_TRUE(r.matched);
+    EXPECT_FALSE(r.killed);
+  }
+}
+
+TEST(RunnerTest, FtvRecordsCoverSourceGraphs) {
+  gen::GraphGenLikeOptions o;
+  o.num_graphs = 6;
+  o.avg_nodes = 35;
+  o.density = 0.09;
+  o.num_labels = 5;
+  o.seed = 66;
+  auto ds = gen::GraphGenLike(o);
+  GrapesIndex index;
+  ASSERT_TRUE(index.Build(ds).ok());
+  auto w = gen::GenerateWorkload(ds, 8, 5, 67);
+  ASSERT_TRUE(w.ok());
+  RunnerOptions ro;
+  ro.cap_ms = 5000.0;
+  auto records = RunFtvWorkload(index, *w, ro);
+  ASSERT_FALSE(records.empty());
+  // Every query's source graph must appear as a matched pair.
+  for (uint32_t qi = 0; qi < w->size(); ++qi) {
+    bool found = false;
+    for (const auto& rec : records) {
+      if (rec.query_index == qi && rec.graph_id == (*w)[qi].source_graph) {
+        EXPECT_TRUE(rec.matched);
+        found = true;
+      }
+    }
+    EXPECT_TRUE(found) << "query " << qi;
+  }
+}
+
+TEST(RunnerTest, FtvPsiAgreesWithPlainFtv) {
+  gen::GraphGenLikeOptions o;
+  o.num_graphs = 5;
+  o.avg_nodes = 30;
+  o.density = 0.1;
+  o.num_labels = 4;
+  o.seed = 68;
+  auto ds = gen::GraphGenLike(o);
+  const LabelStats stats = LabelStats::FromGraphs(ds.graphs());
+  GrapesIndex index;
+  ASSERT_TRUE(index.Build(ds).ok());
+  auto w = gen::GenerateWorkload(ds, 5, 5, 69);
+  ASSERT_TRUE(w.ok());
+  RunnerOptions ro;
+  ro.cap_ms = 5000.0;
+  auto plain = RunFtvWorkload(index, *w, ro);
+  auto psi = RunFtvWorkloadPsi(index, *w, AllRewritings(), stats, ro,
+                               RaceMode::kSequential);
+  ASSERT_EQ(plain.size(), psi.size());
+  for (size_t i = 0; i < plain.size(); ++i) {
+    EXPECT_EQ(plain[i].matched, psi[i].matched)
+        << "pair " << plain[i].query_index << "/" << plain[i].graph_id;
+  }
+}
+
+TEST(RunnerTest, ExtractorsAlign) {
+  std::vector<QueryRecord> recs(3);
+  recs[0].ms = 1.5;
+  recs[1].killed = true;
+  recs[1].ms = 250.0;
+  recs[2].ms = 3.0;
+  auto times = TimesOf(recs);
+  auto killed = KilledOf(recs);
+  EXPECT_EQ(times, (std::vector<double>{1.5, 250.0, 3.0}));
+  EXPECT_EQ(killed, (std::vector<uint8_t>{0, 1, 0}));
+}
+
+TEST(TextTableTest, AlignsColumnsAndFormatsNumbers) {
+  TextTable t;
+  t.AddRow({"name", "value"});
+  t.AddRow({"alpha", TextTable::Num(3.14159, 2)});
+  t.AddRow({"b", "x"});
+  std::ostringstream out;
+  t.Print(out);
+  const std::string s = out.str();
+  EXPECT_NE(s.find("3.14"), std::string::npos);
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("----"), std::string::npos);  // header underline
+  EXPECT_EQ(TextTable::Num(2.0, 0), "2");
+}
+
+}  // namespace
+}  // namespace psi

@@ -1,0 +1,126 @@
+#include "select/selector.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/dataset_gen.hpp"
+#include "gen/query_gen.hpp"
+#include "graphql/graphql.hpp"
+#include "spath/spath.hpp"
+#include "tests/test_util.hpp"
+
+namespace psi {
+namespace {
+
+using testing::MakeClique;
+using testing::MakePath;
+using testing::MakeStar;
+
+LabelStats SkewedStats() {
+  GraphBuilder b;
+  for (int i = 0; i < 100; ++i) b.AddVertex(0);  // very common
+  for (int i = 0; i < 4; ++i) b.AddVertex(1);    // rare
+  for (int i = 0; i < 50; ++i) b.AddVertex(2);
+  auto g = b.Build();
+  return LabelStats::FromGraph(*g);
+}
+
+TEST(FeaturesTest, PathQueryShape) {
+  auto f = ExtractFeatures(MakePath({0, 1, 2, 0, 1}), SkewedStats());
+  EXPECT_EQ(f.num_vertices, 5u);
+  EXPECT_EQ(f.num_edges, 4u);
+  EXPECT_DOUBLE_EQ(f.path_fraction, 1.0);
+  EXPECT_EQ(f.max_degree, 2u);
+  EXPECT_EQ(f.distinct_labels, 3u);
+  EXPECT_EQ(f.min_label_freq, 4u);
+}
+
+TEST(FeaturesTest, StarQueryShape) {
+  auto f = ExtractFeatures(MakeStar({0, 0, 0, 0, 0, 0}), SkewedStats());
+  EXPECT_EQ(f.max_degree, 5u);
+  EXPECT_LT(f.path_fraction, 1.0);
+  EXPECT_EQ(f.distinct_labels, 1u);
+}
+
+TEST(SelectRewritingTest, WordnetRegimeKeepsOriginal) {
+  // Path-shaped, <=2 labels: the paper's §6.2 no-help case.
+  QueryFeatures f;
+  f.num_vertices = 10;
+  f.path_fraction = 1.0;
+  f.distinct_labels = 1;
+  f.avg_label_freq = 1000.0;
+  f.min_label_freq = 1000;
+  EXPECT_EQ(SelectRewriting(f), Rewriting::kOriginal);
+}
+
+TEST(SelectRewritingTest, RareLabelPicksIlfFamily) {
+  QueryFeatures f;
+  f.num_vertices = 10;
+  f.path_fraction = 0.5;
+  f.distinct_labels = 5;
+  f.avg_label_freq = 1000.0;
+  f.min_label_freq = 10;  // much rarer than average
+  f.avg_degree = 2.0;
+  f.max_degree = 2;
+  EXPECT_EQ(SelectRewriting(f), Rewriting::kIlf);
+  f.max_degree = 8;  // hub present
+  EXPECT_EQ(SelectRewriting(f), Rewriting::kIlfDnd);
+}
+
+TEST(SelectRewritingTest, UniformLabelsFallBackToStructure) {
+  QueryFeatures f;
+  f.num_vertices = 10;
+  f.path_fraction = 0.4;
+  f.distinct_labels = 3;
+  f.avg_label_freq = 100.0;
+  f.min_label_freq = 90;
+  f.avg_degree = 2.0;
+  f.max_degree = 7;
+  EXPECT_EQ(SelectRewriting(f), Rewriting::kDnd);
+  f.max_degree = 2;
+  EXPECT_EQ(SelectRewriting(f), Rewriting::kIlfInd);
+}
+
+TEST(SelectAlgorithmTest, PicksByShape) {
+  const Graph g = gen::YeastLike(8, 91);
+  GraphQlMatcher gql;
+  SPathMatcher spa;
+  ASSERT_TRUE(gql.Prepare(g).ok());
+  ASSERT_TRUE(spa.Prepare(g).ok());
+  const Matcher* ms[] = {&gql, &spa};
+
+  QueryFeatures path_query;
+  path_query.path_fraction = 1.0;
+  path_query.distinct_labels = 5;
+  EXPECT_EQ(SelectAlgorithm(path_query, ms), 1u);  // SPA
+
+  QueryFeatures dense_query;
+  dense_query.path_fraction = 0.2;
+  dense_query.distinct_labels = 4;
+  EXPECT_EQ(SelectAlgorithm(dense_query, ms), 0u);  // GQL
+
+  EXPECT_EQ(SelectAlgorithm(dense_query, {}), 0u);  // empty-safe
+}
+
+TEST(SelectorEndToEnd, SelectedVariantAnswersCorrectly) {
+  const Graph g = gen::YeastLike(8, 92);
+  const LabelStats stats = LabelStats::FromGraph(g);
+  GraphQlMatcher gql;
+  SPathMatcher spa;
+  ASSERT_TRUE(gql.Prepare(g).ok());
+  ASSERT_TRUE(spa.Prepare(g).ok());
+  const Matcher* ms[] = {&gql, &spa};
+  auto w = gen::GenerateWorkload(g, 6, 8, 93);
+  ASSERT_TRUE(w.ok());
+  for (const auto& q : *w) {
+    const auto f = ExtractFeatures(q.graph, stats);
+    const Matcher* chosen = ms[SelectAlgorithm(f, ms)];
+    auto rq = RewriteQuery(q.graph, SelectRewriting(f), stats);
+    ASSERT_TRUE(rq.ok());
+    MatchOptions mo;
+    mo.max_embeddings = 1;
+    EXPECT_TRUE(chosen->Match(rq->graph, mo).found());
+  }
+}
+
+}  // namespace
+}  // namespace psi

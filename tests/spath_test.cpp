@@ -1,0 +1,153 @@
+#include "spath/spath.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/dataset_gen.hpp"
+#include "gen/query_gen.hpp"
+#include "tests/test_util.hpp"
+
+namespace psi {
+namespace {
+
+using testing::MakeCycle;
+using testing::MakeGraph;
+using testing::MakePath;
+
+// Finds a signature entry by label, or nullptr.
+const SPathMatcher::NsEntry* FindEntry(
+    const std::vector<SPathMatcher::NsEntry>& sig, LabelId l) {
+  for (const auto& e : sig) {
+    if (e.label == l) return &e;
+  }
+  return nullptr;
+}
+
+TEST(SPathSignatureTest, DistanceWiseCumulativeCounts) {
+  // Path 0(a)-1(b)-2(b)-3(c): from vertex 0, b at d=1 and d=2, c at d=3.
+  SPathMatcher m;
+  const Graph g = MakePath({0, 1, 1, 2});
+  ASSERT_TRUE(m.Prepare(g).ok());
+  const auto& sig = m.signature(0);
+  const auto* b = FindEntry(sig, 1);
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(b->cum[0], 1u);  // within distance 1
+  EXPECT_EQ(b->cum[1], 2u);  // within distance 2
+  EXPECT_EQ(b->cum[2], 2u);
+  const auto* c = FindEntry(sig, 2);
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->cum[1], 0u);
+  EXPECT_EQ(c->cum[2], 1u);
+  EXPECT_EQ(m.name(), "SPA");
+}
+
+TEST(SPathSignatureTest, RadiusLimitsEntries) {
+  SPathOptions o;
+  o.radius = 1;
+  SPathMatcher m(o);
+  const Graph g = MakePath({0, 1, 2});
+  ASSERT_TRUE(m.Prepare(g).ok());
+  // From vertex 0 with radius 1, label 2 (two hops away) is invisible.
+  EXPECT_EQ(FindEntry(m.signature(0), 2), nullptr);
+  EXPECT_NE(FindEntry(m.signature(0), 1), nullptr);
+}
+
+TEST(SPathDecomposeTest, CoversAllQueryEdges) {
+  SPathMatcher m;
+  const Graph g = gen::YeastLike(8, 2);
+  ASSERT_TRUE(m.Prepare(g).ok());
+  const Graph q = MakeGraph({0, 1, 2, 0, 1},
+                            {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0}, {1, 3}});
+  auto paths = m.DecomposeQuery(q);
+  ASSERT_FALSE(paths.empty());
+  std::set<std::pair<VertexId, VertexId>> covered;
+  for (const auto& path : paths) {
+    for (size_t i = 0; i + 1 < path.size(); ++i) {
+      VertexId a = path[i], b = path[i + 1];
+      EXPECT_TRUE(q.HasEdge(a, b)) << "path uses a non-edge";
+      if (a > b) std::swap(a, b);
+      covered.insert({a, b});
+    }
+  }
+  EXPECT_EQ(covered.size(), q.num_edges());
+}
+
+TEST(SPathDecomposeTest, PathsAreShortestPaths) {
+  SPathMatcher m;
+  const Graph g = gen::YeastLike(8, 2);
+  ASSERT_TRUE(m.Prepare(g).ok());
+  const Graph q = MakeCycle({0, 1, 2, 0, 1, 2});
+  for (const auto& path : m.DecomposeQuery(q)) {
+    ASSERT_GE(path.size(), 2u);
+    EXPECT_LE(path.size(), 5u);  // max_path_length=4 edges
+    // Consecutive distinct vertices, no repeats (simple shortest path).
+    std::set<VertexId> s(path.begin(), path.end());
+    EXPECT_EQ(s.size(), path.size());
+  }
+}
+
+TEST(SPathMatchTest, DominanceFilterBlocksImpossibleVertices) {
+  // Query centre needs two label-1 within distance 1; data has vertices
+  // with only one.
+  SPathMatcher m;
+  const Graph g = MakeGraph({0, 1, 0, 1}, {{0, 1}, {2, 3}});
+  ASSERT_TRUE(m.Prepare(g).ok());
+  const Graph q = testing::MakeStar({0, 1, 1});
+  MatchOptions all;
+  all.max_embeddings = UINT64_MAX;
+  auto r = m.Match(q, all);
+  EXPECT_TRUE(r.complete);
+  EXPECT_EQ(r.embedding_count, 0u);
+}
+
+TEST(SPathMatchTest, CountsOnAlternatingCycle) {
+  SPathMatcher m;
+  const Graph g = MakeCycle({0, 1, 0, 1, 0, 1});
+  ASSERT_TRUE(m.Prepare(g).ok());
+  MatchOptions all;
+  all.max_embeddings = UINT64_MAX;
+  auto r = m.Match(MakePath({1, 0, 1}), all);
+  EXPECT_TRUE(r.complete);
+  EXPECT_EQ(r.embedding_count, 6u);
+}
+
+TEST(SPathMatchTest, WordnetLikeDecision) {
+  SPathMatcher m;
+  const Graph g = gen::WordnetLike(/*scale=*/32, /*seed=*/8);
+  ASSERT_TRUE(m.Prepare(g).ok());
+  auto w = gen::GenerateWorkload(g, 4, 6, 55);
+  ASSERT_TRUE(w.ok());
+  MatchOptions decide;
+  decide.max_embeddings = 1;
+  for (const auto& query : *w) {
+    EXPECT_TRUE(m.Match(query.graph, decide).found());
+  }
+}
+
+TEST(SPathMatchTest, EmptyQueryOneEmbedding) {
+  SPathMatcher m;
+  const Graph g = MakePath({0, 0});
+  ASSERT_TRUE(m.Prepare(g).ok());
+  GraphBuilder b;
+  auto q = b.Build();
+  ASSERT_TRUE(q.ok());
+  MatchOptions all;
+  EXPECT_EQ(m.Match(*q, all).embedding_count, 1u);
+}
+
+TEST(BuildDistanceSignaturesTest, StandaloneMatchesMatcher) {
+  const Graph g = MakeCycle({0, 1, 2, 3});
+  auto sig = BuildDistanceSignatures(g, 4);
+  ASSERT_EQ(sig.size(), g.num_vertices());
+  SPathMatcher m;
+  ASSERT_TRUE(m.Prepare(g).ok());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    ASSERT_EQ(sig[v].size(), m.signature(v).size());
+    for (size_t i = 0; i < sig[v].size(); ++i) {
+      EXPECT_EQ(sig[v][i].label, m.signature(v)[i].label);
+      EXPECT_EQ(sig[v][i].cum, m.signature(v)[i].cum);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace psi

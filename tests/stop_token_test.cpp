@@ -1,0 +1,85 @@
+#include "core/stop_token.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace psi {
+namespace {
+
+TEST(StopTokenTest, StartsClear) {
+  StopToken t;
+  EXPECT_FALSE(t.stop_requested());
+}
+
+TEST(StopTokenTest, RequestAndReset) {
+  StopToken t;
+  t.RequestStop();
+  EXPECT_TRUE(t.stop_requested());
+  t.Reset();
+  EXPECT_FALSE(t.stop_requested());
+}
+
+TEST(StopTokenTest, VisibleAcrossThreads) {
+  StopToken t;
+  std::thread w([&] { t.RequestStop(); });
+  w.join();
+  EXPECT_TRUE(t.stop_requested());
+}
+
+TEST(DeadlineTest, DefaultNeverExpires) {
+  Deadline d;
+  EXPECT_FALSE(d.enabled());
+  EXPECT_FALSE(d.Expired());
+}
+
+TEST(DeadlineTest, ExpiresAfterBudget) {
+  Deadline d = Deadline::AfterMillis(1);
+  EXPECT_TRUE(d.enabled());
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_TRUE(d.Expired());
+}
+
+TEST(DeadlineTest, FarFutureNotExpired) {
+  Deadline d = Deadline::AfterMillis(60000);
+  EXPECT_FALSE(d.Expired());
+}
+
+TEST(CostGuardTest, ReportsCancellationOnPoll) {
+  StopToken t;
+  CostGuard g(&t, Deadline(), /*period=*/4);
+  EXPECT_EQ(g.Poll(), Interrupt::kNone);
+  t.RequestStop();
+  EXPECT_EQ(g.Poll(), Interrupt::kCancelled);
+  EXPECT_TRUE(g.interrupted());
+}
+
+TEST(CostGuardTest, ChecksAreAmortized) {
+  StopToken t;
+  CostGuard g(&t, Deadline(), /*period=*/100);
+  t.RequestStop();
+  // The first 99 Check() calls skip polling entirely.
+  for (int i = 0; i < 99; ++i) {
+    EXPECT_EQ(g.Check(), Interrupt::kNone) << "at call " << i;
+  }
+  EXPECT_EQ(g.Check(), Interrupt::kCancelled);
+}
+
+TEST(CostGuardTest, DeadlineWinsWhenNoToken) {
+  CostGuard g(nullptr, Deadline::AfterMillis(1), /*period=*/1);
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_EQ(g.Poll(), Interrupt::kDeadline);
+}
+
+TEST(CostGuardTest, StateIsSticky) {
+  StopToken t;
+  CostGuard g(&t, Deadline(), 1);
+  t.RequestStop();
+  EXPECT_EQ(g.Poll(), Interrupt::kCancelled);
+  t.Reset();
+  // Once interrupted, the guard stays interrupted for this search.
+  EXPECT_EQ(g.Poll(), Interrupt::kCancelled);
+}
+
+}  // namespace
+}  // namespace psi

@@ -1,0 +1,101 @@
+// Shared helpers for the test suite: small hand-built graphs, an
+// exhaustive brute-force embedding counter (the ground truth all engines
+// are cross-validated against), and convenience builders.
+
+#ifndef PSI_TESTS_TEST_UTIL_HPP_
+#define PSI_TESTS_TEST_UTIL_HPP_
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "core/graph.hpp"
+#include "match/matcher.hpp"
+
+namespace psi::testing {
+
+/// Builds a graph from labels and an edge list; aborts on invalid input
+/// (tests construct only valid graphs through this path).
+inline Graph MakeGraph(const std::vector<LabelId>& labels,
+                       const std::vector<std::pair<VertexId, VertexId>>& edges,
+                       std::string name = "test") {
+  GraphBuilder b(static_cast<uint32_t>(labels.size()));
+  for (LabelId l : labels) b.AddVertex(l);
+  for (auto [u, v] : edges) b.AddEdge(u, v);
+  auto r = b.Build(std::move(name));
+  if (!r.ok()) std::abort();
+  return std::move(r).value();
+}
+
+/// Path graph v0-v1-...-v_{n-1} with the given labels.
+inline Graph MakePath(const std::vector<LabelId>& labels) {
+  std::vector<std::pair<VertexId, VertexId>> edges;
+  for (VertexId v = 0; v + 1 < labels.size(); ++v) edges.push_back({v, v + 1});
+  return MakeGraph(labels, edges, "path");
+}
+
+/// Cycle graph over the given labels.
+inline Graph MakeCycle(const std::vector<LabelId>& labels) {
+  std::vector<std::pair<VertexId, VertexId>> edges;
+  const auto n = static_cast<VertexId>(labels.size());
+  for (VertexId v = 0; v < n; ++v) edges.push_back({v, (v + 1) % n});
+  return MakeGraph(labels, edges, "cycle");
+}
+
+/// Complete graph over the given labels.
+inline Graph MakeClique(const std::vector<LabelId>& labels) {
+  std::vector<std::pair<VertexId, VertexId>> edges;
+  const auto n = static_cast<VertexId>(labels.size());
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId v = u + 1; v < n; ++v) edges.push_back({u, v});
+  }
+  return MakeGraph(labels, edges, "clique");
+}
+
+/// Star: centre vertex 0 connected to all others.
+inline Graph MakeStar(const std::vector<LabelId>& labels) {
+  std::vector<std::pair<VertexId, VertexId>> edges;
+  for (VertexId v = 1; v < labels.size(); ++v) edges.push_back({0, v});
+  return MakeGraph(labels, edges, "star");
+}
+
+/// Counts all non-induced label-preserving embeddings of `q` in `g` by
+/// brute force over injective assignments. Exponential — only for tiny
+/// inputs — but trivially correct, hence the oracle for every matcher.
+inline uint64_t BruteForceCount(const Graph& q, const Graph& g) {
+  const uint32_t nq = q.num_vertices();
+  std::vector<VertexId> assign(nq, kInvalidVertex);
+  std::vector<bool> used(g.num_vertices(), false);
+  uint64_t count = 0;
+  auto rec = [&](auto&& self, uint32_t depth) -> void {
+    if (depth == nq) {
+      ++count;
+      return;
+    }
+    for (VertexId gv = 0; gv < g.num_vertices(); ++gv) {
+      if (used[gv] || g.label(gv) != q.label(depth)) continue;
+      bool ok = true;
+      auto qadj = q.neighbors(depth);
+      auto qel = q.edge_labels(depth);
+      for (size_t i = 0; i < qadj.size(); ++i) {
+        const VertexId qw = qadj[i];
+        if (qw < depth && !g.HasEdgeWithLabel(gv, assign[qw], qel[i])) {
+          ok = false;
+          break;
+        }
+      }
+      if (!ok) continue;
+      used[gv] = true;
+      assign[depth] = gv;
+      self(self, depth + 1);
+      used[gv] = false;
+      assign[depth] = kInvalidVertex;
+    }
+  };
+  rec(rec, 0);
+  return count;
+}
+
+}  // namespace psi::testing
+
+#endif  // PSI_TESTS_TEST_UTIL_HPP_

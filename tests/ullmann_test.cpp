@@ -1,0 +1,152 @@
+#include "ullmann/ullmann.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/dataset_gen.hpp"
+#include "gen/query_gen.hpp"
+#include "rewrite/rewrite.hpp"
+#include "tests/test_util.hpp"
+#include "vf2/vf2.hpp"
+
+namespace psi {
+namespace {
+
+using testing::BruteForceCount;
+using testing::MakeClique;
+using testing::MakeCycle;
+using testing::MakeGraph;
+using testing::MakePath;
+
+MatchOptions CountAll() {
+  MatchOptions o;
+  o.max_embeddings = UINT64_MAX;
+  return o;
+}
+
+TEST(UllmannTest, TriangleAutomorphisms) {
+  const Graph t = MakeCycle({0, 0, 0});
+  auto r = UllmannMatch(t, t, CountAll());
+  EXPECT_TRUE(r.complete);
+  EXPECT_EQ(r.embedding_count, 6u);
+}
+
+TEST(UllmannTest, LabelsAndDegreesSeedTheMatrix) {
+  // Query needs degree >= 2; leaf data vertices never enter the matrix.
+  const Graph q = MakeCycle({0, 0, 0});
+  const Graph g = MakeGraph({0, 0, 0, 0}, {{0, 1}, {1, 2}, {0, 2}, {2, 3}});
+  auto r = UllmannMatch(q, g, CountAll());
+  EXPECT_EQ(r.embedding_count, 6u);  // only the triangle 0-1-2
+}
+
+TEST(UllmannTest, RefinementPrunesImpossibleRows) {
+  // Star centre needs three distinct same-label neighbours; data offers 2.
+  const Graph q = testing::MakeStar({0, 1, 1, 1});
+  const Graph g = MakeGraph({0, 1, 1}, {{0, 1}, {0, 2}});
+  auto r = UllmannMatch(q, g, CountAll());
+  EXPECT_TRUE(r.complete);
+  EXPECT_EQ(r.embedding_count, 0u);
+}
+
+TEST(UllmannTest, EmptyQueryOneEmbedding) {
+  GraphBuilder b;
+  auto q = b.Build();
+  ASSERT_TRUE(q.ok());
+  const Graph g = MakePath({0, 0});
+  EXPECT_EQ(UllmannMatch(*q, g, CountAll()).embedding_count, 1u);
+}
+
+TEST(UllmannTest, MatcherAdapter) {
+  UllmannMatcher m;
+  const Graph g = MakeCycle({0, 1, 0, 1});
+  ASSERT_TRUE(m.Prepare(g).ok());
+  EXPECT_EQ(m.name(), "ULL");
+  auto r = m.Match(MakePath({0, 1}), CountAll());
+  EXPECT_EQ(r.embedding_count, 4u);
+}
+
+TEST(UllmannTest, RespectsCancellationAndDeadline) {
+  const Graph g = MakeClique(std::vector<LabelId>(24, 0));
+  const Graph q = MakeClique(std::vector<LabelId>(6, 0));
+  {
+    StopToken stop;
+    stop.RequestStop();
+    MatchOptions o = CountAll();
+    o.stop = &stop;
+    o.guard_period = 1;
+    auto r = UllmannMatch(q, g, o);
+    EXPECT_TRUE(r.cancelled);
+  }
+  {
+    MatchOptions o = CountAll();
+    o.deadline = Deadline::AfterMillis(2);
+    o.guard_period = 16;
+    auto r = UllmannMatch(q, g, o);
+    EXPECT_TRUE(r.timed_out);
+  }
+}
+
+TEST(UllmannTest, EdgeLabelsEnforced) {
+  GraphBuilder gb;
+  gb.AddVertex(0);
+  gb.AddVertex(0);
+  gb.AddVertex(0);
+  gb.AddEdge(0, 1, 5);
+  gb.AddEdge(1, 2, 6);
+  const Graph g = std::move(*gb.Build());
+  GraphBuilder qb;
+  qb.AddVertex(0);
+  qb.AddVertex(0);
+  qb.AddEdge(0, 1, 6);
+  const Graph q = std::move(*qb.Build());
+  auto r = UllmannMatch(q, g, CountAll());
+  EXPECT_EQ(r.embedding_count, 2u);  // only the label-6 edge, 2 directions
+}
+
+class UllmannCrossCheck : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(UllmannCrossCheck, AgreesWithBruteForceAndVf2) {
+  const uint64_t seed = GetParam();
+  gen::LargeGraphOptions o;
+  o.num_vertices = 18;
+  o.num_edges = 40;
+  o.num_labels = 3;
+  o.seed = seed;
+  const Graph g = gen::LargeGraph(o);
+  auto w = gen::GenerateWorkload(g, 3, 4, seed + 1);
+  ASSERT_TRUE(w.ok());
+  for (const auto& query : *w) {
+    const uint64_t oracle = BruteForceCount(query.graph, g);
+    EXPECT_EQ(UllmannMatch(query.graph, g, CountAll()).embedding_count,
+              oracle);
+    EXPECT_EQ(Vf2Match(query.graph, g, CountAll()).embedding_count, oracle);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, UllmannCrossCheck,
+                         ::testing::Values(401, 402, 403, 404, 405));
+
+TEST(UllmannTest, RewritingInvariance) {
+  gen::LargeGraphOptions o;
+  o.num_vertices = 22;
+  o.num_edges = 50;
+  o.num_labels = 3;
+  o.seed = 410;
+  const Graph g = gen::LargeGraph(o);
+  const LabelStats stats = LabelStats::FromGraph(g);
+  auto w = gen::GenerateWorkload(g, 2, 5, 411);
+  ASSERT_TRUE(w.ok());
+  for (const auto& query : *w) {
+    const uint64_t base =
+        UllmannMatch(query.graph, g, CountAll()).embedding_count;
+    for (Rewriting r : AllRewritings()) {
+      auto rq = RewriteQuery(query.graph, r, stats);
+      ASSERT_TRUE(rq.ok());
+      EXPECT_EQ(UllmannMatch(rq->graph, g, CountAll()).embedding_count,
+                base)
+          << ToString(r);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace psi

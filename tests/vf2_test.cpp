@@ -1,0 +1,232 @@
+#include "vf2/vf2.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/graph_algos.hpp"
+#include "gen/dataset_gen.hpp"
+#include "gen/query_gen.hpp"
+#include "rewrite/rewrite.hpp"
+#include "tests/test_util.hpp"
+
+namespace psi {
+namespace {
+
+using testing::BruteForceCount;
+using testing::MakeClique;
+using testing::MakeCycle;
+using testing::MakeGraph;
+using testing::MakePath;
+using testing::MakeStar;
+
+MatchOptions CountAll() {
+  MatchOptions o;
+  o.max_embeddings = UINT64_MAX;
+  return o;
+}
+
+TEST(Vf2Test, TriangleInTriangle) {
+  const Graph t = MakeCycle({0, 0, 0});
+  auto r = Vf2Match(t, t, CountAll());
+  EXPECT_TRUE(r.complete);
+  EXPECT_EQ(r.embedding_count, 6u);  // 3! automorphisms
+}
+
+TEST(Vf2Test, PathInCycleBothDirections) {
+  const Graph q = MakePath({0, 0});
+  const Graph g = MakeCycle({0, 0, 0, 0});
+  auto r = Vf2Match(q, g, CountAll());
+  EXPECT_EQ(r.embedding_count, 8u);  // 4 edges x 2 directions
+}
+
+TEST(Vf2Test, LabelsRestrictMatches) {
+  const Graph q = MakePath({1, 2});
+  const Graph g = MakeGraph({1, 2, 2, 1}, {{0, 1}, {1, 2}, {2, 3}});
+  // Embeddings of edge (1)-(2): (0,1), (3,2).
+  auto r = Vf2Match(q, g, CountAll());
+  EXPECT_EQ(r.embedding_count, 2u);
+}
+
+TEST(Vf2Test, NoMatchWhenLabelMissing) {
+  const Graph q = MakePath({9, 9});
+  const Graph g = MakeCycle({0, 0, 0});
+  auto r = Vf2Match(q, g, CountAll());
+  EXPECT_TRUE(r.complete);
+  EXPECT_EQ(r.embedding_count, 0u);
+}
+
+TEST(Vf2Test, NoMatchWhenQueryBigger) {
+  const Graph q = MakeClique({0, 0, 0, 0});
+  const Graph g = MakeClique({0, 0, 0});
+  auto r = Vf2Match(q, g, CountAll());
+  EXPECT_EQ(r.embedding_count, 0u);
+  EXPECT_TRUE(r.complete);
+}
+
+TEST(Vf2Test, NonInducedSemantics) {
+  // Path 0-1-2 must match inside a triangle even though the triangle has
+  // the extra chord (non-induced matching).
+  const Graph q = MakePath({0, 0, 0});
+  const Graph g = MakeCycle({0, 0, 0});
+  auto r = Vf2Match(q, g, CountAll());
+  EXPECT_EQ(r.embedding_count, 6u);
+}
+
+TEST(Vf2Test, EmptyQueryHasOneEmbedding) {
+  GraphBuilder b;
+  auto q = b.Build();
+  ASSERT_TRUE(q.ok());
+  const Graph g = MakePath({0, 0});
+  auto r = Vf2Match(*q, g, CountAll());
+  EXPECT_EQ(r.embedding_count, 1u);
+  EXPECT_TRUE(r.complete);
+}
+
+TEST(Vf2Test, DisconnectedQuery) {
+  // Two isolated labelled edges as query; data has two disjoint edges.
+  const Graph q = MakeGraph({0, 0, 1, 1}, {{0, 1}, {2, 3}});
+  const Graph g = MakeGraph({0, 0, 1, 1}, {{0, 1}, {2, 3}});
+  auto r = Vf2Match(q, g, CountAll());
+  // Edge(0,0): 2 embeddings; edge(1,1): 2 embeddings; independent: 4 total.
+  EXPECT_EQ(r.embedding_count, 4u);
+}
+
+TEST(Vf2Test, MaxEmbeddingsCapStopsSearch) {
+  const Graph q = MakePath({0, 0});
+  const Graph g = MakeClique({0, 0, 0, 0, 0});
+  MatchOptions o;
+  o.max_embeddings = 3;
+  auto r = Vf2Match(q, g, o);
+  EXPECT_EQ(r.embedding_count, 3u);
+  EXPECT_TRUE(r.complete);  // cap reached counts as complete
+}
+
+TEST(Vf2Test, SinkReceivesValidEmbeddings) {
+  const Graph q = MakeCycle({0, 1, 2});
+  const Graph g = MakeGraph({0, 1, 2, 0},
+                            {{0, 1}, {1, 2}, {2, 0}, {1, 3}, {2, 3}});
+  MatchOptions o = CountAll();
+  int seen = 0;
+  o.sink = [&](const Embedding& e) {
+    EXPECT_TRUE(IsValidEmbedding(q, g, e));
+    ++seen;
+    return true;
+  };
+  auto r = Vf2Match(q, g, o);
+  EXPECT_EQ(static_cast<uint64_t>(seen), r.embedding_count);
+  EXPECT_GT(seen, 0);
+}
+
+TEST(Vf2Test, SinkCanAbortSearch) {
+  const Graph q = MakePath({0, 0});
+  const Graph g = MakeClique({0, 0, 0, 0});
+  MatchOptions o = CountAll();
+  o.sink = [](const Embedding&) { return false; };
+  auto r = Vf2Match(q, g, o);
+  EXPECT_EQ(r.embedding_count, 1u);
+}
+
+TEST(Vf2Test, CancellationStopsSearch) {
+  // A worst-case unlabelled dense search, cancelled straight away.
+  const Graph q = MakeClique({0, 0, 0, 0, 0, 0});
+  const Graph g = MakeClique(std::vector<LabelId>(40, 0));
+  StopToken stop;
+  stop.RequestStop();
+  MatchOptions o = CountAll();
+  o.stop = &stop;
+  o.guard_period = 1;
+  auto r = Vf2Match(q, g, o);
+  EXPECT_TRUE(r.cancelled);
+  EXPECT_FALSE(r.complete);
+}
+
+TEST(Vf2Test, DeadlineTimesOut) {
+  // Big unlabelled clique-in-clique counting: cannot finish in 1ms.
+  const Graph q = MakeClique(std::vector<LabelId>(8, 0));
+  const Graph g = MakeClique(std::vector<LabelId>(48, 0));
+  MatchOptions o = CountAll();
+  o.deadline = Deadline::AfterMillis(1);
+  o.guard_period = 16;
+  auto r = Vf2Match(q, g, o);
+  EXPECT_TRUE(r.timed_out);
+  EXPECT_FALSE(r.complete);
+}
+
+TEST(Vf2Test, MatcherAdapterWorks) {
+  Vf2Matcher m;
+  const Graph g = MakeCycle({0, 1, 0, 1});
+  ASSERT_TRUE(m.Prepare(g).ok());
+  EXPECT_EQ(m.name(), "VF2");
+  EXPECT_EQ(m.data(), &g);
+  const Graph q = MakePath({0, 1});
+  // Each of the two label-0 vertices has two label-1 neighbours.
+  auto r = m.Match(q, CountAll());
+  EXPECT_EQ(r.embedding_count, 4u);
+}
+
+// Property: VF2 count equals brute force on random small graphs.
+struct RandomCaseParam {
+  uint64_t seed;
+  uint32_t data_n;
+  uint32_t query_edges;
+  uint32_t labels;
+};
+
+class Vf2RandomCrossCheck : public ::testing::TestWithParam<RandomCaseParam> {
+};
+
+TEST_P(Vf2RandomCrossCheck, AgreesWithBruteForce) {
+  const auto p = GetParam();
+  gen::LargeGraphOptions o;
+  o.num_vertices = p.data_n;
+  o.num_edges = p.data_n * 2;
+  o.num_labels = p.labels;
+  o.label_zipf_s = 0.8;
+  o.seed = p.seed;
+  const Graph g = gen::LargeGraph(o);
+  auto w = gen::GenerateWorkload(g, 3, p.query_edges, p.seed * 7 + 1);
+  ASSERT_TRUE(w.ok());
+  for (const auto& query : *w) {
+    auto r = Vf2Match(query.graph, g, CountAll());
+    ASSERT_TRUE(r.complete);
+    EXPECT_EQ(r.embedding_count, BruteForceCount(query.graph, g))
+        << "seed=" << p.seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, Vf2RandomCrossCheck,
+    ::testing::Values(RandomCaseParam{1, 12, 3, 3},
+                      RandomCaseParam{2, 14, 4, 4},
+                      RandomCaseParam{3, 16, 4, 2},
+                      RandomCaseParam{4, 18, 5, 5},
+                      RandomCaseParam{5, 20, 5, 3},
+                      RandomCaseParam{6, 22, 6, 6}));
+
+// Property: isomorphic rewritings never change the embedding count.
+class Vf2RewritingInvariance : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(Vf2RewritingInvariance, CountInvariantUnderRandomPermutation) {
+  const uint64_t seed = GetParam();
+  gen::LargeGraphOptions o;
+  o.num_vertices = 24;
+  o.num_edges = 60;
+  o.num_labels = 3;
+  o.seed = seed;
+  const Graph g = gen::LargeGraph(o);
+  auto w = gen::GenerateWorkload(g, 2, 5, seed + 100);
+  ASSERT_TRUE(w.ok());
+  for (const auto& query : *w) {
+    const uint64_t base = Vf2Match(query.graph, g, CountAll()).embedding_count;
+    auto instances = RandomInstances(query.graph, 4, seed);
+    ASSERT_TRUE(instances.ok());
+    for (const auto& inst : *instances) {
+      EXPECT_EQ(Vf2Match(inst.graph, g, CountAll()).embedding_count, base);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, Vf2RewritingInvariance,
+                         ::testing::Values(11, 22, 33, 44, 55));
+
+}  // namespace
+}  // namespace psi
