@@ -1,0 +1,197 @@
+// Executor-subsystem throughput: the deployment story beyond the paper's
+// measurement protocol.
+//
+//  (a) Serving loop, one client: the same ≥500-query NFV decision workload
+//      through a 4-variant portfolio race per query, once per race mode.
+//      kPool must beat kThreads on queries/second — it pays no per-race
+//      thread create/join and fast-cancels losers still in the queue.
+//  (b) Concurrent serving: 8 client threads partition the workload against
+//      one shared PsiEngine; pool mode must sustain at least the threaded
+//      throughput while every client gets a correct answer.
+//  (c) Whole-workload pipelining: RunWorkloadPsiParallel vs the serial
+//      serving loop on the same pool.
+//
+// Pool gauges (src/metrics/) are printed after every pool section.
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <thread>
+
+#include "bench/bench_util.hpp"
+#include "exec/executor.hpp"
+#include "graphql/graphql.hpp"
+#include "psi/engine.hpp"
+#include "spath/spath.hpp"
+
+namespace {
+
+using namespace psi;
+using namespace psi::bench;
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+struct ModeOutcome {
+  double seconds = 0.0;
+  double qps = 0.0;
+  size_t answered = 0;
+};
+
+ModeOutcome ServeSerial(const Portfolio& p,
+                        std::span<const gen::Query> workload,
+                        const LabelStats& stats, const RunnerOptions& ro,
+                        RaceMode mode, Executor* exec) {
+  const auto start = std::chrono::steady_clock::now();
+  const auto records = RunWorkloadPsi(p, workload, stats, ro, mode, exec);
+  ModeOutcome out;
+  out.seconds = SecondsSince(start);
+  out.qps = static_cast<double>(workload.size()) / out.seconds;
+  for (const auto& r : records) {
+    if (!r.killed) ++out.answered;
+  }
+  return out;
+}
+
+ModeOutcome ServeConcurrent(PsiEngine& engine,
+                            std::span<const gen::Query> workload,
+                            int num_clients) {
+  std::atomic<size_t> answered{0};
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> clients;
+  clients.reserve(num_clients);
+  for (int c = 0; c < num_clients; ++c) {
+    clients.emplace_back([&, c] {
+      // Round-robin partition: together the clients serve each query once.
+      for (size_t i = c; i < workload.size();
+           i += static_cast<size_t>(num_clients)) {
+        auto r = engine.Contains(workload[i].graph);
+        if (r.ok()) answered.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  ModeOutcome out;
+  out.seconds = SecondsSince(start);
+  out.qps = static_cast<double>(workload.size()) / out.seconds;
+  out.answered = answered.load();
+  return out;
+}
+
+std::unique_ptr<PsiEngine> ServingEngine(const Graph& data, RaceMode mode,
+                                         Executor* exec, double cap_ms) {
+  PsiEngineOptions o;
+  o.budget = std::chrono::nanoseconds(static_cast<int64_t>(cap_ms * 1e6));
+  o.mode = mode;
+  o.executor = exec;
+  auto engine = std::make_unique<PsiEngine>(o);
+  engine->AddMatcher(std::make_unique<GraphQlMatcher>());
+  engine->AddMatcher(std::make_unique<SPathMatcher>());
+  if (!engine->Prepare(data).ok()) return nullptr;
+  return engine;
+}
+
+}  // namespace
+
+int main() {
+  Banner("executor throughput",
+         "the exec-layer deployment scenario (beyond the paper's protocol)");
+
+  const Graph yeast = Yeast();
+  const LabelStats stats = LabelStats::FromGraph(yeast);
+  GraphQlMatcher gql;
+  SPathMatcher spa;
+  if (!gql.Prepare(yeast).ok() || !spa.Prepare(yeast).ok()) {
+    std::cerr << "matcher preparation failed\n";
+    return 1;
+  }
+  std::vector<const Matcher*> matchers = {&gql, &spa};
+  const std::vector<Rewriting> rewritings = {Rewriting::kOriginal,
+                                             Rewriting::kDnd};
+  const Portfolio portfolio =
+      MakeMultiAlgorithmPortfolio(matchers, rewritings);  // 4 variants
+
+  // >= 500 queries regardless of PSI_SCALE (scale only adds more).
+  const std::vector<gen::Query> workload =
+      NfvWorkload(yeast, {4, 6, 8}, QueriesPerSize(170), 20260730);
+  std::cout << "workload: " << workload.size() << " decision queries, "
+            << portfolio.entries.size() << " variants per race ("
+            << portfolio.name << ")\n\n";
+
+  RunnerOptions ro = NfvRunnerOptions();
+  ro.max_embeddings = 1;  // serving = decision problem
+
+  Executor pool;  // PSI_POOL_THREADS workers, shared by every pool section
+
+  // ---- (a) single-client serving loop --------------------------------
+  const ModeOutcome threads = ServeSerial(portfolio, workload, stats, ro,
+                                          RaceMode::kThreads, nullptr);
+  const ModeOutcome pooled =
+      ServeSerial(portfolio, workload, stats, ro, RaceMode::kPool, &pool);
+
+  std::cout << "single client, one race per query:\n";
+  TextTable t1;
+  t1.AddRow({"mode", "wall (s)", "QPS", "answered"});
+  t1.AddRow({"threads", TextTable::Num(threads.seconds, 2),
+             TextTable::Num(threads.qps, 1), std::to_string(threads.answered)});
+  t1.AddRow({"pool", TextTable::Num(pooled.seconds, 2),
+             TextTable::Num(pooled.qps, 1), std::to_string(pooled.answered)});
+  t1.Print(std::cout);
+  std::cout << "pool/threads QPS ratio: "
+            << TextTable::Num(pooled.qps / threads.qps, 2) << "x\n";
+  Shape(pooled.qps > threads.qps,
+        "RaceMode::kPool beats kThreads on single-client QPS");
+  std::cout << FormatPoolGauges(pool.gauges()) << "\n\n";
+
+  // ---- (b) 8 concurrent clients, one engine --------------------------
+  constexpr int kClients = 8;
+  auto threads_engine =
+      ServingEngine(yeast, RaceMode::kThreads, nullptr, CapMs());
+  auto pool_engine = ServingEngine(yeast, RaceMode::kPool, &pool, CapMs());
+  if (threads_engine == nullptr || pool_engine == nullptr) {
+    std::cerr << "engine preparation failed\n";
+    return 1;
+  }
+  const ModeOutcome conc_threads =
+      ServeConcurrent(*threads_engine, workload, kClients);
+  const ModeOutcome conc_pool =
+      ServeConcurrent(*pool_engine, workload, kClients);
+
+  std::cout << kClients << " concurrent clients, one shared PsiEngine:\n";
+  TextTable t2;
+  t2.AddRow({"mode", "wall (s)", "QPS", "answered"});
+  t2.AddRow({"threads", TextTable::Num(conc_threads.seconds, 2),
+             TextTable::Num(conc_threads.qps, 1),
+             std::to_string(conc_threads.answered)});
+  t2.AddRow({"pool", TextTable::Num(conc_pool.seconds, 2),
+             TextTable::Num(conc_pool.qps, 1),
+             std::to_string(conc_pool.answered)});
+  t2.Print(std::cout);
+  Shape(conc_pool.answered == workload.size(),
+        "pool engine answered every query under 8-client load");
+  Shape(conc_pool.qps >= conc_threads.qps,
+        "pool engine sustains >= threaded QPS under 8-client load");
+  std::cout << FormatPoolGauges(pool.gauges()) << "\n\n";
+
+  // ---- (c) whole-workload pipelining ---------------------------------
+  const auto start = std::chrono::steady_clock::now();
+  const auto par_records = RunWorkloadPsiParallel(portfolio, workload, stats,
+                                                  ro, RaceMode::kPool, &pool);
+  const double par_s = SecondsSince(start);
+  size_t par_answered = 0;
+  for (const auto& r : par_records) {
+    if (!r.killed) ++par_answered;
+  }
+  std::cout << "RunWorkloadPsiParallel: "
+            << TextTable::Num(
+                   static_cast<double>(workload.size()) / par_s, 1)
+            << " QPS (" << TextTable::Num(par_s, 2) << " s, " << par_answered
+            << " answered)\n";
+  Shape(par_answered == pooled.answered,
+        "parallel workload reproduces the serial serving answers");
+  std::cout << FormatPoolGauges(pool.gauges()) << "\n";
+  return 0;
+}

@@ -70,6 +70,7 @@ inline RaceMode ChooseRaceMode(size_t num_variants) {
   if (forced != nullptr) {
     if (std::strcmp(forced, "threads") == 0) return RaceMode::kThreads;
     if (std::strcmp(forced, "sequential") == 0) return RaceMode::kSequential;
+    if (std::strcmp(forced, "pool") == 0) return RaceMode::kPool;
   }
   return static_cast<size_t>(ThreadBudget()) >= num_variants
              ? RaceMode::kThreads
@@ -77,7 +78,12 @@ inline RaceMode ChooseRaceMode(size_t num_variants) {
 }
 
 inline const char* RaceModeName(RaceMode m) {
-  return m == RaceMode::kThreads ? "threads" : "sequential(idealized)";
+  switch (m) {
+    case RaceMode::kThreads: return "threads";
+    case RaceMode::kPool: return "pool";
+    case RaceMode::kSequential: return "sequential(idealized)";
+  }
+  return "?";
 }
 
 // ---- Scaled datasets (fixed seeds => reproducible tables) ----

@@ -24,4 +24,9 @@ int64_t ThreadBudget() {
   return EnvInt("PSI_THREADS", hw > 0 ? hw : 1);
 }
 
+int64_t PoolThreads() {
+  const int64_t v = EnvInt("PSI_POOL_THREADS", ThreadBudget());
+  return v > 0 ? v : 1;
+}
+
 }  // namespace psi

@@ -25,6 +25,11 @@ int64_t Scale();
 /// default: hardware concurrency).
 int64_t ThreadBudget();
 
+/// Worker count of the shared persistent executor pool (PSI_POOL_THREADS,
+/// default: ThreadBudget()). Lets deployments size the serving pool
+/// independently of the per-race thread budget.
+int64_t PoolThreads();
+
 }  // namespace psi
 
 #endif  // PSI_CORE_ENV_HPP_

@@ -1,0 +1,173 @@
+#include "exec/executor.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "core/env.hpp"
+
+namespace psi {
+
+Executor::Executor(size_t num_threads) {
+  if (num_threads == 0) {
+    num_threads = static_cast<size_t>(std::max<int64_t>(1, PoolThreads()));
+  }
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+Executor::~Executor() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void Executor::Submit(std::function<void()> task) {
+  Enqueue(QueuedTask{nullptr, std::move(task)});
+}
+
+void Executor::Enqueue(QueuedTask task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(task));
+    peak_queue_ = std::max<uint64_t>(peak_queue_, queue_.size());
+  }
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  cv_.notify_one();
+}
+
+void Executor::RunNow(QueuedTask task) {
+  // `executed_` is counted before running so the total is already visible
+  // to whoever the finishing task unblocks (TaskGroup::Wait returns from
+  // inside the task's completion hook). `busy_` covers helping waiters
+  // too, so it can transiently exceed the worker count.
+  executed_.fetch_add(1, std::memory_order_relaxed);
+  busy_.fetch_add(1, std::memory_order_relaxed);
+  task.fn();
+  busy_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+bool Executor::TryRunOne() {
+  QueuedTask task;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (queue_.empty()) return false;
+    task = std::move(queue_.front());
+    queue_.pop_front();
+  }
+  RunNow(std::move(task));
+  return true;
+}
+
+bool Executor::TryRunOneFromGroup(const TaskGroup* group) {
+  QueuedTask task;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = std::find_if(queue_.begin(), queue_.end(),
+                           [group](const QueuedTask& t) {
+                             return t.group == group;
+                           });
+    if (it == queue_.end()) return false;
+    task = std::move(*it);
+    queue_.erase(it);
+  }
+  RunNow(std::move(task));
+  return true;
+}
+
+void Executor::WorkerLoop() {
+  for (;;) {
+    QueuedTask task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      // Drain the whole queue before honouring shutdown, so every
+      // submitted task runs and no TaskGroup is left waiting forever.
+      if (queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    RunNow(std::move(task));
+  }
+}
+
+PoolGauges Executor::gauges() const {
+  PoolGauges g;
+  g.num_threads = workers_.size();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    g.queue_depth = queue_.size();
+    g.peak_queue_depth = static_cast<size_t>(peak_queue_);
+  }
+  g.busy_workers =
+      static_cast<size_t>(busy_.load(std::memory_order_relaxed));
+  g.tasks_submitted = submitted_.load(std::memory_order_relaxed);
+  g.tasks_executed = executed_.load(std::memory_order_relaxed);
+  g.tasks_discarded = discarded_.load(std::memory_order_relaxed);
+  return g;
+}
+
+Executor& Executor::Shared() {
+  // Leaked on purpose: worker threads may still be draining tasks during
+  // static destruction, and the OS reclaims everything at exit anyway.
+  static Executor* shared = new Executor();
+  return *shared;
+}
+
+TaskGroup::TaskGroup(Executor& executor, Deadline deadline)
+    : executor_(&executor), deadline_(deadline) {}
+
+TaskGroup::~TaskGroup() {
+  RequestStop();
+  Wait();
+}
+
+void TaskGroup::Spawn(std::function<void(bool)> fn) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++pending_;
+  }
+  executor_->Enqueue(Executor::QueuedTask{
+      this, [this, fn = std::move(fn)] {
+        const bool pre_cancelled = stop_.stop_requested();
+        if (pre_cancelled) executor_->NoteDiscarded();
+        fn(pre_cancelled);
+        FinishOne();
+      }});
+}
+
+void TaskGroup::FinishOne() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (--pending_ == 0) cv_.notify_all();
+}
+
+size_t TaskGroup::pending() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return pending_;
+}
+
+void TaskGroup::Wait() {
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      if (pending_ == 0) return;
+    }
+    // Help: run this group's queued work instead of sleeping — a blocked
+    // waiter is still a worker for its own tasks, which is what makes
+    // nested groups deadlock-free. Restricting the help to our own group
+    // keeps recursion bounded by the nesting depth and never adopts
+    // another client's (possibly long-running) task.
+    if (executor_->TryRunOneFromGroup(this)) continue;
+    std::unique_lock<std::mutex> lock(mutex_);
+    // The timeout is a belt-and-braces re-poll of the help path; group
+    // completions notify the condition variable directly.
+    cv_.wait_for(lock, std::chrono::milliseconds(10),
+                 [this] { return pending_ == 0; });
+  }
+}
+
+}  // namespace psi

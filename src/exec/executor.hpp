@@ -1,0 +1,176 @@
+// Persistent execution layer for the Ψ-framework (deployment side).
+//
+// The paper's measurement protocol races variants on freshly spawned
+// threads (src/psi/racer.cpp, RaceMode::kThreads), which is faithful to
+// §8 but pays thread-creation/join cost on every sub-iso test and cannot
+// serve more concurrent queries than cores without oversubscription. This
+// subsystem provides the production alternative:
+//
+//  * Executor  — a fixed-size worker pool created once per process (or per
+//                component); tasks are closures pulled from a shared FIFO.
+//  * TaskGroup — a join scope over a set of tasks, wrapping the existing
+//                StopToken/Deadline machinery from core/stop_token.hpp so
+//                a whole group can be cancelled cooperatively. A race is
+//                one group; a parallel workload is one group; cancelling
+//                the group trips every member's CostGuard.
+//
+// Two properties make the pool safe to share across the whole system:
+//
+//  1. Fast-cancel at dequeue: a task whose group was cancelled before it
+//     started never runs its body (it is counted in `tasks_discarded`).
+//     Racing on the pool therefore costs ~nothing for variants that lose
+//     while still queued — the main reason RaceMode::kPool beats
+//     kThreads on throughput.
+//
+//  2. Helping Wait(): TaskGroup::Wait() runs queued tasks of *its own
+//     group* on the waiting thread instead of blocking while such work
+//     is available. Nested parallelism (a pooled workload whose queries
+//     run pooled races) cannot deadlock: every blocked waiter can always
+//     execute its group's queued tasks itself, and by induction over the
+//     nesting the leaves complete. Scoping the help to the waiter's own
+//     group keeps the recursion bounded by the nesting depth (never by
+//     the queue length) and means a short query's Wait() never adopts
+//     another client's long-running task.
+//
+// Thread-safety: every public member of Executor and TaskGroup may be
+// called from any thread, except that a TaskGroup must stay alive until
+// its Wait() returned (the destructor enforces this by cancelling and
+// waiting).
+
+#ifndef PSI_EXEC_EXECUTOR_HPP_
+#define PSI_EXEC_EXECUTOR_HPP_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/stop_token.hpp"
+#include "metrics/metrics.hpp"
+
+namespace psi {
+
+class TaskGroup;
+
+class Executor {
+ public:
+  /// `num_threads == 0` uses the PSI_POOL_THREADS / PSI_THREADS budget
+  /// (core/env.hpp), i.e. hardware concurrency by default.
+  explicit Executor(size_t num_threads = 0);
+
+  /// Drains the queue (every submitted task still runs) and joins the
+  /// workers. Do not destroy an Executor while a TaskGroup built on it is
+  /// still alive.
+  ~Executor();
+
+  Executor(const Executor&) = delete;
+  Executor& operator=(const Executor&) = delete;
+
+  /// Enqueues a fire-and-forget task. Prefer TaskGroup::Spawn, which adds
+  /// join/cancel semantics on top.
+  void Submit(std::function<void()> task);
+
+  /// Runs one queued task on the calling thread, if any is waiting.
+  /// Returns false when the queue was empty.
+  bool TryRunOne();
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Consistent-enough snapshot of the pool counters (individual fields
+  /// are exact; cross-field invariants may lag by in-flight tasks).
+  PoolGauges gauges() const;
+
+  /// The process-wide pool, created on first use with the environment
+  /// thread budget and intentionally never destroyed (tasks may still be
+  /// draining at exit).
+  static Executor& Shared();
+
+ private:
+  friend class TaskGroup;
+
+  /// A queued closure tagged with its owning group (nullptr for plain
+  /// Submit) so group waiters can help with exactly their own work.
+  struct QueuedTask {
+    const TaskGroup* group = nullptr;
+    std::function<void()> fn;
+  };
+
+  void Enqueue(QueuedTask task);
+  /// Runs the first queued task belonging to `group` on the calling
+  /// thread; returns false when none is queued. The helping primitive
+  /// TaskGroup::Wait() is built on.
+  bool TryRunOneFromGroup(const TaskGroup* group);
+  void RunNow(QueuedTask task);
+  void WorkerLoop();
+  void NoteDiscarded() { discarded_.fetch_add(1, std::memory_order_relaxed); }
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<QueuedTask> queue_;  // guarded by mutex_
+  uint64_t peak_queue_ = 0;       // guarded by mutex_
+  bool shutdown_ = false;         // guarded by mutex_
+  std::vector<std::thread> workers_;
+
+  std::atomic<uint64_t> submitted_{0};
+  std::atomic<uint64_t> executed_{0};
+  std::atomic<uint64_t> discarded_{0};
+  std::atomic<uint64_t> busy_{0};
+};
+
+/// A cancellable join scope over tasks submitted to one Executor.
+class TaskGroup {
+ public:
+  /// `deadline` is carried for the group's members to consult (the racer
+  /// forwards it into MatchOptions); the group itself never enforces it.
+  explicit TaskGroup(Executor& executor, Deadline deadline = Deadline());
+
+  /// Cancels and waits for stragglers so no task outlives the group.
+  ~TaskGroup();
+
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  /// Schedules `fn` on the pool. `fn` receives true when the group was
+  /// cancelled before the task started (fast-cancel): the body should
+  /// record a cancelled outcome and return immediately without doing its
+  /// work.
+  void Spawn(std::function<void(bool pre_cancelled)> fn);
+
+  /// Blocks until every spawned task finished, running this group's
+  /// queued tasks on the waiting thread meanwhile (see header comment).
+  void Wait();
+
+  /// Requests cooperative cancellation of all members: running tasks see
+  /// it through their CostGuard, queued tasks are fast-cancelled.
+  void RequestStop() { stop_.RequestStop(); }
+
+  const StopToken& stop() const { return stop_; }
+  /// The token members should poll (e.g. via MatchOptions::stop).
+  const StopToken* stop_token() const { return &stop_; }
+  /// Mutable token access, for members that trip the group themselves
+  /// (first-success-wins patterns like the Ψ racer).
+  StopToken& token() { return stop_; }
+  Deadline deadline() const { return deadline_; }
+
+  /// Tasks spawned but not yet finished (racy by nature; exact only when
+  /// no Spawn can run concurrently).
+  size_t pending() const;
+
+ private:
+  void FinishOne();
+
+  Executor* executor_;
+  StopToken stop_;
+  Deadline deadline_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  size_t pending_ = 0;  // guarded by mutex_
+};
+
+}  // namespace psi
+
+#endif  // PSI_EXEC_EXECUTOR_HPP_

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 
 namespace psi {
 
@@ -88,6 +89,33 @@ std::string_view ToString(Bucket b) {
     case Bucket::kHard: return "hard";
   }
   return "?";
+}
+
+double PoolGauges::utilization() const {
+  if (num_threads == 0) return 0.0;
+  const size_t busy = std::min(busy_workers, num_threads);
+  return static_cast<double>(busy) / static_cast<double>(num_threads);
+}
+
+double PoolGauges::discard_rate() const {
+  if (tasks_executed == 0) return 0.0;
+  return static_cast<double>(tasks_discarded) /
+         static_cast<double>(tasks_executed);
+}
+
+std::string FormatPoolGauges(const PoolGauges& g) {
+  std::string out = "pool[threads=" + std::to_string(g.num_threads);
+  out += " busy=" + std::to_string(g.busy_workers);
+  out += " queue=" + std::to_string(g.queue_depth);
+  out += " peak_queue=" + std::to_string(g.peak_queue_depth);
+  out += " submitted=" + std::to_string(g.tasks_submitted);
+  out += " executed=" + std::to_string(g.tasks_executed);
+  out += " discarded=" + std::to_string(g.tasks_discarded);
+  char pct[32];
+  std::snprintf(pct, sizeof(pct), " util=%.0f%%", 100.0 * g.utilization());
+  out += pct;
+  out += "]";
+  return out;
 }
 
 Bucket Classify(double ms, bool killed, const BucketThresholds& t) {

@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <span>
+#include <string>
 #include <string_view>
 #include <vector>
 
@@ -67,6 +68,32 @@ struct BucketThresholds {
 /// `killed` marks queries terminated at the cap regardless of their
 /// recorded time.
 Bucket Classify(double ms, bool killed, const BucketThresholds& t);
+
+/// Snapshot of the persistent executor pool (src/exec/), surfaced by the
+/// bench harnesses next to the workload tables. `tasks_executed` counts
+/// every task a thread dequeued and ran; `tasks_discarded` is the subset whose group
+/// was cancelled before the task started, so only the envelope ran (the
+/// fast-cancel path that makes pool racing cheap: losing variants that
+/// never left the queue cost almost nothing).
+struct PoolGauges {
+  size_t num_threads = 0;
+  size_t queue_depth = 0;       ///< tasks currently waiting
+  size_t peak_queue_depth = 0;  ///< high-water mark since construction
+  /// Threads currently inside a pool task — workers plus helping
+  /// waiters, so transiently up to num_threads + concurrent waiters.
+  size_t busy_workers = 0;
+  uint64_t tasks_submitted = 0;
+  uint64_t tasks_executed = 0;
+  uint64_t tasks_discarded = 0;
+
+  /// Fraction of pool threads currently busy, in [0, 1].
+  double utilization() const;
+  /// Fraction of executed tasks that were fast-cancelled, in [0, 1].
+  double discard_rate() const;
+};
+
+/// One-line human-readable rendering for bench output.
+std::string FormatPoolGauges(const PoolGauges& g);
 
 /// Aggregate of one workload's bucket structure (rows of Fig 1/2, Tab 3/4).
 struct BucketBreakdown {

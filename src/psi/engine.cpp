@@ -56,6 +56,7 @@ RaceResult PsiEngine::Run(const Graph& query, uint64_t max_embeddings) {
   ro.budget = options_.budget;
   ro.max_embeddings = max_embeddings;
   ro.mode = options_.mode;
+  ro.executor = options_.executor;
   RaceResult r = RunPortfolio(active, query, stats_, ro);
   if (options_.learn && r.completed()) {
     // Map the winner back to its index in the *full* portfolio so learned

@@ -33,7 +33,12 @@ struct PsiEngineOptions {
   std::chrono::nanoseconds budget = std::chrono::seconds(10);
   /// Embedding cap for matching calls (paper: 1000).
   uint64_t max_embeddings = 1000;
+  /// kThreads is the paper-faithful §8 setup; kPool is the deployment
+  /// mode — all races share one persistent pool (see src/exec/), which is
+  /// what makes many concurrent clients cheap.
   RaceMode mode = RaceMode::kThreads;
+  /// Pool used when mode == kPool; nullptr = Executor::Shared().
+  Executor* executor = nullptr;
   /// Rewritings raced per matcher. Default: Orig + DND (the paper's most
   /// cost-effective NFV configuration, Fig 14-15).
   std::vector<Rewriting> rewritings = {Rewriting::kOriginal,
@@ -56,8 +61,15 @@ class PsiEngine {
   void AddMatcher(std::unique_ptr<Matcher> matcher);
 
   /// Builds every matcher's index over `data` and the label statistics
-  /// the ILF rewritings need. `data` must outlive the engine.
+  /// the ILF rewritings need. `data` must outlive the engine. Not
+  /// thread-safe; call once before serving queries.
   Status Prepare(const Graph& data);
+
+  // After Prepare, the query entry points below are safe to call from any
+  // number of client threads concurrently: the portfolio, indexes and
+  // stats are immutable, every race keeps its state on the calling
+  // thread's stack with its own cancellation group, and the learning
+  // selector is the only shared mutable state (guarded by a mutex).
 
   /// Races the portfolio on `query` in decision mode (first match wins).
   Result<bool> Contains(const Graph& query);
@@ -71,7 +83,10 @@ class PsiEngine {
 
   const Portfolio& portfolio() const { return portfolio_; }
   const LabelStats& stats() const { return stats_; }
-  size_t observed_races() const { return selector_.sample_count(); }
+  size_t observed_races() const {
+    std::lock_guard<std::mutex> lock(selector_mutex_);
+    return selector_.sample_count();
+  }
 
  private:
   Portfolio SelectPortfolio(const Graph& query);
@@ -82,7 +97,7 @@ class PsiEngine {
   LabelStats stats_;
   Portfolio portfolio_;  // the full portfolio
   OnlineSelector selector_;
-  std::mutex selector_mutex_;
+  mutable std::mutex selector_mutex_;
 };
 
 }  // namespace psi

@@ -1,5 +1,6 @@
 #include "psi/racer.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <thread>
 
@@ -7,53 +8,101 @@ namespace psi {
 
 namespace {
 
-RaceResult RaceThreads(std::span<const RaceVariant> variants,
-                       const RaceOptions& options) {
+/// Concurrent-race state shared by the threads and pool backends; the
+/// backends differ only in how they put variants on threads.
+struct RaceShared {
   RaceResult out;
-  out.workers.resize(variants.size());
-  StopToken stop;
   std::atomic<int> winner{-1};
   std::atomic<int64_t> winner_ns{0};
+  std::chrono::steady_clock::time_point start;
 
-  const auto start = std::chrono::steady_clock::now();
-  const Deadline shared_deadline = options.budget.count() > 0
-                                       ? Deadline::After(options.budget)
-                                       : Deadline();
+  explicit RaceShared(std::span<const RaceVariant> variants) {
+    out.workers.resize(variants.size());
+    for (size_t i = 0; i < variants.size(); ++i) {
+      out.workers[i].name = variants[i].name;
+    }
+    start = std::chrono::steady_clock::now();
+  }
+};
+
+Deadline SharedDeadline(const RaceOptions& options) {
+  return options.budget.count() > 0 ? Deadline::After(options.budget)
+                                    : Deadline();
+}
+
+/// Runs variant `i` under the race's shared deadline/token, records its
+/// outcome, and — on the race's first completion — claims the win and
+/// trips `stop` to call off the rest of the race.
+void RunVariant(const RaceVariant& variant, size_t i,
+                const RaceOptions& options, Deadline deadline,
+                StopToken& stop, RaceShared& s) {
+  MatchOptions mo;
+  mo.max_embeddings = options.max_embeddings;
+  mo.deadline = deadline;
+  mo.stop = &stop;
+  mo.guard_period = options.guard_period;
+  MatchResult r = variant.run(mo);
+  s.out.workers[i].result = r;
+  if (r.complete) {
+    int expected = -1;
+    if (s.winner.compare_exchange_strong(expected, static_cast<int>(i))) {
+      s.winner_ns.store(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                            std::chrono::steady_clock::now() - s.start)
+                            .count());
+      stop.RequestStop();
+    }
+  }
+}
+
+RaceResult FinishRace(RaceShared& s) {
+  s.out.winner = s.winner.load();
+  if (s.out.winner >= 0) {
+    s.out.result = s.out.workers[s.out.winner].result;
+    s.out.wall = std::chrono::nanoseconds(s.winner_ns.load());
+  } else {
+    // Everybody was killed at the cap.
+    s.out.wall = std::chrono::steady_clock::now() - s.start;
+  }
+  return std::move(s.out);
+}
+
+RaceResult RaceThreads(std::span<const RaceVariant> variants,
+                       const RaceOptions& options) {
+  RaceShared s(variants);
+  StopToken stop;
+  const Deadline deadline = SharedDeadline(options);
   std::vector<std::thread> threads;
   threads.reserve(variants.size());
   for (size_t i = 0; i < variants.size(); ++i) {
-    threads.emplace_back([&, i] {
-      MatchOptions mo;
-      mo.max_embeddings = options.max_embeddings;
-      mo.deadline = shared_deadline;
-      mo.stop = &stop;
-      mo.guard_period = options.guard_period;
-      MatchResult r = variants[i].run(mo);
-      out.workers[i].name = variants[i].name;
-      out.workers[i].result = r;
-      if (r.complete) {
-        int expected = -1;
-        if (winner.compare_exchange_strong(expected, static_cast<int>(i))) {
-          winner_ns.store(std::chrono::duration_cast<std::chrono::nanoseconds>(
-                              std::chrono::steady_clock::now() - start)
-                              .count());
-          // First completion: call off the rest of the race.
-          stop.RequestStop();
-        }
-      }
-    });
+    threads.emplace_back(
+        [&, i] { RunVariant(variants[i], i, options, deadline, stop, s); });
   }
   for (auto& t : threads) t.join();
+  return FinishRace(s);
+}
 
-  out.winner = winner.load();
-  if (out.winner >= 0) {
-    out.result = out.workers[out.winner].result;
-    out.wall = std::chrono::nanoseconds(winner_ns.load());
-  } else {
-    // Everybody was killed at the cap.
-    out.wall = std::chrono::steady_clock::now() - start;
+RaceResult RacePool(std::span<const RaceVariant> variants,
+                    const RaceOptions& options) {
+  Executor& exec =
+      options.executor != nullptr ? *options.executor : Executor::Shared();
+  RaceShared s(variants);
+  TaskGroup group(exec, SharedDeadline(options));
+  for (size_t i = 0; i < variants.size(); ++i) {
+    group.Spawn([&, i](bool pre_cancelled) {
+      if (pre_cancelled) {
+        // Fast-cancel: the winner finished while this variant was still
+        // queued; it never ran at all.
+        s.out.workers[i].result.cancelled = true;
+        return;
+      }
+      RunVariant(variants[i], i, options, group.deadline(), group.token(), s);
+    });
   }
-  return out;
+  // Like the threads mode, wait for every member before returning:
+  // stragglers abandon quickly once the group token is tripped, and the
+  // outcome vector lives on this stack frame.
+  group.Wait();
+  return FinishRace(s);
 }
 
 RaceResult RaceSequential(std::span<const RaceVariant> variants,
@@ -81,23 +130,54 @@ RaceResult RaceSequential(std::span<const RaceVariant> variants,
   if (out.winner >= 0) {
     out.result = out.workers[out.winner].result;
     out.wall = best;
-  } else if (!out.workers.empty()) {
+  } else if (options.budget.count() > 0) {
     // All killed: the idealized race still costs the cap.
-    out.wall = out.workers[0].result.elapsed;
+    out.wall = options.budget;
+  } else {
+    // Uncapped all-killed can only come from external cancellation; charge
+    // the longest attempt.
+    for (const auto& w : out.workers) {
+      out.wall = std::max(out.wall, w.result.elapsed);
+    }
   }
   return out;
 }
 
 }  // namespace
 
+std::string_view ToString(RaceMode mode) {
+  switch (mode) {
+    case RaceMode::kThreads: return "threads";
+    case RaceMode::kSequential: return "sequential";
+    case RaceMode::kPool: return "pool";
+  }
+  return "?";
+}
+
 RaceResult Race(std::span<const RaceVariant> variants,
                 const RaceOptions& options) {
-  if (variants.empty()) return RaceResult{};
-  if (options.mode == RaceMode::kSequential ||
-      variants.size() == 1) {
-    return RaceSequential(variants, options);
+  if (variants.empty()) {
+    RaceResult empty;
+    empty.mode = options.mode;
+    return empty;
   }
-  return RaceThreads(variants, options);
+  // Single-variant races still execute under the requested mode: the
+  // mechanics are equivalent, but downgrading silently would mislabel
+  // mode-tagged metrics and skip the pool accounting.
+  RaceResult out;
+  switch (options.mode) {
+    case RaceMode::kSequential:
+      out = RaceSequential(variants, options);
+      break;
+    case RaceMode::kPool:
+      out = RacePool(variants, options);
+      break;
+    case RaceMode::kThreads:
+      out = RaceThreads(variants, options);
+      break;
+  }
+  out.mode = options.mode;
+  return out;
 }
 
 }  // namespace psi

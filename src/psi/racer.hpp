@@ -7,11 +7,18 @@
 // are cancelled through a shared StopToken, which their CostGuards poll
 // every few hundred search steps; no thread is ever forcibly killed.
 //
-// Two execution modes:
-//  * kThreads    — real std::thread racing, first-finisher-wins. This is
-//                  the deployment mode; on a machine with >= N cores the
-//                  query latency equals the fastest variant's time plus a
-//                  small cancellation overhead.
+// Three execution modes:
+//  * kThreads    — real std::thread racing, first-finisher-wins, one fresh
+//                  thread per variant. Faithful to the paper's §8 setup;
+//                  on a machine with >= N cores the query latency equals
+//                  the fastest variant's time plus a small cancellation
+//                  overhead, but every race pays thread create/join cost.
+//  * kPool       — the deployment mode: variants are submitted as one
+//                  cancellation TaskGroup to a persistent Executor
+//                  (src/exec/). No per-race thread churn, races from many
+//                  client threads share one pool, and losing variants that
+//                  are still queued when the winner finishes are discarded
+//                  without ever starting.
 //  * kSequential — runs every variant to its own cap, one after another,
 //                  and reports the idealized race outcome (winner = the
 //                  fastest completed variant). This mode measures the full
@@ -26,9 +33,11 @@
 #include <functional>
 #include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/stop_token.hpp"
+#include "exec/executor.hpp"
 #include "match/matcher.hpp"
 
 namespace psi {
@@ -43,7 +52,10 @@ struct RaceVariant {
 enum class RaceMode {
   kThreads,
   kSequential,
+  kPool,
 };
+
+std::string_view ToString(RaceMode mode);
 
 struct RaceOptions {
   /// Per-test kill budget (the paper's 10-minute cap, scaled); zero means
@@ -55,6 +67,9 @@ struct RaceOptions {
   uint64_t max_embeddings = 1;
   RaceMode mode = RaceMode::kThreads;
   uint32_t guard_period = 256;
+  /// Pool used by kPool races; nullptr means the process-wide
+  /// Executor::Shared(). Ignored by the other modes.
+  Executor* executor = nullptr;
 };
 
 /// Per-variant outcome of a race.
@@ -68,10 +83,14 @@ struct RaceResult {
   int winner = -1;
   /// The winner's MatchResult (default-constructed when winner == -1).
   MatchResult result;
-  /// Wall-clock time until the winner completed (threads mode) or the
-  /// idealized min over completed variants (sequential mode). Equals the
-  /// cap when all variants were killed.
+  /// Wall-clock time until the winner completed (threads/pool mode) or
+  /// the idealized min over completed variants (sequential mode). Equals
+  /// the cap when all variants were killed.
   std::chrono::nanoseconds wall{0};
+  /// The mode the race actually executed under — always the requested
+  /// mode, so mode-labelled metrics stay truthful even for one-variant
+  /// races.
+  RaceMode mode = RaceMode::kThreads;
   /// All per-variant outcomes, in variant order.
   std::vector<WorkerOutcome> workers;
 

@@ -48,11 +48,12 @@ std::vector<QueryRecord> RunWorkload(const Matcher& matcher,
 
 QueryRecord RunOnePsi(const Portfolio& portfolio, const Graph& query,
                       const LabelStats& stats, const RunnerOptions& options,
-                      RaceMode mode) {
+                      RaceMode mode, Executor* executor) {
   RaceOptions ro;
   ro.budget = BudgetOf(options);
   ro.max_embeddings = options.max_embeddings;
   ro.mode = mode;
+  ro.executor = executor;
   const RaceResult race = RunPortfolio(portfolio, query, stats, ro);
   QueryRecord rec;
   rec.killed = !race.completed();
@@ -68,12 +69,31 @@ std::vector<QueryRecord> RunWorkloadPsi(const Portfolio& portfolio,
                                         std::span<const gen::Query> workload,
                                         const LabelStats& stats,
                                         const RunnerOptions& options,
-                                        RaceMode mode) {
+                                        RaceMode mode, Executor* executor) {
   std::vector<QueryRecord> out;
   out.reserve(workload.size());
   for (const gen::Query& q : workload) {
-    out.push_back(RunOnePsi(portfolio, q.graph, stats, options, mode));
+    out.push_back(RunOnePsi(portfolio, q.graph, stats, options, mode,
+                            executor));
   }
+  return out;
+}
+
+std::vector<QueryRecord> RunWorkloadPsiParallel(
+    const Portfolio& portfolio, std::span<const gen::Query> workload,
+    const LabelStats& stats, const RunnerOptions& options, RaceMode mode,
+    Executor* executor) {
+  Executor& exec = executor != nullptr ? *executor : Executor::Shared();
+  std::vector<QueryRecord> out(workload.size());
+  TaskGroup group(exec);
+  for (size_t i = 0; i < workload.size(); ++i) {
+    group.Spawn([&, i](bool pre_cancelled) {
+      if (pre_cancelled) return;  // only on group teardown, never here
+      out[i] =
+          RunOnePsi(portfolio, workload[i].graph, stats, options, mode, &exec);
+    });
+  }
+  group.Wait();
   return out;
 }
 
@@ -127,47 +147,106 @@ std::vector<FtvPairRecord> RunFtvWorkload(
   return out;
 }
 
+namespace {
+
+/// Races one (query instance set, candidate) verification and fills the
+/// record fields common to the serial and parallel FTV runners.
+FtvPairRecord RaceFtvPair(const GrapesIndex& index,
+                          std::span<const RewrittenQuery> instances,
+                          const GrapesCandidate& cand, uint32_t query_index,
+                          const RunnerOptions& options, RaceMode mode,
+                          Executor* executor) {
+  std::vector<RaceVariant> variants;
+  variants.reserve(instances.size());
+  for (const RewrittenQuery& inst : instances) {
+    variants.push_back(RaceVariant{
+        std::string(ToString(inst.rewriting)),
+        [&index, &inst, &cand](const MatchOptions& mo) {
+          return index.VerifyCandidate(inst.graph, cand, mo);
+        }});
+  }
+  RaceOptions ro;
+  ro.budget = BudgetOf(options);
+  ro.max_embeddings = 1;
+  ro.mode = mode;
+  ro.executor = executor;
+  const RaceResult race = Race(variants, ro);
+  FtvPairRecord rec;
+  rec.query_index = query_index;
+  rec.graph_id = cand.graph_id;
+  rec.killed = !race.completed();
+  rec.ms = rec.killed && options.cap_ms > 0.0
+               ? options.cap_ms
+               : std::chrono::duration<double, std::milli>(race.wall).count();
+  rec.matched = race.completed() && race.result.found();
+  return rec;
+}
+
+std::vector<RewrittenQuery> RewriteInstances(
+    const Graph& query, std::span<const Rewriting> rewritings,
+    const LabelStats& stats) {
+  std::vector<RewrittenQuery> instances;
+  instances.reserve(rewritings.size());
+  for (Rewriting r : rewritings) {
+    auto rq = RewriteQuery(query, r, stats);
+    if (rq.ok()) instances.push_back(std::move(rq).value());
+  }
+  return instances;
+}
+
+}  // namespace
+
 std::vector<FtvPairRecord> RunFtvWorkloadPsi(
     const GrapesIndex& index, std::span<const gen::Query> workload,
     std::span<const Rewriting> rewritings, const LabelStats& stats,
-    const RunnerOptions& options, RaceMode mode) {
+    const RunnerOptions& options, RaceMode mode, Executor* executor) {
   std::vector<FtvPairRecord> out;
   for (uint32_t qi = 0; qi < workload.size(); ++qi) {
     const Graph& query = workload[qi].graph;
     // Rewrite once per query; instances are shared across candidates.
-    std::vector<RewrittenQuery> instances;
-    instances.reserve(rewritings.size());
-    for (Rewriting r : rewritings) {
-      auto rq = RewriteQuery(query, r, stats);
-      if (rq.ok()) instances.push_back(std::move(rq).value());
-    }
+    const std::vector<RewrittenQuery> instances =
+        RewriteInstances(query, rewritings, stats);
     for (const GrapesCandidate& cand : index.Filter(query)) {
-      std::vector<RaceVariant> variants;
-      variants.reserve(instances.size());
-      for (const RewrittenQuery& inst : instances) {
-        variants.push_back(RaceVariant{
-            std::string(ToString(inst.rewriting)),
-            [&index, &inst, &cand](const MatchOptions& mo) {
-              return index.VerifyCandidate(inst.graph, cand, mo);
-            }});
-      }
-      RaceOptions ro;
-      ro.budget = BudgetOf(options);
-      ro.max_embeddings = 1;
-      ro.mode = mode;
-      const RaceResult race = Race(variants, ro);
-      FtvPairRecord rec;
-      rec.query_index = qi;
-      rec.graph_id = cand.graph_id;
-      rec.killed = !race.completed();
-      rec.ms = rec.killed && options.cap_ms > 0.0
-                   ? options.cap_ms
-                   : std::chrono::duration<double, std::milli>(race.wall)
-                         .count();
-      rec.matched = race.completed() && race.result.found();
-      out.push_back(rec);
+      out.push_back(RaceFtvPair(index, instances, cand, qi, options, mode,
+                                executor));
     }
   }
+  return out;
+}
+
+std::vector<FtvPairRecord> RunFtvWorkloadPsiParallel(
+    const GrapesIndex& index, std::span<const gen::Query> workload,
+    std::span<const Rewriting> rewritings, const LabelStats& stats,
+    const RunnerOptions& options, RaceMode mode, Executor* executor) {
+  Executor& exec = executor != nullptr ? *executor : Executor::Shared();
+  // Serial phase: rewrite per query and enumerate every (query, candidate)
+  // pair, so the parallel phase has stable storage and a fixed order.
+  std::vector<std::vector<RewrittenQuery>> instances_per_query;
+  instances_per_query.reserve(workload.size());
+  struct Pair {
+    uint32_t query_index;
+    GrapesCandidate cand;
+  };
+  std::vector<Pair> pairs;
+  for (uint32_t qi = 0; qi < workload.size(); ++qi) {
+    const Graph& query = workload[qi].graph;
+    instances_per_query.push_back(RewriteInstances(query, rewritings, stats));
+    for (const GrapesCandidate& cand : index.Filter(query)) {
+      pairs.push_back({qi, cand});
+    }
+  }
+  // Parallel phase: one pool task per verification race.
+  std::vector<FtvPairRecord> out(pairs.size());
+  TaskGroup group(exec);
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    group.Spawn([&, i](bool pre_cancelled) {
+      if (pre_cancelled) return;
+      const Pair& p = pairs[i];
+      out[i] = RaceFtvPair(index, instances_per_query[p.query_index], p.cand,
+                           p.query_index, options, mode, &exec);
+    });
+  }
+  group.Wait();
   return out;
 }
 

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "core/stop_token.hpp"
+#include "exec/executor.hpp"
 #include "gen/query_gen.hpp"
 #include "ggsx/ggsx.hpp"
 #include "grapes/grapes.hpp"
@@ -49,14 +50,31 @@ std::vector<QueryRecord> RunWorkload(const Matcher& matcher,
 
 /// Runs one query through a Ψ portfolio race; the record reflects the
 /// race outcome (killed only when *every* contender was killed).
+/// `executor` backs kPool races (nullptr = the shared pool).
 QueryRecord RunOnePsi(const Portfolio& portfolio, const Graph& query,
                       const LabelStats& stats, const RunnerOptions& options,
-                      RaceMode mode);
+                      RaceMode mode, Executor* executor = nullptr);
 std::vector<QueryRecord> RunWorkloadPsi(const Portfolio& portfolio,
                                         std::span<const gen::Query> workload,
                                         const LabelStats& stats,
                                         const RunnerOptions& options,
-                                        RaceMode mode);
+                                        RaceMode mode,
+                                        Executor* executor = nullptr);
+
+/// Pipelines the whole workload through the persistent pool: queries run
+/// as parallel tasks, and (with mode == kPool) each query's race shares
+/// the same pool — the helping TaskGroup::Wait makes the nesting safe.
+/// Records land in workload order, and each record still measures its own
+/// race. Caveat: a race's budget runs from the moment its query task
+/// starts, and on a saturated pool its variants contend with other
+/// queries for workers — so queries near the cap can be recorded killed
+/// here that the serial runner completes. That is inherent to capped
+/// racing under load (oversubscribed kThreads behaves the same way);
+/// give the cap headroom when comparing against serial records.
+std::vector<QueryRecord> RunWorkloadPsiParallel(
+    const Portfolio& portfolio, std::span<const gen::Query> workload,
+    const LabelStats& stats, const RunnerOptions& options, RaceMode mode,
+    Executor* executor = nullptr);
 
 /// One (query, stored graph) verification data point of the FTV protocol.
 struct FtvPairRecord {
@@ -82,7 +100,18 @@ std::vector<FtvPairRecord> RunFtvWorkload(
 std::vector<FtvPairRecord> RunFtvWorkloadPsi(
     const GrapesIndex& index, std::span<const gen::Query> workload,
     std::span<const Rewriting> rewritings, const LabelStats& stats,
-    const RunnerOptions& options, RaceMode mode);
+    const RunnerOptions& options, RaceMode mode,
+    Executor* executor = nullptr);
+
+/// Pair-level parallel FTV: filtering stays serial (it is trivial
+/// overhead, §4), then every (query, candidate-graph) verification race
+/// becomes a pool task. Records land in the same order the serial runner
+/// produces.
+std::vector<FtvPairRecord> RunFtvWorkloadPsiParallel(
+    const GrapesIndex& index, std::span<const gen::Query> workload,
+    std::span<const Rewriting> rewritings, const LabelStats& stats,
+    const RunnerOptions& options, RaceMode mode,
+    Executor* executor = nullptr);
 
 /// Convenience: extract the times / kill flags of a record series.
 std::vector<double> TimesOf(std::span<const QueryRecord> records);

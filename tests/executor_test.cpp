@@ -1,0 +1,259 @@
+#include "exec/executor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "psi/racer.hpp"
+
+namespace psi {
+namespace {
+
+using namespace std::chrono_literals;
+
+TEST(ExecutorTest, RunsEverySpawnedTask) {
+  Executor exec(2);
+  std::atomic<int> count{0};
+  TaskGroup group(exec);
+  for (int i = 0; i < 64; ++i) {
+    group.Spawn([&](bool) { count.fetch_add(1); });
+  }
+  group.Wait();
+  EXPECT_EQ(count.load(), 64);
+  const PoolGauges g = exec.gauges();
+  EXPECT_EQ(g.num_threads, 2u);
+  EXPECT_EQ(g.tasks_submitted, 64u);
+  EXPECT_EQ(g.tasks_executed, 64u);
+  EXPECT_EQ(g.queue_depth, 0u);
+}
+
+TEST(ExecutorTest, GroupsAreReusableAcrossWaves) {
+  Executor exec(2);
+  std::atomic<int> count{0};
+  TaskGroup group(exec);
+  for (int wave = 0; wave < 4; ++wave) {
+    for (int i = 0; i < 8; ++i) group.Spawn([&](bool) { ++count; });
+    group.Wait();
+    EXPECT_EQ(count.load(), (wave + 1) * 8);
+  }
+}
+
+TEST(ExecutorTest, CancellationReachesRunningTasks) {
+  Executor exec(2);
+  TaskGroup group(exec);
+  std::atomic<int> started{0};
+  std::atomic<int> saw_cancel{0};
+  for (int i = 0; i < 2; ++i) {
+    group.Spawn([&](bool pre_cancelled) {
+      ASSERT_FALSE(pre_cancelled);
+      started.fetch_add(1);
+      while (!group.stop().stop_requested()) {
+        std::this_thread::sleep_for(100us);
+      }
+      saw_cancel.fetch_add(1);
+    });
+  }
+  while (started.load() < 2) std::this_thread::sleep_for(100us);
+  group.RequestStop();
+  group.Wait();
+  EXPECT_EQ(saw_cancel.load(), 2);
+}
+
+TEST(ExecutorTest, QueuedTasksAreFastCancelled) {
+  // One worker: the blocker occupies it, so the two tasks spawned behind
+  // it are still queued when the group is cancelled — their bodies must
+  // see pre_cancelled and the pool must count the discards.
+  Executor exec(1);
+  TaskGroup group(exec);
+  std::atomic<bool> blocker_started{false};
+  std::atomic<bool> release{false};
+  std::atomic<int> pre_cancelled_count{0};
+  group.Spawn([&](bool) {
+    blocker_started.store(true);
+    while (!release.load()) std::this_thread::sleep_for(100us);
+  });
+  for (int i = 0; i < 2; ++i) {
+    group.Spawn([&](bool pre_cancelled) {
+      if (pre_cancelled) pre_cancelled_count.fetch_add(1);
+    });
+  }
+  while (!blocker_started.load()) std::this_thread::sleep_for(100us);
+  group.RequestStop();
+  release.store(true);
+  group.Wait();
+  EXPECT_EQ(pre_cancelled_count.load(), 2);
+  EXPECT_GE(exec.gauges().tasks_discarded, 2u);
+}
+
+TEST(ExecutorTest, NestedGroupsDoNotDeadlock) {
+  // More outer tasks than workers, each waiting on an inner group: the
+  // helping Wait() must drain the queue instead of deadlocking.
+  Executor exec(2);
+  std::atomic<int> inner_done{0};
+  TaskGroup outer(exec);
+  for (int i = 0; i < 6; ++i) {
+    outer.Spawn([&](bool) {
+      TaskGroup inner(exec);
+      for (int j = 0; j < 4; ++j) {
+        inner.Spawn([&](bool) { inner_done.fetch_add(1); });
+      }
+      inner.Wait();
+    });
+  }
+  outer.Wait();
+  EXPECT_EQ(inner_done.load(), 24);
+}
+
+TEST(ExecutorTest, NestedGroupsDoNotDeadlockOnASingleWorker) {
+  // The tightest configuration: 64 outer tasks nesting inner groups on a
+  // 1-thread pool. Group-scoped helping keeps this iterative (the outer
+  // waiter never chains through other outer tasks recursively).
+  Executor exec(1);
+  std::atomic<int> inner_done{0};
+  TaskGroup outer(exec);
+  for (int i = 0; i < 64; ++i) {
+    outer.Spawn([&](bool) {
+      TaskGroup inner(exec);
+      for (int j = 0; j < 4; ++j) {
+        inner.Spawn([&](bool) { inner_done.fetch_add(1); });
+      }
+      inner.Wait();
+    });
+  }
+  outer.Wait();
+  EXPECT_EQ(inner_done.load(), 64 * 4);
+}
+
+TEST(ExecutorTest, WaitHelpsOnlyItsOwnGroup) {
+  // The single worker is pinned by group A's long task; group B's waiter
+  // must run B's queued tasks itself and return without ever adopting
+  // A's work.
+  Executor exec(1);
+  TaskGroup a(exec);
+  std::atomic<bool> a_started{false};
+  std::atomic<bool> release_a{false};
+  a.Spawn([&](bool) {
+    a_started.store(true);
+    while (!release_a.load()) std::this_thread::sleep_for(100us);
+  });
+  while (!a_started.load()) std::this_thread::sleep_for(100us);
+  TaskGroup b(exec);
+  std::atomic<int> b_done{0};
+  for (int i = 0; i < 3; ++i) {
+    b.Spawn([&](bool) { b_done.fetch_add(1); });
+  }
+  b.Wait();  // must not block on (or execute) A's task
+  EXPECT_EQ(b_done.load(), 3);
+  EXPECT_FALSE(release_a.load());  // A is still running: B never waited on it
+  release_a.store(true);
+  a.Wait();
+}
+
+TEST(ExecutorTest, ManyClientThreadsShareOnePool) {
+  Executor exec(4);
+  std::atomic<int> total{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < 8; ++c) {
+    clients.emplace_back([&] {
+      for (int round = 0; round < 5; ++round) {
+        TaskGroup group(exec);
+        for (int i = 0; i < 10; ++i) {
+          group.Spawn([&](bool) { total.fetch_add(1); });
+        }
+        group.Wait();
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  EXPECT_EQ(total.load(), 8 * 5 * 10);
+  EXPECT_EQ(exec.gauges().num_threads, 4u);
+}
+
+// A cooperative variant for pool-race tests (mirrors racer_test's).
+RaceVariant SpinVariant(std::string name, int work_ms) {
+  return RaceVariant{
+      std::move(name), [work_ms](const MatchOptions& mo) {
+        MatchResult r;
+        const auto start = std::chrono::steady_clock::now();
+        CostGuard guard(mo.stop, mo.deadline, 1, mo.stop2);
+        for (;;) {
+          if (std::chrono::steady_clock::now() - start >=
+              std::chrono::milliseconds(work_ms)) {
+            break;
+          }
+          if (guard.Check() != Interrupt::kNone) {
+            r.cancelled = guard.state() == Interrupt::kCancelled;
+            r.timed_out = guard.state() == Interrupt::kDeadline;
+            return r;
+          }
+          std::this_thread::sleep_for(100us);
+        }
+        r.complete = true;
+        r.embedding_count = 1;
+        return r;
+      }};
+}
+
+TEST(ExecutorTest, PoolIsReusedAcrossRaces) {
+  Executor exec(4);
+  const uint64_t before = exec.gauges().tasks_executed;
+  for (int round = 0; round < 10; ++round) {
+    std::vector<RaceVariant> variants;
+    variants.push_back(SpinVariant("slow", 200));
+    variants.push_back(SpinVariant("fast", 1));
+    RaceOptions o;
+    o.budget = std::chrono::seconds(5);
+    o.mode = RaceMode::kPool;
+    o.executor = &exec;
+    auto r = Race(variants, o);
+    ASSERT_TRUE(r.completed());
+    EXPECT_EQ(r.winner, 1);
+    EXPECT_EQ(r.mode, RaceMode::kPool);
+  }
+  const PoolGauges g = exec.gauges();
+  // All 10 races ran on the same four persistent workers.
+  EXPECT_EQ(g.num_threads, 4u);
+  EXPECT_EQ(g.tasks_executed - before, 20u);
+}
+
+TEST(ExecutorTest, SharedPoolIsASingleton) {
+  Executor& a = Executor::Shared();
+  Executor& b = Executor::Shared();
+  EXPECT_EQ(&a, &b);
+  EXPECT_GE(a.num_threads(), 1u);
+}
+
+TEST(ExecutorTest, GaugesReportBusyWorkersWhileRunning) {
+  Executor exec(2);
+  TaskGroup group(exec);
+  std::atomic<bool> entered{false};
+  std::atomic<bool> release{false};
+  group.Spawn([&](bool) {
+    entered.store(true);
+    while (!release.load()) std::this_thread::sleep_for(100us);
+  });
+  while (!entered.load()) std::this_thread::sleep_for(100us);
+  const PoolGauges g = exec.gauges();
+  EXPECT_GE(g.busy_workers, 1u);
+  EXPECT_GT(g.utilization(), 0.0);
+  release.store(true);
+  group.Wait();
+}
+
+TEST(ExecutorTest, DestructorDrainsOutstandingTasks) {
+  std::atomic<int> count{0};
+  {
+    Executor exec(1);
+    for (int i = 0; i < 32; ++i) {
+      exec.Submit([&] { count.fetch_add(1); });
+    }
+    // Destroying the pool must run everything that was submitted.
+  }
+  EXPECT_EQ(count.load(), 32);
+}
+
+}  // namespace
+}  // namespace psi

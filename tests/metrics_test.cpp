@@ -99,5 +99,36 @@ TEST(RatioEdgeCases, EmptyAndZeroInputs) {
   EXPECT_DOUBLE_EQ(QlaRatio(ones, zeros), 0.0);
 }
 
+TEST(PoolGaugesTest, DerivedRatesAndFormatting) {
+  PoolGauges g;
+  g.num_threads = 4;
+  g.busy_workers = 2;
+  g.queue_depth = 3;
+  g.peak_queue_depth = 9;
+  g.tasks_submitted = 100;
+  g.tasks_executed = 80;
+  g.tasks_discarded = 20;
+  EXPECT_DOUBLE_EQ(g.utilization(), 0.5);
+  EXPECT_DOUBLE_EQ(g.discard_rate(), 0.25);
+  const std::string s = FormatPoolGauges(g);
+  EXPECT_NE(s.find("threads=4"), std::string::npos);
+  EXPECT_NE(s.find("queue=3"), std::string::npos);
+  EXPECT_NE(s.find("peak_queue=9"), std::string::npos);
+  EXPECT_NE(s.find("executed=80"), std::string::npos);
+  EXPECT_NE(s.find("discarded=20"), std::string::npos);
+  EXPECT_NE(s.find("util=50%"), std::string::npos);
+}
+
+TEST(PoolGaugesTest, EmptyPoolIsWellDefined) {
+  PoolGauges g;
+  EXPECT_DOUBLE_EQ(g.utilization(), 0.0);
+  EXPECT_DOUBLE_EQ(g.discard_rate(), 0.0);
+  // A helping waiter can push busy above the worker count transiently;
+  // utilization clamps to 1.
+  g.num_threads = 2;
+  g.busy_workers = 5;
+  EXPECT_DOUBLE_EQ(g.utilization(), 1.0);
+}
+
 }  // namespace
 }  // namespace psi

@@ -109,14 +109,126 @@ TEST(RacerTest, SequentialEachVariantGetsOwnCap) {
   EXPECT_TRUE(r.workers[1].result.complete);
 }
 
-TEST(RacerTest, SingleVariantRunsSequentially) {
+TEST(RacerTest, SingleVariantHonorsRequestedMode) {
+  // A one-variant race must not silently downgrade to sequential: the
+  // result's mode label feeds mode-tagged metrics.
+  for (RaceMode mode :
+       {RaceMode::kThreads, RaceMode::kSequential, RaceMode::kPool}) {
+    std::vector<RaceVariant> variants;
+    variants.push_back(SyntheticVariant("only", 1));
+    RaceOptions o;
+    o.mode = mode;
+    auto r = Race(variants, o);
+    ASSERT_TRUE(r.completed());
+    EXPECT_EQ(r.winner, 0);
+    EXPECT_EQ(r.mode, mode);
+  }
+}
+
+TEST(RacerTest, SequentialAllKilledChargedTheConfiguredBudget) {
+  // When every variant burns its cap, the idealized race costs the cap —
+  // not variant 0's measured time, which can drift past the budget.
   std::vector<RaceVariant> variants;
-  variants.push_back(SyntheticVariant("only", 1));
+  variants.push_back(SyntheticVariant("hog-a", 10000));
+  variants.push_back(SyntheticVariant("hog-b", 10000));
   RaceOptions o;
-  o.mode = RaceMode::kThreads;  // degrades to sequential for one variant
+  o.budget = std::chrono::milliseconds(25);
+  o.mode = RaceMode::kSequential;
+  auto r = Race(variants, o);
+  EXPECT_FALSE(r.completed());
+  EXPECT_EQ(r.wall, o.budget);
+}
+
+TEST(RacerTest, PoolFastestVariantWins) {
+  Executor exec(4);
+  std::vector<RaceVariant> variants;
+  variants.push_back(SyntheticVariant("slow", 300));
+  variants.push_back(SyntheticVariant("fast", 5, 3));
+  RaceOptions o;
+  o.budget = std::chrono::seconds(5);
+  o.mode = RaceMode::kPool;
+  o.executor = &exec;
+  auto r = Race(variants, o);
+  ASSERT_TRUE(r.completed());
+  EXPECT_EQ(r.winner, 1);
+  EXPECT_EQ(r.result.embedding_count, 3u);
+  EXPECT_EQ(r.mode, RaceMode::kPool);
+  // The loser was cancelled (running or fast-cancelled in the queue).
+  EXPECT_FALSE(r.workers[0].result.complete);
+}
+
+TEST(RacerTest, PoolAllKilledAtCap) {
+  Executor exec(4);
+  std::vector<RaceVariant> variants;
+  variants.push_back(SyntheticVariant("a", 10000));
+  variants.push_back(SyntheticVariant("b", 10000));
+  RaceOptions o;
+  o.budget = std::chrono::milliseconds(20);
+  o.mode = RaceMode::kPool;
+  o.executor = &exec;
+  auto r = Race(variants, o);
+  EXPECT_FALSE(r.completed());
+  for (const auto& w : r.workers) {
+    EXPECT_TRUE(w.result.timed_out) << w.name;
+  }
+}
+
+TEST(RacerTest, PoolDefaultsToSharedExecutor) {
+  std::vector<RaceVariant> variants;
+  variants.push_back(SyntheticVariant("fast", 2));
+  variants.push_back(SyntheticVariant("slow", 200));
+  RaceOptions o;
+  o.budget = std::chrono::seconds(5);
+  o.mode = RaceMode::kPool;  // executor == nullptr -> Executor::Shared()
   auto r = Race(variants, o);
   ASSERT_TRUE(r.completed());
   EXPECT_EQ(r.winner, 0);
+}
+
+TEST(RacerTest, PoolLosersAreCancelledNotRunToCompletion) {
+  // One worker: once the fast variant wins, the long variants must come
+  // back cancelled — either fast-cancelled while queued or stopped through
+  // the group token moments after starting (when the helping Wait picked
+  // them up). Either way they never burn their 5 s of work.
+  Executor exec(1);
+  std::vector<RaceVariant> variants;
+  variants.push_back(SyntheticVariant("fast", 2));
+  variants.push_back(SyntheticVariant("queued-a", 5000));
+  variants.push_back(SyntheticVariant("queued-b", 5000));
+  RaceOptions o;
+  o.budget = std::chrono::seconds(30);
+  o.mode = RaceMode::kPool;
+  o.executor = &exec;
+  const auto start = std::chrono::steady_clock::now();
+  auto r = Race(variants, o);
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  ASSERT_TRUE(r.completed());
+  EXPECT_EQ(r.winner, 0);
+  EXPECT_TRUE(r.workers[1].result.cancelled);
+  EXPECT_TRUE(r.workers[2].result.cancelled);
+  EXPECT_LT(std::chrono::duration<double>(elapsed).count(), 4.0);
+}
+
+TEST(RacerTest, PoolRealMatchersRace) {
+  const Graph g = gen::YeastLike(8, 9);
+  auto w = gen::GenerateWorkload(g, 1, 8, 31);
+  ASSERT_TRUE(w.ok());
+  const Graph& q = (*w)[0].graph;
+  Executor exec(4);
+  std::vector<RaceVariant> variants;
+  for (int i = 0; i < 3; ++i) {
+    variants.push_back(RaceVariant{
+        "vf2-" + std::to_string(i),
+        [&q, &g](const MatchOptions& mo) { return Vf2Match(q, g, mo); }});
+  }
+  RaceOptions o;
+  o.budget = std::chrono::seconds(5);
+  o.max_embeddings = 1;
+  o.mode = RaceMode::kPool;
+  o.executor = &exec;
+  auto r = Race(variants, o);
+  ASSERT_TRUE(r.completed());
+  EXPECT_TRUE(r.result.found());
 }
 
 TEST(RacerTest, ZeroBudgetMeansUncapped) {

@@ -122,6 +122,64 @@ TEST(RunnerTest, FtvPsiAgreesWithPlainFtv) {
   }
 }
 
+TEST(RunnerTest, ParallelPsiWorkloadMatchesSerial) {
+  const Graph g = gen::YeastLike(6, 70);
+  const LabelStats stats = LabelStats::FromGraph(g);
+  GraphQlMatcher gql;
+  SPathMatcher spa;
+  ASSERT_TRUE(gql.Prepare(g).ok());
+  ASSERT_TRUE(spa.Prepare(g).ok());
+  std::vector<const Matcher*> matchers = {&gql, &spa};
+  std::vector<Rewriting> rewritings = {Rewriting::kOriginal, Rewriting::kDnd};
+  auto p = MakeMultiAlgorithmPortfolio(matchers, rewritings);
+  auto w = gen::GenerateWorkload(g, 12, 6, 71);
+  ASSERT_TRUE(w.ok());
+  RunnerOptions ro;
+  ro.cap_ms = 10000.0;
+  ro.max_embeddings = 1;
+  Executor exec(4);
+  auto serial = RunWorkloadPsi(p, *w, stats, ro, RaceMode::kPool, &exec);
+  auto parallel =
+      RunWorkloadPsiParallel(p, *w, stats, ro, RaceMode::kPool, &exec);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (size_t i = 0; i < serial.size(); ++i) {
+    // Records land in workload order with identical decisions; only the
+    // measured times differ run to run.
+    EXPECT_EQ(serial[i].matched, parallel[i].matched) << "query " << i;
+    EXPECT_EQ(serial[i].killed, parallel[i].killed) << "query " << i;
+  }
+}
+
+TEST(RunnerTest, ParallelFtvPsiMatchesSerialPairs) {
+  gen::GraphGenLikeOptions o;
+  o.num_graphs = 5;
+  o.avg_nodes = 30;
+  o.density = 0.1;
+  o.num_labels = 4;
+  o.seed = 72;
+  auto ds = gen::GraphGenLike(o);
+  const LabelStats stats = LabelStats::FromGraphs(ds.graphs());
+  GrapesIndex index;
+  ASSERT_TRUE(index.Build(ds).ok());
+  auto w = gen::GenerateWorkload(ds, 5, 5, 73);
+  ASSERT_TRUE(w.ok());
+  RunnerOptions ro;
+  ro.cap_ms = 10000.0;
+  std::vector<Rewriting> rewritings = {Rewriting::kOriginal, Rewriting::kDnd};
+  Executor exec(4);
+  auto serial = RunFtvWorkloadPsi(index, *w, rewritings, stats, ro,
+                                  RaceMode::kPool, &exec);
+  auto parallel = RunFtvWorkloadPsiParallel(index, *w, rewritings, stats, ro,
+                                            RaceMode::kPool, &exec);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].query_index, parallel[i].query_index) << "pair " << i;
+    EXPECT_EQ(serial[i].graph_id, parallel[i].graph_id) << "pair " << i;
+    EXPECT_EQ(serial[i].matched, parallel[i].matched) << "pair " << i;
+    EXPECT_EQ(serial[i].killed, parallel[i].killed) << "pair " << i;
+  }
+}
+
 TEST(RunnerTest, ExtractorsAlign) {
   std::vector<QueryRecord> recs(3);
   recs[0].ms = 1.5;
