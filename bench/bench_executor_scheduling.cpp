@@ -1,0 +1,218 @@
+// Deadline-aware scheduling & admission control: the multi-tenant serving
+// scenario beyond the paper's measurement protocol.
+//
+// One pool serves two tenants at once:
+//  * a flood tenant that keeps a deep backlog of long "matching race"
+//    tasks queued under a far deadline (the §3 straggler population), and
+//  * a latency tenant issuing short decision races (one slow straggler
+//    variant + one fast variant, the paper's §8 race shape) under a tight
+//    deadline.
+//
+// Under the PR-1 FIFO queue the fast variant of every short race is stuck
+// behind the whole flood backlog, so the race degrades to whatever the
+// client thread can run itself — the slow straggler. Under EDF the first
+// worker to come free picks the tight-deadline variant over the backlog,
+// so the race finishes at the fast variant's time. The bounded queue
+// (PSI_POOL_QUEUE_CAP-style cap + shed-latest-deadline) additionally keeps
+// the backlog — and therefore memory and teardown time — bounded, without
+// hurting the latency tenant.
+//
+// Tasks are cooperative clock-based spins (they honour StopToken/Deadline
+// like every library matcher, but sleep instead of burning the CPU), so
+// the measured latencies isolate *queueing policy* from CPU contention
+// and the bench is meaningful on a 1-core container.
+//
+// Interpretation guide: docs/BENCHMARKS.md.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.hpp"
+#include "exec/executor.hpp"
+
+namespace {
+
+using namespace psi;
+using namespace psi::bench;
+using namespace std::chrono_literals;
+
+constexpr int kShortRaces = 50;          // latency-tenant races measured
+constexpr auto kSlowVariant = 40ms;      // straggler contender
+constexpr auto kFastVariant = 2ms;       // winning contender
+constexpr auto kFloodTask = 5ms;         // one background matching task
+constexpr size_t kFloodBacklog = 200;    // flood tenant's target backlog
+constexpr size_t kQueueCap = 32;         // bounded-queue configuration
+constexpr auto kRaceBudget = 250ms;      // latency tenant's kill cap
+constexpr auto kFloodDeadlineBudget = std::chrono::seconds(60);
+
+/// Cooperative clock-based spin honouring the race's stop/deadline.
+RaceVariant SpinVariant(std::string name, std::chrono::milliseconds work) {
+  return RaceVariant{std::move(name), [work](const MatchOptions& mo) {
+                       MatchResult r;
+                       const auto start = std::chrono::steady_clock::now();
+                       CostGuard guard(mo.stop, mo.deadline, 1, mo.stop2);
+                       while (std::chrono::steady_clock::now() - start <
+                              work) {
+                         if (guard.Check() != Interrupt::kNone) {
+                           r.cancelled =
+                               guard.state() == Interrupt::kCancelled;
+                           r.timed_out =
+                               guard.state() == Interrupt::kDeadline;
+                           return r;
+                         }
+                         std::this_thread::sleep_for(100us);
+                       }
+                       r.complete = true;
+                       r.embedding_count = 1;
+                       return r;
+                     }};
+}
+
+double PercentileMs(std::vector<double> v, double p) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const auto idx = static_cast<size_t>(
+      std::ceil(p / 100.0 * static_cast<double>(v.size()))) - 1;
+  return v[std::min(idx, v.size() - 1)];
+}
+
+struct ConfigOutcome {
+  std::vector<double> latencies_ms;
+  PoolGauges gauges;
+  size_t flood_spawned = 0;
+  size_t flood_rejected = 0;
+};
+
+/// Runs the two-tenant scenario against one executor configuration.
+ConfigOutcome RunConfig(const ExecutorOptions& options) {
+  ConfigOutcome out;
+  Executor exec(options);
+
+  // ---- flood tenant: keep a deep backlog of long, patient tasks ------
+  std::atomic<bool> flood_stop{false};
+  TaskGroup flood_group(exec, Deadline::After(kFloodDeadlineBudget));
+  std::thread flood([&] {
+    while (!flood_stop.load()) {
+      if (flood_group.pending() >= kFloodBacklog) {
+        std::this_thread::sleep_for(1ms);
+        continue;
+      }
+      ++out.flood_spawned;
+      const Admission a = flood_group.Spawn([&flood_group](TaskStart start) {
+        if (start != TaskStart::kRun) return;  // fast-cancelled or shed
+        const auto begin = std::chrono::steady_clock::now();
+        while (std::chrono::steady_clock::now() - begin < kFloodTask) {
+          if (flood_group.stop().stop_requested()) return;
+          std::this_thread::sleep_for(100us);
+        }
+      });
+      if (a == Admission::kRejected) {
+        ++out.flood_rejected;
+        std::this_thread::sleep_for(1ms);
+      }
+    }
+  });
+
+  // Let the backlog build before measuring.
+  std::this_thread::sleep_for(100ms);
+
+  // ---- latency tenant: short decision races, straggler listed first --
+  for (int i = 0; i < kShortRaces; ++i) {
+    std::vector<RaceVariant> variants;
+    variants.push_back(SpinVariant("slow", kSlowVariant));
+    variants.push_back(SpinVariant("fast", kFastVariant));
+    RaceOptions ro;
+    ro.budget = kRaceBudget;
+    ro.mode = RaceMode::kPool;
+    ro.executor = &exec;
+    const auto start = std::chrono::steady_clock::now();
+    const RaceResult r = Race(variants, ro);
+    out.latencies_ms.push_back(
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - start)
+            .count());
+    if (!r.completed()) {
+      std::cerr << "short race " << i << " was killed (unexpected)\n";
+    }
+    std::this_thread::sleep_for(2ms);
+  }
+
+  flood_stop.store(true);
+  flood.join();
+  flood_group.RequestStop();  // queued flood tasks fast-cancel at dequeue
+  flood_group.Wait();
+  out.gauges = exec.gauges();
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  Banner("executor scheduling",
+         "EDF + bounded-queue admission vs the PR-1 FIFO under a "
+         "matching-race flood");
+
+  ExecutorOptions fifo;
+  fifo.num_threads = 2;
+  fifo.discipline = QueueDiscipline::kFifo;
+
+  ExecutorOptions edf = fifo;
+  edf.discipline = QueueDiscipline::kEdf;
+
+  ExecutorOptions bounded = edf;
+  bounded.queue_capacity = kQueueCap;
+  bounded.overload_policy = OverloadPolicy::kShedLatestDeadline;
+
+  struct Row {
+    const char* name;
+    ConfigOutcome outcome;
+  };
+  std::vector<Row> rows;
+  rows.push_back({"fifo/unbounded", RunConfig(fifo)});
+  rows.push_back({"edf/unbounded", RunConfig(edf)});
+  rows.push_back({"edf/cap=32/shed", RunConfig(bounded)});
+
+  std::cout << kShortRaces << " short decision races (slow=" << "40ms"
+            << ", fast=2ms, budget=250ms) against a ~" << kFloodBacklog
+            << "-task flood of 5ms matching tasks, 2 workers:\n";
+  TextTable t;
+  t.AddRow({"config", "p50 (ms)", "p95 (ms)", "p99 (ms)", "max (ms)",
+            "peak_queue", "shed", "rejected"});
+  for (const auto& row : rows) {
+    t.AddRow({row.name, TextTable::Num(PercentileMs(row.outcome.latencies_ms, 50), 1),
+              TextTable::Num(PercentileMs(row.outcome.latencies_ms, 95), 1),
+              TextTable::Num(PercentileMs(row.outcome.latencies_ms, 99), 1),
+              TextTable::Num(PercentileMs(row.outcome.latencies_ms, 100), 1),
+              std::to_string(row.outcome.gauges.peak_queue_depth),
+              std::to_string(row.outcome.gauges.tasks_shed),
+              std::to_string(row.outcome.gauges.tasks_rejected)});
+  }
+  t.Print(std::cout);
+
+  for (const auto& row : rows) {
+    std::cout << "\n" << row.name << ": "
+              << FormatPoolGauges(row.outcome.gauges) << "\n"
+              << "queue-wait histogram (dequeued tasks):\n"
+              << FormatQueueWaitHistogram(row.outcome.gauges);
+  }
+
+  const double p99_fifo = PercentileMs(rows[0].outcome.latencies_ms, 99);
+  const double p99_edf = PercentileMs(rows[1].outcome.latencies_ms, 99);
+  const double p99_bounded = PercentileMs(rows[2].outcome.latencies_ms, 99);
+  std::cout << "\np99 improvement: edf " << TextTable::Num(p99_fifo / p99_edf, 1)
+            << "x, edf+bounded " << TextTable::Num(p99_fifo / p99_bounded, 1)
+            << "x over fifo\n";
+  Shape(p99_edf < p99_fifo,
+        "EDF beats FIFO on short-query p99 under a matching-race flood");
+  Shape(p99_bounded < p99_fifo,
+        "EDF + bounded queue (shed-latest-deadline) beats FIFO on p99");
+  Shape(rows[2].outcome.gauges.peak_queue_depth <= kQueueCap,
+        "bounded queue never exceeded its capacity");
+  Shape(rows[2].outcome.gauges.tasks_shed > 0,
+        "admission control actually shed patient work under overload");
+  return 0;
+}

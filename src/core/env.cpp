@@ -29,4 +29,16 @@ int64_t PoolThreads() {
   return v > 0 ? v : 1;
 }
 
+std::string EnvString(const char* name, const char* def) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return def;
+  return raw;
+}
+
+int64_t PoolQueueCap() { return EnvInt("PSI_POOL_QUEUE_CAP", 0); }
+
+std::string PoolOverloadPolicyName() {
+  return EnvString("PSI_POOL_OVERLOAD", "reject");
+}
+
 }  // namespace psi

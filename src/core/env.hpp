@@ -6,12 +6,17 @@
 #define PSI_CORE_ENV_HPP_
 
 #include <cstdint>
+#include <string>
 
 namespace psi {
 
 /// Reads an integer environment variable, falling back to `def` when unset
 /// or unparseable.
 int64_t EnvInt(const char* name, int64_t def);
+
+/// Reads a string environment variable, falling back to `def` when unset
+/// or empty.
+std::string EnvString(const char* name, const char* def);
 
 /// Per-sub-iso-test cap in milliseconds (PSI_CAP_MS, default 250).
 /// Stands in for the paper's 600 s kill limit.
@@ -29,6 +34,17 @@ int64_t ThreadBudget();
 /// default: ThreadBudget()). Lets deployments size the serving pool
 /// independently of the per-race thread budget.
 int64_t PoolThreads();
+
+/// Queue capacity of the shared executor pool (PSI_POOL_QUEUE_CAP).
+/// <= 0 (the default) means unbounded — no admission control. A positive
+/// value bounds the number of queued tasks; overflowing submissions are
+/// rejected or shed per PoolOverloadPolicyName().
+int64_t PoolQueueCap();
+
+/// Load-shedding policy of the shared pool when its bounded queue is full
+/// (PSI_POOL_OVERLOAD): "reject" (default) refuses new tasks, "shed"
+/// evicts the queued task with the latest deadline.
+std::string PoolOverloadPolicyName();
 
 }  // namespace psi
 

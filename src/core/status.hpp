@@ -23,6 +23,9 @@ class Status {
     kIOError,
     kNotSupported,
     kAborted,
+    /// Admission control refused the work (bounded executor queue full);
+    /// retry later or on another replica. See exec/executor.hpp.
+    kOverloaded,
   };
 
   /// Constructs an OK status.
@@ -47,6 +50,9 @@ class Status {
   static Status Aborted(std::string msg) {
     return Status(Code::kAborted, std::move(msg));
   }
+  static Status Overloaded(std::string msg) {
+    return Status(Code::kOverloaded, std::move(msg));
+  }
 
   bool ok() const { return code_ == Code::kOk; }
   Code code() const { return code_; }
@@ -64,6 +70,7 @@ class Status {
       case Code::kIOError: name = "IOError"; break;
       case Code::kNotSupported: name = "NotSupported"; break;
       case Code::kAborted: name = "Aborted"; break;
+      case Code::kOverloaded: name = "Overloaded"; break;
     }
     std::string out(name);
     if (!message_.empty()) {

@@ -2,12 +2,74 @@
 
 #include <algorithm>
 #include <chrono>
+#include <utility>
 
 #include "core/env.hpp"
 
 namespace psi {
 
-Executor::Executor(size_t num_threads) {
+namespace {
+
+/// EDF sort key: the absolute deadline, with "no deadline" sorting after
+/// everything. Under kFifo every task gets the same key so arrival order
+/// (the seq tiebreak) decides alone.
+Deadline::Clock::time_point SortKey(QueueDiscipline discipline,
+                                    Deadline deadline) {
+  if (discipline == QueueDiscipline::kFifo || !deadline.enabled()) {
+    return Deadline::Clock::time_point::max();
+  }
+  return deadline.at();
+}
+
+}  // namespace
+
+std::string_view ToString(Admission a) {
+  switch (a) {
+    case Admission::kAdmitted: return "admitted";
+    case Admission::kRejected: return "rejected";
+  }
+  return "?";
+}
+
+std::string_view ToString(OverloadPolicy p) {
+  switch (p) {
+    case OverloadPolicy::kRejectNew: return "reject-new";
+    case OverloadPolicy::kShedLatestDeadline: return "shed-latest-deadline";
+  }
+  return "?";
+}
+
+std::string_view ToString(QueueDiscipline d) {
+  switch (d) {
+    case QueueDiscipline::kFifo: return "fifo";
+    case QueueDiscipline::kEdf: return "edf";
+  }
+  return "?";
+}
+
+ExecutorOptions ExecutorOptions::FromEnv() {
+  ExecutorOptions o;
+  const int64_t cap = PoolQueueCap();
+  o.queue_capacity =
+      cap > 0 ? static_cast<size_t>(cap) : ExecutorOptions::kUnboundedQueue;
+  o.overload_policy = PoolOverloadPolicyName() == "shed"
+                          ? OverloadPolicy::kShedLatestDeadline
+                          : OverloadPolicy::kRejectNew;
+  return o;
+}
+
+Executor::Executor(size_t num_threads)
+    : Executor([num_threads] {
+        // The convenience constructor honours the environment's admission
+        // knobs too, so PSI_POOL_QUEUE_CAP / PSI_POOL_OVERLOAD govern every
+        // default-configured pool (benches, examples), not just Shared().
+        ExecutorOptions o = ExecutorOptions::FromEnv();
+        o.num_threads = num_threads;
+        return o;
+      }()) {}
+
+Executor::Executor(const ExecutorOptions& options) : options_(options) {
+  size_t num_threads = options_.num_threads;
   if (num_threads == 0) {
     num_threads = static_cast<size_t>(std::max<int64_t>(1, PoolThreads()));
   }
@@ -26,18 +88,103 @@ Executor::~Executor() {
   for (auto& w : workers_) w.join();
 }
 
-void Executor::Submit(std::function<void()> task) {
-  Enqueue(QueuedTask{nullptr, std::move(task)});
+Admission Executor::Submit(std::function<void()> task) {
+  return Enqueue(nullptr, Deadline(), [task = std::move(task)](TaskStart s) {
+    if (s == TaskStart::kRun) task();
+  });
 }
 
-void Executor::Enqueue(QueuedTask task) {
+std::vector<Executor::QueuedTask> Executor::PurgeCancelledLocked() {
+  std::vector<QueuedTask> purged;
+  auto keep = queue_.begin();
+  for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+    if (it->group != nullptr && it->group->stop().stop_requested()) {
+      purged.push_back(std::move(*it));
+    } else {
+      if (keep != it) *keep = std::move(*it);
+      ++keep;
+    }
+  }
+  queue_.erase(keep, queue_.end());
+  return purged;
+}
+
+Admission Executor::Enqueue(const TaskGroup* group, Deadline deadline,
+                            std::function<void(TaskStart)> fn) {
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  QueuedTask task;
+  task.group = group;
+  task.fn = std::move(fn);
+  task.enqueued_at = Deadline::Clock::now();
+  task.deadline_key = SortKey(options_.discipline, deadline);
+
+  // Tasks displaced by the admission decision, completed outside the lock:
+  // cancelled-group purges go through the normal fast-cancel dequeue path,
+  // the shed victim (if any) through its kShed envelope.
+  std::vector<QueuedTask> purged;
+  QueuedTask shed_victim;
+  bool have_shed = false;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
-    queue_.push_back(std::move(task));
+    std::unique_lock<std::mutex> lock(mutex_);
+    task.seq = next_seq_++;
+    if (queue_.size() >= options_.queue_capacity) {
+      // Cancelled-group tasks are dead weight: purge them first so they
+      // never count against the capacity a live task is asking for.
+      purged = PurgeCancelledLocked();
+      if (queue_.size() >= options_.queue_capacity) {
+        const bool can_shed =
+            options_.overload_policy == OverloadPolicy::kShedLatestDeadline &&
+            !queue_.empty() && queue_.back().deadline_key > task.deadline_key;
+        if (!can_shed) {
+          rejected_.fetch_add(1, std::memory_order_relaxed);
+          lock.unlock();
+          for (auto& p : purged) RunNow(std::move(p));
+          return Admission::kRejected;
+        }
+        shed_victim = std::move(queue_.back());
+        queue_.pop_back();
+        have_shed = true;
+      }
+    }
+    // Sorted insert on (deadline_key, seq): upper_bound keeps arrival
+    // order among equal keys, which is both the FIFO discipline and the
+    // EDF tiebreak.
+    auto pos = std::upper_bound(
+        queue_.begin(), queue_.end(), task,
+        [](const QueuedTask& a, const QueuedTask& b) {
+          return a.deadline_key != b.deadline_key
+                     ? a.deadline_key < b.deadline_key
+                     : a.seq < b.seq;
+        });
+    queue_.insert(pos, std::move(task));
     peak_queue_ = std::max<uint64_t>(peak_queue_, queue_.size());
   }
-  submitted_.fetch_add(1, std::memory_order_relaxed);
   cv_.notify_one();
+  for (auto& p : purged) RunNow(std::move(p));
+  if (have_shed) {
+    shed_.fetch_add(1, std::memory_order_relaxed);
+    RecordQueueWait(shed_victim);
+    shed_victim.fn(TaskStart::kShed);
+  }
+  return Admission::kAdmitted;
+}
+
+void Executor::RecordQueueWait(const QueuedTask& task) {
+  const auto wait = Deadline::Clock::now() - task.enqueued_at;
+  const double ms = std::chrono::duration<double, std::milli>(wait).count();
+  size_t bucket = PoolGauges::kWaitBuckets - 1;
+  for (size_t i = 0; i + 1 < PoolGauges::kWaitBuckets; ++i) {
+    if (ms < PoolGauges::kWaitBucketUpperMs[i]) {
+      bucket = i;
+      break;
+    }
+  }
+  wait_hist_[bucket].fetch_add(1, std::memory_order_relaxed);
+  wait_total_ns_.fetch_add(
+      static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(wait).count()),
+      std::memory_order_relaxed);
+  wait_count_.fetch_add(1, std::memory_order_relaxed);
 }
 
 void Executor::RunNow(QueuedTask task) {
@@ -45,9 +192,10 @@ void Executor::RunNow(QueuedTask task) {
   // to whoever the finishing task unblocks (TaskGroup::Wait returns from
   // inside the task's completion hook). `busy_` covers helping waiters
   // too, so it can transiently exceed the worker count.
+  RecordQueueWait(task);
   executed_.fetch_add(1, std::memory_order_relaxed);
   busy_.fetch_add(1, std::memory_order_relaxed);
-  task.fn();
+  task.fn(TaskStart::kRun);
   busy_.fetch_sub(1, std::memory_order_relaxed);
 }
 
@@ -67,6 +215,7 @@ bool Executor::TryRunOneFromGroup(const TaskGroup* group) {
   QueuedTask task;
   {
     std::lock_guard<std::mutex> lock(mutex_);
+    // First hit is the group's earliest-deadline task (queue is sorted).
     auto it = std::find_if(queue_.begin(), queue_.end(),
                            [group](const QueuedTask& t) {
                              return t.group == group;
@@ -86,7 +235,7 @@ void Executor::WorkerLoop() {
       std::unique_lock<std::mutex> lock(mutex_);
       cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
       // Drain the whole queue before honouring shutdown, so every
-      // submitted task runs and no TaskGroup is left waiting forever.
+      // admitted task runs and no TaskGroup is left waiting forever.
       if (queue_.empty()) return;
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -108,13 +257,22 @@ PoolGauges Executor::gauges() const {
   g.tasks_submitted = submitted_.load(std::memory_order_relaxed);
   g.tasks_executed = executed_.load(std::memory_order_relaxed);
   g.tasks_discarded = discarded_.load(std::memory_order_relaxed);
+  g.tasks_rejected = rejected_.load(std::memory_order_relaxed);
+  g.tasks_shed = shed_.load(std::memory_order_relaxed);
+  for (size_t i = 0; i < PoolGauges::kWaitBuckets; ++i) {
+    g.queue_wait_hist[i] = wait_hist_[i].load(std::memory_order_relaxed);
+  }
+  g.queue_wait_count = wait_count_.load(std::memory_order_relaxed);
+  g.queue_wait_total_ms =
+      static_cast<double>(wait_total_ns_.load(std::memory_order_relaxed)) /
+      1e6;
   return g;
 }
 
 Executor& Executor::Shared() {
   // Leaked on purpose: worker threads may still be draining tasks during
   // static destruction, and the OS reclaims everything at exit anyway.
-  static Executor* shared = new Executor();
+  static Executor* shared = new Executor(ExecutorOptions::FromEnv());
   return *shared;
 }
 
@@ -126,18 +284,34 @@ TaskGroup::~TaskGroup() {
   Wait();
 }
 
-void TaskGroup::Spawn(std::function<void(bool)> fn) {
+Admission TaskGroup::Spawn(std::function<void(TaskStart)> fn) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
     ++pending_;
   }
-  executor_->Enqueue(Executor::QueuedTask{
-      this, [this, fn = std::move(fn)] {
-        const bool pre_cancelled = stop_.stop_requested();
-        if (pre_cancelled) executor_->NoteDiscarded();
-        fn(pre_cancelled);
+  const Admission admission = executor_->Enqueue(
+      this, deadline_, [this, fn = std::move(fn)](TaskStart start) {
+        if (start == TaskStart::kRun && stop_.stop_requested()) {
+          // Fast-cancel: the group was cancelled while this task was
+          // queued; only this envelope runs.
+          start = TaskStart::kCancelled;
+          executor_->NoteDiscarded();
+        }
+        fn(start);
         FinishOne();
-      }});
+      });
+  if (admission == Admission::kRejected) {
+    // Never enqueued: the envelope will not run, so the optimistic
+    // pending_ increment is rolled back here.
+    FinishOne();
+  }
+  return admission;
+}
+
+Admission TaskGroup::Spawn(std::function<void(bool)> fn) {
+  return Spawn([fn = std::move(fn)](TaskStart start) {
+    fn(start != TaskStart::kRun);
+  });
 }
 
 void TaskGroup::FinishOne() {

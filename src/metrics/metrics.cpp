@@ -103,6 +103,14 @@ double PoolGauges::discard_rate() const {
          static_cast<double>(tasks_executed);
 }
 
+const double PoolGauges::kWaitBucketUpperMs[PoolGauges::kWaitBuckets - 1] = {
+    0.1, 1.0, 10.0, 100.0, 1000.0};
+
+double PoolGauges::mean_queue_wait_ms() const {
+  if (queue_wait_count == 0) return 0.0;
+  return queue_wait_total_ms / static_cast<double>(queue_wait_count);
+}
+
 std::string FormatPoolGauges(const PoolGauges& g) {
   std::string out = "pool[threads=" + std::to_string(g.num_threads);
   out += " busy=" + std::to_string(g.busy_workers);
@@ -111,10 +119,37 @@ std::string FormatPoolGauges(const PoolGauges& g) {
   out += " submitted=" + std::to_string(g.tasks_submitted);
   out += " executed=" + std::to_string(g.tasks_executed);
   out += " discarded=" + std::to_string(g.tasks_discarded);
-  char pct[32];
-  std::snprintf(pct, sizeof(pct), " util=%.0f%%", 100.0 * g.utilization());
-  out += pct;
+  if (g.tasks_rejected > 0) {
+    out += " rejected=" + std::to_string(g.tasks_rejected);
+  }
+  if (g.tasks_shed > 0) out += " shed=" + std::to_string(g.tasks_shed);
+  char buf[48];
+  if (g.queue_wait_count > 0) {
+    std::snprintf(buf, sizeof(buf), " avg_wait=%.2fms",
+                  g.mean_queue_wait_ms());
+    out += buf;
+  }
+  std::snprintf(buf, sizeof(buf), " util=%.0f%%", 100.0 * g.utilization());
+  out += buf;
   out += "]";
+  return out;
+}
+
+std::string FormatQueueWaitHistogram(const PoolGauges& g) {
+  std::string out;
+  char buf[64];
+  for (size_t i = 0; i < PoolGauges::kWaitBuckets; ++i) {
+    if (i + 1 < PoolGauges::kWaitBuckets) {
+      std::snprintf(buf, sizeof(buf), "  <%gms\t%llu\n",
+                    PoolGauges::kWaitBucketUpperMs[i],
+                    static_cast<unsigned long long>(g.queue_wait_hist[i]));
+    } else {
+      std::snprintf(buf, sizeof(buf), "  >=%gms\t%llu\n",
+                    PoolGauges::kWaitBucketUpperMs[i - 1],
+                    static_cast<unsigned long long>(g.queue_wait_hist[i]));
+    }
+    out += buf;
+  }
   return out;
 }
 

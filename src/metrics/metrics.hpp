@@ -75,6 +75,17 @@ Bucket Classify(double ms, bool killed, const BucketThresholds& t);
 /// was cancelled before the task started, so only the envelope ran (the
 /// fast-cancel path that makes pool racing cheap: losing variants that
 /// never left the queue cost almost nothing).
+///
+/// Admission accounting (bounded queues, see exec/executor.hpp): every
+/// Spawn/Submit increments `tasks_submitted` and ends up in exactly one
+/// of `tasks_executed` (dequeued and ran, fast-cancel discards included),
+/// `tasks_shed` (evicted from a full queue to admit more-urgent work;
+/// completed through its group as cancelled) or `tasks_rejected` (refused
+/// at admission; the closure never ran) — modulo tasks still queued or in
+/// flight at snapshot time.
+///
+/// Thread-safety: a PoolGauges value is a plain snapshot; Executor::gauges()
+/// may be called from any thread.
 struct PoolGauges {
   size_t num_threads = 0;
   size_t queue_depth = 0;       ///< tasks currently waiting
@@ -85,15 +96,32 @@ struct PoolGauges {
   uint64_t tasks_submitted = 0;
   uint64_t tasks_executed = 0;
   uint64_t tasks_discarded = 0;
+  uint64_t tasks_rejected = 0;  ///< refused at admission (queue full)
+  uint64_t tasks_shed = 0;      ///< evicted from a full queue pre-start
+
+  /// Queue-wait histogram over every dequeued task (executed + discarded):
+  /// time from enqueue to dequeue, bucketed by upper bound in
+  /// `kWaitBucketUpperMs` (last bucket is unbounded).
+  static constexpr size_t kWaitBuckets = 6;
+  /// Upper bounds (exclusive) of the first kWaitBuckets-1 buckets, in ms.
+  static const double kWaitBucketUpperMs[kWaitBuckets - 1];
+  uint64_t queue_wait_hist[kWaitBuckets] = {};
+  uint64_t queue_wait_count = 0;     ///< dequeued tasks measured
+  double queue_wait_total_ms = 0.0;  ///< summed wait time
 
   /// Fraction of pool threads currently busy, in [0, 1].
   double utilization() const;
   /// Fraction of executed tasks that were fast-cancelled, in [0, 1].
   double discard_rate() const;
+  /// Mean queue wait in ms (0 when nothing was dequeued yet).
+  double mean_queue_wait_ms() const;
 };
 
 /// One-line human-readable rendering for bench output.
 std::string FormatPoolGauges(const PoolGauges& g);
+
+/// Multi-line rendering of the queue-wait histogram ("  <1ms  123" rows).
+std::string FormatQueueWaitHistogram(const PoolGauges& g);
 
 /// Aggregate of one workload's bucket structure (rows of Fig 1/2, Tab 3/4).
 struct BucketBreakdown {

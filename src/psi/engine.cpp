@@ -57,6 +57,9 @@ RaceResult PsiEngine::Run(const Graph& query, uint64_t max_embeddings) {
   ro.max_embeddings = max_embeddings;
   ro.mode = options_.mode;
   ro.executor = options_.executor;
+  ro.on_overload = options_.fail_fast_on_overload
+                       ? OverloadResponse::kFail
+                       : OverloadResponse::kFallbackSequential;
   RaceResult r = RunPortfolio(active, query, stats_, ro);
   if (options_.learn && r.completed()) {
     // Map the winner back to its index in the *full* portfolio so learned
@@ -74,17 +77,31 @@ RaceResult PsiEngine::Run(const Graph& query, uint64_t max_embeddings) {
   return r;
 }
 
+namespace {
+
+Status RaceFailure(const RaceResult& r) {
+  // A fully rejected race that did not fall back to sequential execution
+  // (mode still kPool) never ran: that is overload, not a cap kill.
+  if (r.mode == RaceMode::kPool && r.overloaded() &&
+      r.rejected_variants == r.workers.size()) {
+    return Status::Overloaded("executor queue rejected the race");
+  }
+  return Status::Aborted("all contenders hit the cap");
+}
+
+}  // namespace
+
 Result<bool> PsiEngine::Contains(const Graph& query) {
   if (data_ == nullptr) return Status::InvalidArgument("not prepared");
   RaceResult r = Run(query, /*max_embeddings=*/1);
-  if (!r.completed()) return Status::Aborted("all contenders hit the cap");
+  if (!r.completed()) return RaceFailure(r);
   return r.result.found();
 }
 
 Result<uint64_t> PsiEngine::CountEmbeddings(const Graph& query) {
   if (data_ == nullptr) return Status::InvalidArgument("not prepared");
   RaceResult r = Run(query, options_.max_embeddings);
-  if (!r.completed()) return Status::Aborted("all contenders hit the cap");
+  if (!r.completed()) return RaceFailure(r);
   return r.result.embedding_count;
 }
 

@@ -49,6 +49,13 @@ struct PsiEngineOptions {
   size_t portfolio_limit = 0;
   /// Learn from race outcomes (feeds the selector).
   bool learn = true;
+  /// Degradation when a bounded pool (kPool + Executor queue capacity)
+  /// rejects a whole race: false (default) falls back to running the race
+  /// sequentially on the calling thread — the query is still answered,
+  /// just without pool parallelism; true fails fast with
+  /// Status::Overloaded so a serving layer can shed the request or retry
+  /// on another replica.
+  bool fail_fast_on_overload = false;
 };
 
 class PsiEngine {
@@ -72,13 +79,20 @@ class PsiEngine {
   // selector is the only shared mutable state (guarded by a mutex).
 
   /// Races the portfolio on `query` in decision mode (first match wins).
+  ///
+  /// Errors: Status::Aborted when every contender hit the kill cap;
+  /// Status::Overloaded when fail_fast_on_overload is set and a bounded
+  /// pool rejected the whole race (with the default fallback the query is
+  /// answered sequentially on this thread instead).
   Result<bool> Contains(const Graph& query);
 
   /// Races the portfolio in matching mode; returns the embedding count
-  /// (capped at options.max_embeddings).
+  /// (capped at options.max_embeddings). Same error contract as
+  /// Contains().
   Result<uint64_t> CountEmbeddings(const Graph& query);
 
-  /// Full-control entry point; exposes the complete race outcome.
+  /// Full-control entry point; exposes the complete race outcome,
+  /// including RaceResult::rejected_variants under pool overload.
   RaceResult Run(const Graph& query, uint64_t max_embeddings);
 
   const Portfolio& portfolio() const { return portfolio_; }

@@ -86,23 +86,45 @@ RaceResult RacePool(std::span<const RaceVariant> variants,
   Executor& exec =
       options.executor != nullptr ? *options.executor : Executor::Shared();
   RaceShared s(variants);
-  TaskGroup group(exec, SharedDeadline(options));
-  for (size_t i = 0; i < variants.size(); ++i) {
-    group.Spawn([&, i](bool pre_cancelled) {
-      if (pre_cancelled) {
-        // Fast-cancel: the winner finished while this variant was still
-        // queued; it never ran at all.
+  size_t rejected = 0;
+  // Variants evicted from the queue by other tenants' admissions; they
+  // count as displaced alongside rejections so the overload fallback
+  // fires whenever admission control (not the cap) decided the race.
+  std::atomic<size_t> shed{0};
+  {
+    TaskGroup group(exec, SharedDeadline(options));
+    for (size_t i = 0; i < variants.size(); ++i) {
+      const Admission admission =
+          group.Spawn([&, i](TaskStart start) {
+            if (start != TaskStart::kRun) {
+              // Fast-cancel (the winner finished while this variant was
+              // still queued) or shed from a full queue; either way it
+              // never ran at all.
+              if (start == TaskStart::kShed) {
+                shed.fetch_add(1, std::memory_order_relaxed);
+              }
+              s.out.workers[i].result.cancelled = true;
+              return;
+            }
+            RunVariant(variants[i], i, options, group.deadline(),
+                       group.token(), s);
+          });
+      if (admission == Admission::kRejected) {
+        // The closure never runs for a rejected spawn; the race proceeds
+        // with the admitted subset (any completed variant is a correct
+        // answer — losing contenders only cost potential speed).
         s.out.workers[i].result.cancelled = true;
-        return;
+        ++rejected;
       }
-      RunVariant(variants[i], i, options, group.deadline(), group.token(), s);
-    });
+    }
+    // Like the threads mode, wait for every member before returning:
+    // stragglers abandon quickly once the group token is tripped, and the
+    // outcome vector lives on this stack frame.
+    group.Wait();
   }
-  // Like the threads mode, wait for every member before returning:
-  // stragglers abandon quickly once the group token is tripped, and the
-  // outcome vector lives on this stack frame.
-  group.Wait();
-  return FinishRace(s);
+  RaceResult out = FinishRace(s);
+  out.rejected_variants = rejected + shed.load(std::memory_order_relaxed);
+  return out;
 }
 
 RaceResult RaceSequential(std::span<const RaceVariant> variants,
@@ -177,6 +199,19 @@ RaceResult Race(std::span<const RaceVariant> variants,
       break;
   }
   out.mode = options.mode;
+  if (options.mode == RaceMode::kPool &&
+      out.rejected_variants == variants.size()) {
+    // The bounded pool admitted nothing. Either run the whole race on the
+    // calling thread (backpressure: an overloaded pool pushes work back
+    // onto its clients) or report the overload for the caller to handle.
+    if (options.on_overload == OverloadResponse::kFallbackSequential) {
+      const size_t rejected = out.rejected_variants;
+      out = RaceSequential(variants, options);
+      out.mode = RaceMode::kSequential;  // truthful: that's how it ran
+      out.rejected_variants = rejected;
+    }
+    // kFail: out already carries winner == -1 + rejected_variants == N.
+  }
   return out;
 }
 

@@ -57,6 +57,19 @@ enum class RaceMode {
 
 std::string_view ToString(RaceMode mode);
 
+/// What a kPool race does when the bounded executor queue rejects *every*
+/// variant (see exec/executor.hpp Admission).
+enum class OverloadResponse : uint8_t {
+  /// Run the race sequentially on the calling thread — the natural
+  /// backpressure: an overloaded pool pushes work back onto clients, and
+  /// the answer is still produced. RaceResult::mode reports kSequential.
+  kFallbackSequential,
+  /// Return immediately with winner == -1 and rejected_variants == N so
+  /// the caller can surface a typed overload status (Status::Overloaded
+  /// in PsiEngine) or retry elsewhere.
+  kFail,
+};
+
 struct RaceOptions {
   /// Per-test kill budget (the paper's 10-minute cap, scaled); zero means
   /// uncapped. Kept relative rather than absolute so that sequential mode
@@ -70,6 +83,8 @@ struct RaceOptions {
   /// Pool used by kPool races; nullptr means the process-wide
   /// Executor::Shared(). Ignored by the other modes.
   Executor* executor = nullptr;
+  /// Degradation when a bounded pool rejects the whole race (kPool only).
+  OverloadResponse on_overload = OverloadResponse::kFallbackSequential;
 };
 
 /// Per-variant outcome of a race.
@@ -87,14 +102,24 @@ struct RaceResult {
   /// the idealized min over completed variants (sequential mode). Equals
   /// the cap when all variants were killed.
   std::chrono::nanoseconds wall{0};
-  /// The mode the race actually executed under — always the requested
-  /// mode, so mode-labelled metrics stay truthful even for one-variant
-  /// races.
+  /// The mode the race actually executed under. This is the requested
+  /// mode (even for one-variant races, so mode-labelled metrics stay
+  /// truthful) except in exactly one case: a kPool race whose every
+  /// variant was rejected by a bounded queue and that fell back to
+  /// kSequential (see rejected_variants / OverloadResponse).
   RaceMode mode = RaceMode::kThreads;
+  /// Variants a bounded pool displaced (kPool only): refused at
+  /// admission *or* shed from the queue before starting. Their
+  /// WorkerOutcome records a cancelled, never-run result. rejected == N
+  /// means admission control decided the whole race, which was then
+  /// degraded per RaceOptions::on_overload.
+  size_t rejected_variants = 0;
   /// All per-variant outcomes, in variant order.
   std::vector<WorkerOutcome> workers;
 
   bool completed() const { return winner >= 0; }
+  /// True when pool admission control touched this race at all.
+  bool overloaded() const { return rejected_variants > 0; }
   double wall_ms() const {
     return std::chrono::duration<double, std::milli>(wall).count();
   }
@@ -102,6 +127,11 @@ struct RaceResult {
 
 /// Runs the race. Variants must be independently executable and must share
 /// no mutable state (library matchers share only immutable indexes).
+///
+/// Thread-safety: Race is re-entrant and may be called from any number of
+/// threads concurrently (including from inside pool tasks — a nested
+/// kPool race is one more TaskGroup, and the helping Wait() keeps that
+/// deadlock-free). All race state lives on the caller's stack.
 RaceResult Race(std::span<const RaceVariant> variants,
                 const RaceOptions& options);
 

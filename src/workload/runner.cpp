@@ -85,15 +85,34 @@ std::vector<QueryRecord> RunWorkloadPsiParallel(
     Executor* executor) {
   Executor& exec = executor != nullptr ? *executor : Executor::Shared();
   std::vector<QueryRecord> out(workload.size());
-  TaskGroup group(exec);
+  // Queries a bounded pool refused (rejected at Spawn or shed while
+  // queued); they re-run inline below so every record is always present.
+  std::vector<uint8_t> displaced(workload.size(), 0);
+  {
+    TaskGroup group(exec);
+    for (size_t i = 0; i < workload.size(); ++i) {
+      const Admission admission =
+          group.Spawn([&, i](TaskStart start) {
+            if (start == TaskStart::kShed) {
+              displaced[i] = 1;  // made visible to the waiter by Wait()
+              return;
+            }
+            if (start == TaskStart::kCancelled) return;  // group teardown
+            out[i] = RunOnePsi(portfolio, workload[i].graph, stats, options,
+                               mode, &exec);
+          });
+      if (admission == Admission::kRejected) displaced[i] = 1;
+    }
+    group.Wait();
+  }
+  // Backpressure path: displaced queries run on the caller thread, which
+  // also throttles a flooding client to the pool's actual capacity.
   for (size_t i = 0; i < workload.size(); ++i) {
-    group.Spawn([&, i](bool pre_cancelled) {
-      if (pre_cancelled) return;  // only on group teardown, never here
+    if (displaced[i] != 0) {
       out[i] =
           RunOnePsi(portfolio, workload[i].graph, stats, options, mode, &exec);
-    });
+    }
   }
-  group.Wait();
   return out;
 }
 
@@ -235,18 +254,35 @@ std::vector<FtvPairRecord> RunFtvWorkloadPsiParallel(
       pairs.push_back({qi, cand});
     }
   }
-  // Parallel phase: one pool task per verification race.
+  // Parallel phase: one pool task per verification race. Pairs a bounded
+  // pool refuses (rejected or shed) re-run inline after the join, so the
+  // record set is identical to the serial runner's under any capacity.
   std::vector<FtvPairRecord> out(pairs.size());
-  TaskGroup group(exec);
+  std::vector<uint8_t> displaced(pairs.size(), 0);
+  {
+    TaskGroup group(exec);
+    for (size_t i = 0; i < pairs.size(); ++i) {
+      const Admission admission = group.Spawn([&, i](TaskStart start) {
+        if (start == TaskStart::kShed) {
+          displaced[i] = 1;
+          return;
+        }
+        if (start == TaskStart::kCancelled) return;
+        const Pair& p = pairs[i];
+        out[i] = RaceFtvPair(index, instances_per_query[p.query_index], p.cand,
+                             p.query_index, options, mode, &exec);
+      });
+      if (admission == Admission::kRejected) displaced[i] = 1;
+    }
+    group.Wait();
+  }
   for (size_t i = 0; i < pairs.size(); ++i) {
-    group.Spawn([&, i](bool pre_cancelled) {
-      if (pre_cancelled) return;
+    if (displaced[i] != 0) {
       const Pair& p = pairs[i];
       out[i] = RaceFtvPair(index, instances_per_query[p.query_index], p.cand,
                            p.query_index, options, mode, &exec);
-    });
+    }
   }
-  group.Wait();
   return out;
 }
 

@@ -65,12 +65,19 @@ std::vector<QueryRecord> RunWorkloadPsi(const Portfolio& portfolio,
 /// as parallel tasks, and (with mode == kPool) each query's race shares
 /// the same pool — the helping TaskGroup::Wait makes the nesting safe.
 /// Records land in workload order, and each record still measures its own
-/// race. Caveat: a race's budget runs from the moment its query task
+/// race. On a bounded pool (Executor queue capacity), queries whose spawn
+/// is rejected run inline on the calling thread — backpressure that keeps
+/// every record present and correct, trading submission parallelism.
+/// Caveat: a race's budget runs from the moment its query task
 /// starts, and on a saturated pool its variants contend with other
 /// queries for workers — so queries near the cap can be recorded killed
 /// here that the serial runner completes. That is inherent to capped
 /// racing under load (oversubscribed kThreads behaves the same way);
 /// give the cap headroom when comparing against serial records.
+///
+/// Thread-safety: safe to call from several threads at once when they
+/// use distinct record vectors (they always do — each call owns its
+/// output); the shared Executor is itself thread-safe.
 std::vector<QueryRecord> RunWorkloadPsiParallel(
     const Portfolio& portfolio, std::span<const gen::Query> workload,
     const LabelStats& stats, const RunnerOptions& options, RaceMode mode,
@@ -106,7 +113,8 @@ std::vector<FtvPairRecord> RunFtvWorkloadPsi(
 /// Pair-level parallel FTV: filtering stays serial (it is trivial
 /// overhead, §4), then every (query, candidate-graph) verification race
 /// becomes a pool task. Records land in the same order the serial runner
-/// produces.
+/// produces. Rejected spawns (bounded pool) verify inline on the calling
+/// thread, so the record set is identical under any queue capacity.
 std::vector<FtvPairRecord> RunFtvWorkloadPsiParallel(
     const GrapesIndex& index, std::span<const gen::Query> workload,
     std::span<const Rewriting> rewritings, const LabelStats& stats,

@@ -1,0 +1,366 @@
+// Admission control and deadline-aware (EDF) scheduling of the bounded
+// executor queue (exec/executor.hpp): capacity edge cases, the
+// reject-new vs shed-latest-deadline policies, cancelled-group purging,
+// deadline ordering under concurrent enqueue, and the graceful
+// degradation paths in the racer, the engine and the parallel runners.
+// Runs under TSan in CI.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "exec/executor.hpp"
+#include "gen/dataset_gen.hpp"
+#include "gen/query_gen.hpp"
+#include "graphql/graphql.hpp"
+#include "psi/engine.hpp"
+#include "psi/racer.hpp"
+#include "spath/spath.hpp"
+#include "tests/test_util.hpp"
+#include "workload/runner.hpp"
+
+namespace psi {
+namespace {
+
+using namespace std::chrono_literals;
+
+ExecutorOptions BoundedOptions(size_t threads, size_t cap,
+                               OverloadPolicy policy) {
+  ExecutorOptions o;
+  o.num_threads = threads;
+  o.queue_capacity = cap;
+  o.overload_policy = policy;
+  return o;
+}
+
+/// Occupies one worker until `release` is set; reports entry via `started`.
+void Block(Executor& exec, std::atomic<bool>* started,
+           std::atomic<bool>* release) {
+  ASSERT_EQ(exec.Submit([started, release] {
+              started->store(true);
+              while (!release->load()) std::this_thread::sleep_for(100us);
+            }),
+            Admission::kAdmitted);
+  while (!started->load()) std::this_thread::sleep_for(100us);
+}
+
+RaceVariant InstantVariant(std::string name) {
+  return RaceVariant{std::move(name), [](const MatchOptions&) {
+                       MatchResult r;
+                       r.complete = true;
+                       r.embedding_count = 7;
+                       return r;
+                     }};
+}
+
+TEST(SchedulingTest, CapacityZeroRejectsEverySubmission) {
+  Executor exec(
+      BoundedOptions(1, /*cap=*/0, OverloadPolicy::kRejectNew));
+  EXPECT_EQ(exec.Submit([] { FAIL() << "must never run"; }),
+            Admission::kRejected);
+  TaskGroup group(exec);
+  EXPECT_EQ(group.Spawn([](TaskStart) { FAIL() << "must never run"; }),
+            Admission::kRejected);
+  EXPECT_EQ(group.pending(), 0u);  // rejected spawns are not pending
+  group.Wait();                    // returns immediately
+  const PoolGauges g = exec.gauges();
+  EXPECT_EQ(g.tasks_rejected, 2u);
+  EXPECT_EQ(g.tasks_executed, 0u);
+}
+
+TEST(SchedulingTest, CapacityZeroRaceFallsBackToSequential) {
+  Executor exec(
+      BoundedOptions(1, /*cap=*/0, OverloadPolicy::kRejectNew));
+  std::vector<RaceVariant> variants = {InstantVariant("a"),
+                                       InstantVariant("b")};
+  RaceOptions o;
+  o.mode = RaceMode::kPool;
+  o.executor = &exec;
+  const RaceResult r = Race(variants, o);
+  ASSERT_TRUE(r.completed());
+  EXPECT_EQ(r.result.embedding_count, 7u);
+  EXPECT_EQ(r.mode, RaceMode::kSequential);  // truthful about the fallback
+  EXPECT_EQ(r.rejected_variants, 2u);
+  EXPECT_TRUE(r.overloaded());
+}
+
+TEST(SchedulingTest, CapacityZeroRaceFailsFastWhenAsked) {
+  Executor exec(
+      BoundedOptions(1, /*cap=*/0, OverloadPolicy::kRejectNew));
+  std::vector<RaceVariant> variants = {InstantVariant("a")};
+  RaceOptions o;
+  o.mode = RaceMode::kPool;
+  o.executor = &exec;
+  o.on_overload = OverloadResponse::kFail;
+  const RaceResult r = Race(variants, o);
+  EXPECT_FALSE(r.completed());
+  EXPECT_EQ(r.rejected_variants, 1u);
+  EXPECT_EQ(r.mode, RaceMode::kPool);
+}
+
+TEST(SchedulingTest, EngineSurfacesTypedOverloadStatus) {
+  Executor exec(
+      BoundedOptions(1, /*cap=*/0, OverloadPolicy::kRejectNew));
+  const Graph data = testing::MakePath({0, 1, 2, 3});
+  const Graph query = testing::MakePath({1, 2});
+
+  PsiEngineOptions fail_fast;
+  fail_fast.mode = RaceMode::kPool;
+  fail_fast.executor = &exec;
+  fail_fast.fail_fast_on_overload = true;
+  PsiEngine engine(fail_fast);
+  engine.AddMatcher(std::make_unique<GraphQlMatcher>());
+  ASSERT_TRUE(engine.Prepare(data).ok());
+  const auto r = engine.Contains(query);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), Status::Code::kOverloaded);
+
+  PsiEngineOptions degrade;  // default: sequential fallback still answers
+  degrade.mode = RaceMode::kPool;
+  degrade.executor = &exec;
+  PsiEngine fallback(degrade);
+  fallback.AddMatcher(std::make_unique<GraphQlMatcher>());
+  ASSERT_TRUE(fallback.Prepare(data).ok());
+  const auto f = fallback.Contains(query);
+  ASSERT_TRUE(f.ok());
+  EXPECT_TRUE(*f);
+}
+
+TEST(SchedulingTest, CancelledGroupTasksDoNotCountAgainstCapacity) {
+  Executor exec(
+      BoundedOptions(1, /*cap=*/4, OverloadPolicy::kRejectNew));
+  std::atomic<bool> started{false};
+  std::atomic<bool> release{false};
+  Block(exec, &started, &release);
+
+  TaskGroup dead(exec);
+  std::atomic<int> dead_ran{0};
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_EQ(dead.Spawn([&](TaskStart s) {
+                if (s == TaskStart::kRun) dead_ran.fetch_add(1);
+              }),
+              Admission::kAdmitted);
+  }
+  // The queue is at capacity while `dead` is live...
+  TaskGroup live(exec);
+  std::atomic<int> live_ran{0};
+  EXPECT_EQ(live.Spawn([&](TaskStart s) {
+              if (s == TaskStart::kRun) live_ran.fetch_add(1);
+            }),
+            Admission::kRejected);
+  // ...but cancelling `dead` frees it at the next admission decision:
+  // its queued tasks are purged through the fast-cancel path.
+  dead.RequestStop();
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(live.Spawn([&](TaskStart s) {
+                if (s == TaskStart::kRun) live_ran.fetch_add(1);
+              }),
+              Admission::kAdmitted);
+  }
+  release.store(true);
+  live.Wait();
+  dead.Wait();
+  EXPECT_EQ(live_ran.load(), 4);
+  EXPECT_EQ(dead_ran.load(), 0);
+  const PoolGauges g = exec.gauges();
+  EXPECT_EQ(g.tasks_discarded, 4u);  // the purged dead-group tasks
+  EXPECT_EQ(g.tasks_rejected, 1u);
+}
+
+TEST(SchedulingTest, ShedLatestDeadlineEvictsThePatientTask) {
+  Executor exec(BoundedOptions(1, /*cap=*/2,
+                               OverloadPolicy::kShedLatestDeadline));
+  std::atomic<bool> started{false};
+  std::atomic<bool> release{false};
+  Block(exec, &started, &release);
+
+  TaskGroup late(exec, Deadline::After(1h));
+  std::atomic<int> late_ran{0};
+  std::atomic<int> late_shed{0};
+  for (int i = 0; i < 2; ++i) {
+    ASSERT_EQ(late.Spawn([&](TaskStart s) {
+                if (s == TaskStart::kRun) late_ran.fetch_add(1);
+                if (s == TaskStart::kShed) late_shed.fetch_add(1);
+              }),
+              Admission::kAdmitted);
+  }
+  TaskGroup early(exec, Deadline::After(1min));
+  std::atomic<int> early_ran{0};
+  // Each urgent spawn evicts one of the patient queued tasks...
+  EXPECT_EQ(early.Spawn([&](TaskStart s) {
+              if (s == TaskStart::kRun) early_ran.fetch_add(1);
+            }),
+            Admission::kAdmitted);
+  EXPECT_EQ(early.Spawn([&](TaskStart s) {
+              if (s == TaskStart::kRun) early_ran.fetch_add(1);
+            }),
+            Admission::kAdmitted);
+  // ...until only same-deadline tasks are queued: then the newcomer is
+  // the latest-deadline task itself and is rejected.
+  EXPECT_EQ(early.Spawn([](TaskStart) {}), Admission::kRejected);
+
+  release.store(true);
+  early.Wait();
+  late.Wait();  // both members shed => nothing pending
+  EXPECT_EQ(early_ran.load(), 2);
+  EXPECT_EQ(late_ran.load(), 0);
+  EXPECT_EQ(late_shed.load(), 2);
+  const PoolGauges g = exec.gauges();
+  EXPECT_EQ(g.tasks_shed, 2u);
+  EXPECT_EQ(g.tasks_rejected, 1u);
+}
+
+TEST(SchedulingTest, EdfDrainsEarliestDeadlineFirstUnderConcurrentEnqueue) {
+  constexpr int kGroups = 4;
+  constexpr int kTasksPerGroup = 25;
+  Executor exec(ExecutorOptions{.num_threads = 1});  // unbounded EDF
+  std::atomic<bool> started{false};
+  std::atomic<bool> release{false};
+  Block(exec, &started, &release);
+
+  std::vector<std::unique_ptr<TaskGroup>> groups;
+  for (int g = 0; g < kGroups; ++g) {
+    groups.push_back(std::make_unique<TaskGroup>(
+        exec, Deadline::After(std::chrono::hours(g + 1))));
+  }
+  std::mutex order_mutex;
+  std::vector<int> order;
+  std::atomic<int> done{0};
+  {
+    // Concurrent enqueue: one spawner thread per group, all racing.
+    std::vector<std::thread> spawners;
+    for (int g = 0; g < kGroups; ++g) {
+      spawners.emplace_back([&, g] {
+        for (int i = 0; i < kTasksPerGroup; ++i) {
+          groups[g]->Spawn([&, g](TaskStart) {
+            {
+              std::lock_guard<std::mutex> lock(order_mutex);
+              order.push_back(g);
+            }
+            done.fetch_add(1);
+          });
+        }
+      });
+    }
+    for (auto& t : spawners) t.join();
+  }
+  release.store(true);
+  // Poll instead of Wait(): a helping waiter would run its own group's
+  // tasks out of global EDF order and pollute the order check.
+  while (done.load() < kGroups * kTasksPerGroup) {
+    std::this_thread::sleep_for(100us);
+  }
+  ASSERT_EQ(order.size(), static_cast<size_t>(kGroups * kTasksPerGroup));
+  // The single worker drained the fully sorted queue: all of group 0
+  // (earliest deadline) before all of group 1, and so on.
+  for (size_t i = 1; i < order.size(); ++i) {
+    EXPECT_LE(order[i - 1], order[i])
+        << "EDF violated at drain position " << i;
+  }
+  groups.clear();
+}
+
+TEST(SchedulingTest, FifoDisciplineIgnoresDeadlines) {
+  ExecutorOptions o;
+  o.num_threads = 1;
+  o.discipline = QueueDiscipline::kFifo;
+  Executor exec(o);
+  std::atomic<bool> started{false};
+  std::atomic<bool> release{false};
+  Block(exec, &started, &release);
+
+  TaskGroup late(exec, Deadline::After(1h));
+  TaskGroup early(exec, Deadline::After(1min));
+  std::mutex order_mutex;
+  std::vector<int> order;
+  std::atomic<int> done{0};
+  auto record = [&](int id) {
+    std::lock_guard<std::mutex> lock(order_mutex);
+    order.push_back(id);
+  };
+  late.Spawn([&](TaskStart) {
+    record(1);
+    done.fetch_add(1);
+  });
+  early.Spawn([&](TaskStart) {
+    record(0);
+    done.fetch_add(1);
+  });
+  release.store(true);
+  while (done.load() < 2) std::this_thread::sleep_for(100us);
+  // Arrival order won despite the later deadline arriving first.
+  EXPECT_EQ(order, (std::vector<int>{1, 0}));
+}
+
+/// Shared workload fixture for the policy-parity checks.
+struct ParityFixture {
+  Graph data;
+  LabelStats stats;
+  GraphQlMatcher gql;
+  SPathMatcher spa;
+  Portfolio portfolio;
+  std::vector<gen::Query> workload;
+  RunnerOptions ro;
+
+  ParityFixture() : data(gen::YeastLike(8, 91)) {
+    stats = LabelStats::FromGraph(data);
+    EXPECT_TRUE(gql.Prepare(data).ok());
+    EXPECT_TRUE(spa.Prepare(data).ok());
+    const std::vector<const Matcher*> matchers = {&gql, &spa};
+    const std::vector<Rewriting> rewritings = {Rewriting::kOriginal,
+                                               Rewriting::kDnd};
+    portfolio = MakeMultiAlgorithmPortfolio(matchers, rewritings);
+    auto w = gen::GenerateWorkload(data, /*count=*/10, /*num_edges=*/6,
+                                   /*seed=*/92);
+    EXPECT_TRUE(w.ok());
+    workload = std::move(w).value();
+    ro.cap_ms = 0.0;  // uncapped => outcomes must be exactly reproducible
+    ro.max_embeddings = 1;
+  }
+};
+
+TEST(SchedulingTest, ShedAndRejectPoliciesMatchSerialResults) {
+  const ParityFixture f;
+  const auto serial = RunWorkloadPsi(f.portfolio, f.workload, f.stats, f.ro,
+                                     RaceMode::kSequential);
+  for (OverloadPolicy policy :
+       {OverloadPolicy::kRejectNew, OverloadPolicy::kShedLatestDeadline}) {
+    // A 2-worker pool with a 3-slot queue is permanently overloaded by
+    // 10 queries x 4 variants: admission decisions fire constantly, yet
+    // every record must still match the serial ground truth.
+    Executor exec(BoundedOptions(2, /*cap=*/3, policy));
+    const auto par = RunWorkloadPsiParallel(f.portfolio, f.workload, f.stats,
+                                            f.ro, RaceMode::kPool, &exec);
+    ASSERT_EQ(par.size(), serial.size());
+    for (size_t i = 0; i < par.size(); ++i) {
+      EXPECT_EQ(par[i].matched, serial[i].matched)
+          << "policy=" << ToString(policy) << " query " << i;
+      EXPECT_EQ(par[i].embeddings, serial[i].embeddings)
+          << "policy=" << ToString(policy) << " query " << i;
+      EXPECT_FALSE(par[i].killed);  // uncapped: nothing may be killed
+    }
+  }
+}
+
+TEST(SchedulingTest, GaugesExposeWaitHistogram) {
+  Executor exec(ExecutorOptions{.num_threads = 1});
+  TaskGroup group(exec);
+  for (int i = 0; i < 16; ++i) {
+    group.Spawn([](TaskStart) { std::this_thread::sleep_for(200us); });
+  }
+  group.Wait();
+  const PoolGauges g = exec.gauges();
+  EXPECT_EQ(g.queue_wait_count, 16u);
+  uint64_t total = 0;
+  for (uint64_t b : g.queue_wait_hist) total += b;
+  EXPECT_EQ(total, 16u);
+  EXPECT_GE(g.mean_queue_wait_ms(), 0.0);
+}
+
+}  // namespace
+}  // namespace psi

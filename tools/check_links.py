@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Markdown intra-repo link checker (stdlib only; used by the CI docs job).
+
+Scans every tracked-ish .md file for [text](target) links and verifies
+that relative targets exist on disk, and that #anchors point at a real
+heading (GitHub slug rules, simplified). External (scheme://) and mailto
+links are ignored. Exits non-zero listing every broken link.
+"""
+
+import os
+import re
+import sys
+
+SKIP_DIRS = {".git", "build", "build-tsan", "build-asan", ".github"}
+LINK_RE = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$")
+CODE_FENCE_RE = re.compile(r"^(```|~~~)")
+
+
+def slugify(heading: str) -> str:
+    """GitHub-style anchor slug (simplified: enough for our headings)."""
+    s = re.sub(r"[*_`~]", "", heading.strip().lower())
+    s = re.sub(r"[^\w\- ]", "", s, flags=re.UNICODE)
+    return s.replace(" ", "-")
+
+
+def md_files(root: str):
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = [d for d in dirnames if d not in SKIP_DIRS]
+        for name in filenames:
+            if name.endswith(".md"):
+                yield os.path.join(dirpath, name)
+
+
+def headings_of(path: str):
+    slugs = set()
+    in_fence = False
+    with open(path, encoding="utf-8") as f:
+        for line in f:
+            if CODE_FENCE_RE.match(line):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            m = HEADING_RE.match(line)
+            if m:
+                slugs.add(slugify(m.group(1)))
+    return slugs
+
+
+def links_of(path: str):
+    in_fence = False
+    with open(path, encoding="utf-8") as f:
+        for lineno, line in enumerate(f, start=1):
+            if CODE_FENCE_RE.match(line):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            for m in LINK_RE.finditer(line):
+                yield lineno, m.group(1)
+
+
+def main() -> int:
+    root = os.path.abspath(
+        sys.argv[1] if len(sys.argv) > 1
+        else os.path.join(os.path.dirname(__file__), ".."))
+    heading_cache = {}
+    errors = []
+    checked = 0
+    for md in sorted(md_files(root)):
+        for lineno, target in links_of(md):
+            if re.match(r"^[a-z][a-z0-9+.\-]*:", target):  # scheme: external
+                continue
+            checked += 1
+            target_path, _, anchor = target.partition("#")
+            where = f"{os.path.relpath(md, root)}:{lineno}"
+            if target_path:
+                resolved = os.path.normpath(
+                    os.path.join(os.path.dirname(md), target_path))
+            else:
+                resolved = md  # pure-anchor link into the same file
+            if not os.path.exists(resolved):
+                errors.append(f"{where}: missing file: {target}")
+                continue
+            if anchor and resolved.endswith(".md"):
+                if resolved not in heading_cache:
+                    heading_cache[resolved] = headings_of(resolved)
+                if slugify(anchor) not in heading_cache[resolved]:
+                    errors.append(f"{where}: missing anchor: {target}")
+    for e in errors:
+        print(e)
+    print(f"checked {checked} intra-repo links: "
+          f"{'FAILED, ' + str(len(errors)) + ' broken' if errors else 'ok'}")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
