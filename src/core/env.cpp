@@ -41,4 +41,8 @@ std::string PoolOverloadPolicyName() {
   return EnvString("PSI_POOL_OVERLOAD", "reject");
 }
 
+int64_t PoolAgingMillis() { return EnvInt("PSI_POOL_AGING_MS", 500); }
+
+int64_t FtvFilterShards() { return EnvInt("PSI_FTV_FILTER_SHARDS", 0); }
+
 }  // namespace psi

@@ -46,6 +46,18 @@ int64_t PoolQueueCap();
 /// evicts the queued task with the latest deadline.
 std::string PoolOverloadPolicyName();
 
+/// Aging window for deadline-less pool tasks in milliseconds
+/// (PSI_POOL_AGING_MS, default 500). Under EDF a task with no deadline
+/// sorts as if its deadline were enqueue-time + window, so sustained
+/// deadlined load cannot starve fire-and-forget work. <= 0 disables
+/// aging (deadline-less tasks sort after everything, the PR-2
+/// behaviour).
+int64_t PoolAgingMillis();
+
+/// Shard count of the parallel FTV filter stage (PSI_FTV_FILTER_SHARDS).
+/// <= 0 (the default) means auto: one shard per pool worker.
+int64_t FtvFilterShards();
+
 }  // namespace psi
 
 #endif  // PSI_CORE_ENV_HPP_

@@ -173,6 +173,10 @@ Result<Graph> GraphBuilder::Build(std::string name) {
   labels_.clear();
   edges_.clear();
   g.EnsureLabelIndex();
+  // Components are computed eagerly too: the sharded FTV filter and the
+  // parallel runners read them from many pool tasks at once, and a Graph
+  // whose caches are all warm is freely shareable across threads.
+  g.ComponentIds();
   return g;
 }
 

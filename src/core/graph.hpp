@@ -82,8 +82,10 @@ class Graph {
   /// Builds the label->vertices index eagerly.
   void EnsureLabelIndex() const;
 
-  /// Connected component id per vertex (ids dense from 0), lazily computed
-  /// at first use and cached; same thread-safety contract as the label index.
+  /// Connected component id per vertex (ids dense from 0). Computed once
+  /// — GraphBuilder::Build does it eagerly, like the label index, so
+  /// built graphs may share these caches across threads freely (only a
+  /// default-constructed Graph computes lazily at first use).
   const std::vector<uint32_t>& ComponentIds() const;
   uint32_t NumComponents() const;
 

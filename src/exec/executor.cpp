@@ -10,13 +10,24 @@ namespace psi {
 
 namespace {
 
-/// EDF sort key: the absolute deadline, with "no deadline" sorting after
+/// EDF sort key: the absolute deadline. A task with no deadline gets an
+/// *aged* key — enqueue time + the aging window — so sustained deadlined
+/// load cannot starve it: newly arriving deadlined tasks carry keys that
+/// advance with the clock and eventually pass the aged task's fixed key.
+/// With aging disabled (window <= 0) no-deadline tasks sort after
 /// everything. Under kFifo every task gets the same key so arrival order
 /// (the seq tiebreak) decides alone.
-Deadline::Clock::time_point SortKey(QueueDiscipline discipline,
-                                    Deadline deadline) {
-  if (discipline == QueueDiscipline::kFifo || !deadline.enabled()) {
+Deadline::Clock::time_point SortKey(const ExecutorOptions& options,
+                                    Deadline deadline,
+                                    Deadline::Clock::time_point enqueued_at) {
+  if (options.discipline == QueueDiscipline::kFifo) {
     return Deadline::Clock::time_point::max();
+  }
+  if (!deadline.enabled()) {
+    if (options.no_deadline_aging <= std::chrono::nanoseconds(0)) {
+      return Deadline::Clock::time_point::max();
+    }
+    return enqueued_at + options.no_deadline_aging;
   }
   return deadline.at();
 }
@@ -55,6 +66,9 @@ ExecutorOptions ExecutorOptions::FromEnv() {
   o.overload_policy = PoolOverloadPolicyName() == "shed"
                           ? OverloadPolicy::kShedLatestDeadline
                           : OverloadPolicy::kRejectNew;
+  const int64_t aging_ms = PoolAgingMillis();
+  o.no_deadline_aging = aging_ms > 0 ? std::chrono::milliseconds(aging_ms)
+                                     : std::chrono::nanoseconds(0);
   return o;
 }
 
@@ -116,7 +130,7 @@ Admission Executor::Enqueue(const TaskGroup* group, Deadline deadline,
   task.group = group;
   task.fn = std::move(fn);
   task.enqueued_at = Deadline::Clock::now();
-  task.deadline_key = SortKey(options_.discipline, deadline);
+  task.deadline_key = SortKey(options_, deadline, task.enqueued_at);
 
   // Tasks displaced by the admission decision, completed outside the lock:
   // cancelled-group purges go through the normal fast-cancel dequeue path,
@@ -172,14 +186,8 @@ Admission Executor::Enqueue(const TaskGroup* group, Deadline deadline,
 void Executor::RecordQueueWait(const QueuedTask& task) {
   const auto wait = Deadline::Clock::now() - task.enqueued_at;
   const double ms = std::chrono::duration<double, std::milli>(wait).count();
-  size_t bucket = PoolGauges::kWaitBuckets - 1;
-  for (size_t i = 0; i + 1 < PoolGauges::kWaitBuckets; ++i) {
-    if (ms < PoolGauges::kWaitBucketUpperMs[i]) {
-      bucket = i;
-      break;
-    }
-  }
-  wait_hist_[bucket].fetch_add(1, std::memory_order_relaxed);
+  wait_hist_[PoolGauges::WaitBucketFor(ms)].fetch_add(
+      1, std::memory_order_relaxed);
   wait_total_ns_.fetch_add(
       static_cast<uint64_t>(
           std::chrono::duration_cast<std::chrono::nanoseconds>(wait).count()),

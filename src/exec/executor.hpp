@@ -54,6 +54,7 @@
 #define PSI_EXEC_EXECUTOR_HPP_
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -103,8 +104,10 @@ enum class QueueDiscipline : uint8_t {
   /// for comparison benchmarks (bench_executor_scheduling) and workloads
   /// with uniform task sizes.
   kFifo,
-  /// Earliest-deadline-first with FIFO tiebreak; tasks whose group has
-  /// no deadline sort after every deadlined task. The serving default.
+  /// Earliest-deadline-first with FIFO tiebreak; tasks with no deadline
+  /// sort by an aged effective deadline (enqueue time +
+  /// ExecutorOptions::no_deadline_aging) so they cannot starve under
+  /// sustained deadlined load. The serving default.
   kEdf,
 };
 
@@ -137,13 +140,24 @@ struct ExecutorOptions {
   size_t queue_capacity = kUnboundedQueue;
   OverloadPolicy overload_policy = OverloadPolicy::kRejectNew;
   QueueDiscipline discipline = QueueDiscipline::kEdf;
+  /// Aging window for tasks with no deadline under EDF: such a task sorts
+  /// as if its deadline were enqueue-time + window, so a sustained stream
+  /// of deadlined work (whose sort keys keep advancing with the clock)
+  /// overtakes it for at most roughly the window before the aged task's
+  /// fixed key wins. Zero or negative disables aging — deadline-less
+  /// tasks then sort after every deadlined task, and fire-and-forget
+  /// Submit work can starve indefinitely under deadlined floods. Ignored
+  /// by kFifo. Also the shed-victim ordering: kShedLatestDeadline evicts
+  /// by *effective* (aged) deadline.
+  std::chrono::nanoseconds no_deadline_aging = std::chrono::milliseconds(500);
 
   static constexpr size_t kUnboundedQueue =
       std::numeric_limits<size_t>::max();
 
   /// The serving defaults from the environment: PSI_POOL_THREADS workers,
-  /// PSI_POOL_QUEUE_CAP capacity (<= 0 = unbounded) and PSI_POOL_OVERLOAD
-  /// policy ("reject" | "shed"), EDF discipline.
+  /// PSI_POOL_QUEUE_CAP capacity (<= 0 = unbounded), PSI_POOL_OVERLOAD
+  /// policy ("reject" | "shed"), PSI_POOL_AGING_MS aging window, EDF
+  /// discipline.
   static ExecutorOptions FromEnv();
 };
 
@@ -168,8 +182,10 @@ class Executor {
   Executor(const Executor&) = delete;
   Executor& operator=(const Executor&) = delete;
 
-  /// Enqueues a fire-and-forget task with no deadline (sorts after all
-  /// deadlined work under EDF). Returns kRejected — and never runs
+  /// Enqueues a fire-and-forget task with no deadline (under EDF it sorts
+  /// by the aged effective deadline — see ExecutorOptions::
+  /// no_deadline_aging — so deadlined floods cannot starve it). Returns
+  /// kRejected — and never runs
   /// `task` — when the bounded queue refused it. Under
   /// OverloadPolicy::kShedLatestDeadline an *admitted* task may still be
   /// evicted later and silently never run; use TaskGroup::Spawn (whose

@@ -1,19 +1,76 @@
 #include "ggsx/ggsx.hpp"
 
+#include <algorithm>
+#include <chrono>
+
 #include "vf2/vf2.hpp"
 
 namespace psi {
 
 Status GgsxIndex::Build(const GraphDataset& dataset) {
   dataset_ = &dataset;
-  for (uint32_t gid = 0; gid < dataset.size(); ++gid) {
-    trie_.AddGraph(gid, dataset.graph(gid), options_.max_path_edges);
+  trie_ = PathTrie(/*store_locations=*/false);
+  shard_ranges_.clear();
+  shard_tries_.clear();
+  const uint32_t shards = ResolveFilterShards(
+      options_.filter_shards, dataset.size(), options_.executor);
+  if (shards <= 1) {
+    for (uint32_t gid = 0; gid < dataset.size(); ++gid) {
+      trie_.AddGraph(gid, dataset.graph(gid), options_.max_path_edges);
+    }
+  } else {
+    shard_ranges_ = ComputeShardRanges(dataset.size(), shards);
+    shard_tries_ =
+        BuildShardTries(dataset, options_.max_path_edges,
+                        /*store_locations=*/false, shard_ranges_,
+                        options_.executor);
   }
   return Status::OK();
 }
 
+std::vector<uint32_t> GgsxIndex::FilterShard(
+    std::span<const QueryPath> query_paths, uint32_t shard) const {
+  const PathTrie& trie = shard_tries_[shard];
+  const ShardRange range = shard_ranges_[shard];
+  std::vector<uint32_t> out;
+
+  // A path absent from the shard's trie kills the whole shard.
+  std::vector<const std::map<uint32_t, PathPosting>*> postings;
+  postings.reserve(query_paths.size());
+  for (const QueryPath& qp : query_paths) {
+    const auto* p = trie.Find(qp.labels);
+    if (p == nullptr) return out;
+    postings.push_back(p);
+  }
+  const std::vector<size_t> order = ProbeOrder(postings);
+
+  for (uint32_t gid = range.begin; gid < range.end; ++gid) {
+    bool alive = true;
+    for (size_t pi : order) {
+      const auto it = postings[pi]->find(gid);
+      if (it == postings[pi]->end() ||
+          it->second.count < query_paths[pi].count) {
+        alive = false;
+        break;
+      }
+    }
+    if (alive) out.push_back(gid);
+  }
+  return out;
+}
+
 std::vector<uint32_t> GgsxIndex::Filter(const Graph& query) const {
   const auto query_paths = CollectQueryPaths(query, options_.max_path_edges);
+
+  if (!shard_tries_.empty()) {
+    std::vector<uint32_t> out;
+    for (uint32_t si = 0; si < shard_tries_.size(); ++si) {
+      const auto part = FilterShard(query_paths, si);
+      out.insert(out.end(), part.begin(), part.end());
+    }
+    return out;
+  }
+
   std::vector<uint8_t> alive(dataset_->size(), 1);
   for (const QueryPath& qp : query_paths) {
     const auto* postings = trie_.Find(qp.labels);
@@ -29,6 +86,21 @@ std::vector<uint32_t> GgsxIndex::Filter(const Graph& query) const {
     if (alive[gid]) out.push_back(gid);
   }
   return out;
+}
+
+std::vector<uint32_t> GgsxIndex::FilterSharded(const Graph& query,
+                                               Deadline deadline) const {
+  const size_t total = dataset_->size();
+  if (shard_tries_.size() <= 1) {
+    return RunSerialFilterFallback(filter_stats_, total,
+                                   [&] { return Filter(query); });
+  }
+  const auto query_paths = CollectQueryPaths(query, options_.max_path_edges);
+  return RunShardedFilter<uint32_t>(
+      options_.executor, deadline, shard_tries_.size(), total,
+      filter_stats_, [&](size_t si) {
+        return FilterShard(query_paths, static_cast<uint32_t>(si));
+      });
 }
 
 MatchResult GgsxIndex::VerifyCandidate(const Graph& query, uint32_t graph_id,

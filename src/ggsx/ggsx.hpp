@@ -6,16 +6,26 @@
 // the two behavioural differences from Grapes that the paper's experiments
 // expose (GGSX pays for the missing locations with far larger verification
 // search spaces).
+//
+// Beyond the paper, the index supports the same sharded filter stage as
+// Grapes (ftv/filter_shards.hpp): `filter_shards != 1` splits the
+// collection into per-range tries and FilterSharded prunes the shards
+// concurrently on the shared executor, with candidate sets identical to
+// the serial Filter's.
 
 #ifndef PSI_GGSX_GGSX_HPP_
 #define PSI_GGSX_GGSX_HPP_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "core/dataset.hpp"
 #include "core/graph.hpp"
 #include "core/status.hpp"
+#include "core/stop_token.hpp"
+#include "exec/executor.hpp"
+#include "ftv/filter_shards.hpp"
 #include "ftv/path_index.hpp"
 #include "match/matcher.hpp"
 
@@ -25,6 +35,13 @@ struct GgsxOptions {
   /// Maximum indexed path length in edges ("paths of up to size 4" in the
   /// paper counts vertices, i.e. 3 edges).
   uint32_t max_path_edges = 3;
+  /// Filter-stage shards: 1 (default) is the original single-trie serial
+  /// design; 0 resolves from the environment (PSI_FTV_FILTER_SHARDS,
+  /// auto = pool width); N > 1 explicit. See ftv/filter_shards.hpp.
+  uint32_t filter_shards = 1;
+  /// Pool backing the sharded build and FilterSharded; nullptr = the
+  /// process-wide Executor::Shared(). Ignored when single-shard.
+  Executor* executor = nullptr;
 };
 
 class GgsxIndex {
@@ -33,22 +50,48 @@ class GgsxIndex {
   explicit GgsxIndex(const GgsxOptions& options)
       : options_(options), trie_(/*store_locations=*/false) {}
 
-  /// Indexes the dataset (single-threaded, as the original).
+  /// Indexes the dataset (single-threaded when single-shard, as the
+  /// original; per-range shard tries built on the pool otherwise).
   Status Build(const GraphDataset& dataset);
 
-  /// Count-based filtering; sound (no false dismissals).
+  /// Count-based filtering; sound (no false dismissals). Serial on the
+  /// calling thread.
   std::vector<uint32_t> Filter(const Graph& query) const;
+
+  /// Sharded filter on the configured executor — one cancellable,
+  /// deadline-aware TaskGroup; displaced shards filter inline, so the
+  /// result always equals Filter's. Thread-safe after Build.
+  std::vector<uint32_t> FilterSharded(const Graph& query,
+                                      Deadline deadline = Deadline()) const;
+
+  /// The query's path index; shared by every shard of one query.
+  std::vector<QueryPath> CollectPaths(const Graph& query) const {
+    return CollectQueryPaths(query, options_.max_path_edges);
+  }
+
+  /// Filters one shard of a sharded index on the calling thread.
+  std::vector<uint32_t> FilterShard(std::span<const QueryPath> query_paths,
+                                    uint32_t shard) const;
 
   /// First-match VF2 against the full stored graph `graph_id`.
   MatchResult VerifyCandidate(const Graph& query, uint32_t graph_id,
                               const MatchOptions& opts) const;
 
   const GraphDataset* dataset() const { return dataset_; }
+  const GgsxOptions& options() const { return options_; }
+  /// The single global trie; only populated on single-shard indexes.
   const PathTrie& trie() const { return trie_; }
+  /// Number of filter shards; 0 on a single-shard (serial) index.
+  size_t num_filter_shards() const { return shard_tries_.size(); }
+  std::span<const ShardRange> shard_ranges() const { return shard_ranges_; }
+  FilterStageStats& filter_stats() const { return filter_stats_; }
 
  private:
   GgsxOptions options_;
   PathTrie trie_;
+  std::vector<ShardRange> shard_ranges_;
+  std::vector<PathTrie> shard_tries_;
+  mutable FilterStageStats filter_stats_;
   const GraphDataset* dataset_ = nullptr;
 };
 

@@ -11,31 +11,73 @@
 
 namespace psi {
 
+namespace {
+
+/// dst <- dst ∩ src; both sorted ascending.
+void IntersectSorted(std::vector<uint32_t>* dst,
+                     const std::vector<uint32_t>& src) {
+  auto out = dst->begin();
+  auto a = dst->begin();
+  auto b = src.begin();
+  while (a != dst->end() && b != src.end()) {
+    if (*a < *b) {
+      ++a;
+    } else if (*b < *a) {
+      ++b;
+    } else {
+      *out++ = *a;
+      ++a;
+      ++b;
+    }
+  }
+  dst->erase(out, dst->end());
+}
+
+}  // namespace
+
 Status GrapesIndex::Build(const GraphDataset& dataset) {
   dataset_ = &dataset;
-  const uint32_t threads =
-      std::max<uint32_t>(1, std::min<uint32_t>(options_.num_threads,
-                                               dataset.size() ? dataset.size()
-                                                              : 1));
-  if (threads == 1) {
-    for (uint32_t gid = 0; gid < dataset.size(); ++gid) {
-      trie_.AddGraph(gid, dataset.graph(gid), options_.max_path_edges);
+  trie_ = PathTrie(/*store_locations=*/true);
+  shard_ranges_.clear();
+  shard_tries_.clear();
+
+  const uint32_t shards = ResolveFilterShards(
+      options_.filter_shards, dataset.size(), options_.executor);
+  if (shards <= 1) {
+    const uint32_t threads =
+        std::max<uint32_t>(1, std::min<uint32_t>(options_.num_threads,
+                                                 dataset.size()
+                                                     ? dataset.size()
+                                                     : 1));
+    if (threads == 1) {
+      for (uint32_t gid = 0; gid < dataset.size(); ++gid) {
+        trie_.AddGraph(gid, dataset.graph(gid), options_.max_path_edges);
+      }
+    } else {
+      // Shard graphs across local tries, then merge (trie insertion is not
+      // thread-safe; local tries keep the hot loop lock-free).
+      std::vector<PathTrie> locals(threads, PathTrie(true));
+      std::vector<std::thread> workers;
+      for (uint32_t t = 0; t < threads; ++t) {
+        workers.emplace_back([&, t] {
+          for (uint32_t gid = t; gid < dataset.size(); gid += threads) {
+            locals[t].AddGraph(gid, dataset.graph(gid),
+                               options_.max_path_edges);
+          }
+        });
+      }
+      for (auto& w : workers) w.join();
+      for (const PathTrie& local : locals) trie_.Merge(local);
     }
   } else {
-    // Shard graphs across local tries, then merge (trie insertion is not
-    // thread-safe; local tries keep the hot loop lock-free).
-    std::vector<PathTrie> locals(threads, PathTrie(true));
-    std::vector<std::thread> workers;
-    for (uint32_t t = 0; t < threads; ++t) {
-      workers.emplace_back([&, t] {
-        for (uint32_t gid = t; gid < dataset.size(); gid += threads) {
-          locals[t].AddGraph(gid, dataset.graph(gid),
-                             options_.max_path_edges);
-        }
-      });
-    }
-    for (auto& w : workers) w.join();
-    for (const PathTrie& local : locals) trie_.Merge(local);
+    // Filter-sharded index: one trie per contiguous graph-id range, built
+    // as one TaskGroup on the pool (ftv/filter_shards.hpp). No merged
+    // global trie — the shards *are* the index.
+    shard_ranges_ = ComputeShardRanges(dataset.size(), shards);
+    shard_tries_ =
+        BuildShardTries(dataset, options_.max_path_edges,
+                        /*store_locations=*/true, shard_ranges_,
+                        options_.executor);
   }
 
   // Cache component subgraphs for the verification stage.
@@ -54,9 +96,93 @@ Status GrapesIndex::Build(const GraphDataset& dataset) {
   return Status::OK();
 }
 
+std::vector<GrapesCandidate> GrapesIndex::FilterShard(
+    const Graph& query, std::span<const QueryPath> query_paths,
+    uint32_t shard) const {
+  const PathTrie& trie = shard_tries_[shard];
+  const ShardRange range = shard_ranges_[shard];
+  std::vector<GrapesCandidate> out;
+
+  // One trie walk per path up front; a path absent from the shard's trie
+  // kills the whole shard (no stored graph in the range can cover it) —
+  // the shard-level short-circuit the global trie cannot offer.
+  std::vector<const std::map<uint32_t, PathPosting>*> postings;
+  postings.reserve(query_paths.size());
+  for (const QueryPath& qp : query_paths) {
+    const auto* p = trie.Find(qp.labels);
+    if (p == nullptr) return out;
+    postings.push_back(p);
+  }
+  const std::vector<size_t> order = ProbeOrder(postings);
+
+  // A connected query must embed inside one component, so the component
+  // sets of its paths are intersected; a disconnected (or empty) query
+  // falls back to all components (see VerifyCandidate).
+  const bool connected = query.NumComponents() <= 1;
+  std::vector<uint32_t> comps, here;
+  const std::vector<uint32_t> no_comps;
+  for (uint32_t gid = range.begin; gid < range.end; ++gid) {
+    bool alive = true;
+    bool comps_initialized = false;
+    const std::vector<uint32_t>& comp_of =
+        connected ? dataset_->graph(gid).ComponentIds() : no_comps;
+    for (size_t pi : order) {
+      const auto it = postings[pi]->find(gid);
+      if (it == postings[pi]->end() ||
+          it->second.count < query_paths[pi].count) {
+        alive = false;
+        break;
+      }
+      if (!connected) continue;
+      here.clear();
+      for (VertexId loc : it->second.locations) {
+        here.push_back(comp_of[loc]);
+      }
+      std::sort(here.begin(), here.end());
+      here.erase(std::unique(here.begin(), here.end()), here.end());
+      if (!comps_initialized) {
+        comps = here;
+        comps_initialized = true;
+      } else {
+        IntersectSorted(&comps, here);
+      }
+      if (comps.empty()) {
+        alive = false;
+        break;
+      }
+    }
+    if (!alive) continue;
+    GrapesCandidate c;
+    c.graph_id = gid;
+    if (connected && comps_initialized) {
+      c.components = comps;
+    } else {
+      c.components.reserve(components_[gid].size());
+      for (uint32_t i = 0; i < components_[gid].size(); ++i) {
+        c.components.push_back(i);
+      }
+    }
+    out.push_back(std::move(c));
+  }
+  return out;
+}
+
 std::vector<GrapesCandidate> GrapesIndex::Filter(const Graph& query) const {
   const auto query_paths =
       CollectQueryPaths(query, options_.max_path_edges);
+
+  if (!shard_tries_.empty()) {
+    // Sharded index, serial walk: shard results concatenated in range
+    // order are globally gid-ascending, the same order the single-trie
+    // filter below produces.
+    std::vector<GrapesCandidate> out;
+    for (uint32_t si = 0; si < shard_tries_.size(); ++si) {
+      auto part = FilterShard(query, query_paths, si);
+      out.insert(out.end(), std::make_move_iterator(part.begin()),
+                 std::make_move_iterator(part.end()));
+    }
+    return out;
+  }
 
   // Start from all graphs; each query path prunes by count, and its
   // locations prune components.
@@ -117,6 +243,22 @@ std::vector<GrapesCandidate> GrapesIndex::Filter(const Graph& query) const {
     out.push_back(std::move(c));
   }
   return out;
+}
+
+std::vector<GrapesCandidate> GrapesIndex::FilterSharded(
+    const Graph& query, Deadline deadline) const {
+  const size_t total = dataset_->size();
+  if (shard_tries_.size() <= 1) {
+    return RunSerialFilterFallback(filter_stats_, total,
+                                   [&] { return Filter(query); });
+  }
+  const auto query_paths =
+      CollectQueryPaths(query, options_.max_path_edges);
+  return RunShardedFilter<GrapesCandidate>(
+      options_.executor, deadline, shard_tries_.size(), total,
+      filter_stats_, [&](size_t si) {
+        return FilterShard(query, query_paths, static_cast<uint32_t>(si));
+      });
 }
 
 MatchResult GrapesIndex::VerifyCandidate(const Graph& query,

@@ -8,16 +8,30 @@
 // Index build is parallelised by sharding graphs across threads into local
 // tries that are then merged; verification can fan candidate components out
 // across `num_threads` workers (the paper's Grapes/1 vs Grapes/4).
+//
+// Beyond the paper, the index can shard the *filter stage* itself
+// (ftv/filter_shards.hpp): with `filter_shards != 1` the collection is
+// split into contiguous graph-id ranges, each with its own trie, and
+// `FilterSharded` filters every shard as one deadline-aware TaskGroup on
+// the shared executor. The per-graph decision depends only on that graph's
+// own postings, so the sharded candidate set is byte-identical to the
+// serial `Filter`'s (the differential harness in
+// tests/ftv_parallel_filter_test.cpp holds this across randomized
+// collections).
 
 #ifndef PSI_GRAPES_GRAPES_HPP_
 #define PSI_GRAPES_GRAPES_HPP_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "core/dataset.hpp"
 #include "core/graph.hpp"
 #include "core/status.hpp"
+#include "core/stop_token.hpp"
+#include "exec/executor.hpp"
+#include "ftv/filter_shards.hpp"
 #include "ftv/path_index.hpp"
 #include "match/matcher.hpp"
 
@@ -30,6 +44,17 @@ struct GrapesOptions {
   /// Worker threads for index build and candidate verification
   /// (Grapes/1, Grapes/4 in the paper).
   uint32_t num_threads = 1;
+  /// Filter-stage shards: 1 (default) keeps the paper-faithful single
+  /// trie and serial filter; 0 resolves from the environment
+  /// (PSI_FTV_FILTER_SHARDS, auto = pool width); N > 1 is explicit. With
+  /// more than one shard, Build creates one trie per contiguous graph-id
+  /// range (built in parallel on `executor`) and FilterSharded filters
+  /// shards concurrently.
+  uint32_t filter_shards = 1;
+  /// Pool backing the sharded build and FilterSharded; nullptr = the
+  /// process-wide Executor::Shared(). Ignored when the index is
+  /// single-shard.
+  Executor* executor = nullptr;
 };
 
 /// One filtering survivor: a stored graph plus the components that contain
@@ -37,6 +62,10 @@ struct GrapesOptions {
 struct GrapesCandidate {
   uint32_t graph_id = 0;
   std::vector<uint32_t> components;
+
+  bool operator==(const GrapesCandidate& o) const {
+    return graph_id == o.graph_id && components == o.components;
+  }
 };
 
 class GrapesIndex {
@@ -45,14 +74,39 @@ class GrapesIndex {
   explicit GrapesIndex(const GrapesOptions& options)
       : options_(options), trie_(/*store_locations=*/true) {}
 
-  /// Indexes the dataset: enumerates paths (sharded across threads),
-  /// merges tries, and caches each graph's connected components as
+  /// Indexes the dataset: enumerates paths (sharded across threads or
+  /// filter shards), and caches each graph's connected components as
   /// standalone graphs for the verification stage.
   Status Build(const GraphDataset& dataset);
 
   /// Filter stage: graphs (and their components) whose path counts cover
-  /// the query's. Sound: never drops a true answer.
+  /// the query's. Sound: never drops a true answer. Always serial on the
+  /// calling thread (on a sharded index it walks the shards in order);
+  /// the ground truth FilterSharded is differential-tested against.
   std::vector<GrapesCandidate> Filter(const Graph& query) const;
+
+  /// Sharded filter: every shard filters as one task of a cancellable
+  /// TaskGroup on the configured executor; `deadline` is the group's EDF
+  /// priority (and admission-control standing), exactly like a race.
+  /// Shards the bounded queue rejects or sheds are filtered inline on the
+  /// calling thread, so the candidate set is complete — and identical to
+  /// Filter's — under any queue capacity. On a single-shard index this
+  /// degrades to the serial Filter. Thread-safe after Build.
+  std::vector<GrapesCandidate> FilterSharded(
+      const Graph& query, Deadline deadline = Deadline()) const;
+
+  /// The query's path index against this index's configuration — shared
+  /// by every shard of one query (and by the pipelined runner).
+  std::vector<QueryPath> CollectPaths(const Graph& query) const {
+    return CollectQueryPaths(query, options_.max_path_edges);
+  }
+
+  /// Filters one shard of a sharded index on the calling thread.
+  /// `query_paths` must come from CollectPaths(query). Candidates are in
+  /// ascending graph-id order within the shard.
+  std::vector<GrapesCandidate> FilterShard(
+      const Graph& query, std::span<const QueryPath> query_paths,
+      uint32_t shard) const;
 
   /// Verification of one candidate: first-match VF2 over its relevant
   /// components (fanned across num_threads workers when > 1). The
@@ -63,7 +117,16 @@ class GrapesIndex {
                               const MatchOptions& opts) const;
 
   const GraphDataset* dataset() const { return dataset_; }
+  const GrapesOptions& options() const { return options_; }
+  /// The single global trie; only populated on single-shard indexes
+  /// (sharded builds keep per-shard tries instead).
   const PathTrie& trie() const { return trie_; }
+  /// Number of filter shards; 0 on a single-shard (serial) index.
+  size_t num_filter_shards() const { return shard_tries_.size(); }
+  std::span<const ShardRange> shard_ranges() const { return shard_ranges_; }
+  /// Counters of the sharded filter stage (ftv/filter_shards.hpp);
+  /// surface them with FilterStageStats::AddTo next to Executor::gauges().
+  FilterStageStats& filter_stats() const { return filter_stats_; }
   /// The cached component subgraphs of stored graph `graph_id`.
   const std::vector<Graph>& components(uint32_t graph_id) const {
     return components_[graph_id];
@@ -72,6 +135,9 @@ class GrapesIndex {
  private:
   GrapesOptions options_;
   PathTrie trie_;
+  std::vector<ShardRange> shard_ranges_;
+  std::vector<PathTrie> shard_tries_;
+  mutable FilterStageStats filter_stats_;
   const GraphDataset* dataset_ = nullptr;
   /// components_[graph_id][component_id] — standalone component graphs.
   std::vector<std::vector<Graph>> components_;

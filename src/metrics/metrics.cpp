@@ -106,9 +106,27 @@ double PoolGauges::discard_rate() const {
 const double PoolGauges::kWaitBucketUpperMs[PoolGauges::kWaitBuckets - 1] = {
     0.1, 1.0, 10.0, 100.0, 1000.0};
 
+size_t PoolGauges::WaitBucketFor(double ms) {
+  for (size_t i = 0; i + 1 < kWaitBuckets; ++i) {
+    if (ms < kWaitBucketUpperMs[i]) return i;
+  }
+  return kWaitBuckets - 1;
+}
+
 double PoolGauges::mean_queue_wait_ms() const {
   if (queue_wait_count == 0) return 0.0;
   return queue_wait_total_ms / static_cast<double>(queue_wait_count);
+}
+
+double PoolGauges::filter_prune_rate() const {
+  if (filter_candidates_in == 0) return 0.0;
+  return static_cast<double>(filter_candidates_pruned) /
+         static_cast<double>(filter_candidates_in);
+}
+
+double PoolGauges::mean_filter_wait_ms() const {
+  if (filter_wait_count == 0) return 0.0;
+  return filter_wait_total_ms / static_cast<double>(filter_wait_count);
 }
 
 std::string FormatPoolGauges(const PoolGauges& g) {
@@ -135,22 +153,56 @@ std::string FormatPoolGauges(const PoolGauges& g) {
   return out;
 }
 
-std::string FormatQueueWaitHistogram(const PoolGauges& g) {
+namespace {
+
+std::string FormatWaitHistogram(const uint64_t (&hist)[PoolGauges::kWaitBuckets]) {
   std::string out;
   char buf[64];
   for (size_t i = 0; i < PoolGauges::kWaitBuckets; ++i) {
     if (i + 1 < PoolGauges::kWaitBuckets) {
       std::snprintf(buf, sizeof(buf), "  <%gms\t%llu\n",
                     PoolGauges::kWaitBucketUpperMs[i],
-                    static_cast<unsigned long long>(g.queue_wait_hist[i]));
+                    static_cast<unsigned long long>(hist[i]));
     } else {
       std::snprintf(buf, sizeof(buf), "  >=%gms\t%llu\n",
                     PoolGauges::kWaitBucketUpperMs[i - 1],
-                    static_cast<unsigned long long>(g.queue_wait_hist[i]));
+                    static_cast<unsigned long long>(hist[i]));
     }
     out += buf;
   }
   return out;
+}
+
+}  // namespace
+
+std::string FormatQueueWaitHistogram(const PoolGauges& g) {
+  return FormatWaitHistogram(g.queue_wait_hist);
+}
+
+std::string FormatFilterGauges(const PoolGauges& g) {
+  if (g.filter_queries == 0) return "";
+  std::string out = "filter[queries=" + std::to_string(g.filter_queries);
+  out += " shards_run=" + std::to_string(g.filter_shards_run);
+  if (g.filter_shards_inline > 0) {
+    out += " shards_inline=" + std::to_string(g.filter_shards_inline);
+  }
+  out += " considered=" + std::to_string(g.filter_candidates_in);
+  out += " pruned=" + std::to_string(g.filter_candidates_pruned);
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), " prune=%.0f%%",
+                100.0 * g.filter_prune_rate());
+  out += buf;
+  if (g.filter_wait_count > 0) {
+    std::snprintf(buf, sizeof(buf), " avg_shard=%.2fms",
+                  g.mean_filter_wait_ms());
+    out += buf;
+  }
+  out += "]";
+  return out;
+}
+
+std::string FormatFilterWaitHistogram(const PoolGauges& g) {
+  return FormatWaitHistogram(g.filter_wait_hist);
 }
 
 Bucket Classify(double ms, bool killed, const BucketThresholds& t) {

@@ -8,6 +8,11 @@ void PsiEngine::AddMatcher(std::unique_ptr<Matcher> matcher) {
   matchers_.push_back(std::move(matcher));
 }
 
+Executor& PsiEngine::executor() const {
+  return options_.executor != nullptr ? *options_.executor
+                                      : Executor::Shared();
+}
+
 Status PsiEngine::Prepare(const Graph& data) {
   if (matchers_.empty()) {
     return Status::InvalidArgument("no matchers registered");

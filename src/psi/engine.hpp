@@ -102,6 +102,14 @@ class PsiEngine {
     return selector_.sample_count();
   }
 
+  /// The pool backing kPool races: the configured executor, or the
+  /// process-wide Executor::Shared() (instantiating it on first use).
+  Executor& executor() const;
+  /// Snapshot of that pool's gauges — the serving-side observability
+  /// hook; stress tests and benches read it next to the FTV filter's
+  /// FilterStageStats.
+  PoolGauges pool_gauges() const { return executor().gauges(); }
+
  private:
   Portfolio SelectPortfolio(const Graph& query);
 

@@ -1,6 +1,8 @@
 #include "workload/runner.hpp"
 
 #include <chrono>
+#include <mutex>
+#include <utility>
 
 namespace psi {
 
@@ -233,11 +235,151 @@ std::vector<FtvPairRecord> RunFtvWorkloadPsi(
   return out;
 }
 
+namespace {
+
+/// The pipelined path for filter-sharded indexes: one pool task per
+/// (query, shard) filters its range and immediately spawns the
+/// verification races of its survivors, so filtering of later shards
+/// overlaps verification of earlier ones. Records are assembled from
+/// per-(query, shard) buckets in (query, shard, gid) order — exactly the
+/// serial runner's order. Displaced work (admission control) re-runs
+/// inline after the joins.
+std::vector<FtvPairRecord> RunFtvPipelined(
+    const GrapesIndex& index, std::span<const gen::Query> workload,
+    std::span<const Rewriting> rewritings, const LabelStats& stats,
+    const RunnerOptions& options, RaceMode mode, Executor& exec) {
+  const size_t num_shards = index.num_filter_shards();
+  const auto budget = BudgetOf(options);
+
+  // Serial prologue: rewritten instances and path indexes per query, so
+  // every pool task works off stable storage.
+  struct QueryCtx {
+    std::vector<RewrittenQuery> instances;
+    std::vector<QueryPath> paths;
+  };
+  std::vector<QueryCtx> ctx(workload.size());
+  for (size_t qi = 0; qi < workload.size(); ++qi) {
+    ctx[qi].instances =
+        RewriteInstances(workload[qi].graph, rewritings, stats);
+    ctx[qi].paths = index.CollectPaths(workload[qi].graph);
+  }
+
+  // One bucket per (query, shard). The owning filter task sizes
+  // `records` before spawning its verify tasks, so every record slot has
+  // a stable address for the task that fills it.
+  struct Bucket {
+    std::vector<GrapesCandidate> cands;
+    std::vector<FtvPairRecord> records;
+  };
+  std::vector<Bucket> buckets(workload.size() * num_shards);
+  std::vector<Deadline::Clock::time_point> spawned_at(buckets.size());
+
+  std::mutex displaced_mutex;
+  // (bucket, candidate) verifications the pool displaced; re-run inline.
+  std::vector<std::pair<size_t, size_t>> displaced_pairs;
+  std::vector<uint8_t> shard_displaced(buckets.size(), 0);
+
+  TaskGroup verify_group(exec);  // deadline-less; EDF aging still drains it
+  auto verify_pair = [&](size_t bucket_index, size_t pair_index) {
+    const size_t qi = bucket_index / num_shards;
+    Bucket& b = buckets[bucket_index];
+    b.records[pair_index] =
+        RaceFtvPair(index, ctx[qi].instances, b.cands[pair_index],
+                    static_cast<uint32_t>(qi), options, mode, &exec);
+  };
+  auto spawn_verifies = [&](size_t bucket_index) {
+    Bucket& b = buckets[bucket_index];
+    b.records.resize(b.cands.size());
+    for (size_t i = 0; i < b.cands.size(); ++i) {
+      const Admission admission =
+          verify_group.Spawn([&, bucket_index, i](TaskStart start) {
+            if (start != TaskStart::kRun) {
+              std::lock_guard<std::mutex> lock(displaced_mutex);
+              displaced_pairs.push_back({bucket_index, i});
+              return;
+            }
+            verify_pair(bucket_index, i);
+          });
+      if (admission == Admission::kRejected) {
+        std::lock_guard<std::mutex> lock(displaced_mutex);
+        displaced_pairs.push_back({bucket_index, i});
+      }
+    }
+  };
+  auto filter_shard = [&](size_t bucket_index) {
+    const size_t qi = bucket_index / num_shards;
+    const auto si = static_cast<uint32_t>(bucket_index % num_shards);
+    buckets[bucket_index].cands =
+        index.FilterShard(workload[qi].graph, ctx[qi].paths, si);
+    index.filter_stats().NoteShardLatency(
+        std::chrono::duration<double, std::milli>(
+            Deadline::Clock::now() - spawned_at[bucket_index])
+            .count());
+  };
+
+  {
+    // The filter group carries the race budget as its deadline: shard
+    // filters queue with the same EDF standing and admission-control
+    // exposure as the verification races they feed.
+    TaskGroup filter_group(exec, budget.count() > 0 ? Deadline::After(budget)
+                                                    : Deadline());
+    for (size_t bi = 0; bi < buckets.size(); ++bi) {
+      spawned_at[bi] = Deadline::Clock::now();
+      const Admission admission =
+          filter_group.Spawn([&, bi](TaskStart start) {
+            if (start != TaskStart::kRun) {
+              shard_displaced[bi] = 1;  // visible to the waiter via Wait()
+              return;
+            }
+            filter_shard(bi);
+            index.filter_stats().NoteShardRun();
+            // Stream: survivors go straight into verification races.
+            spawn_verifies(bi);
+          });
+      if (admission == Admission::kRejected) shard_displaced[bi] = 1;
+    }
+    filter_group.Wait();
+  }
+  // Displaced shards filter inline; their survivors still race on the
+  // pool (the verify group is open until every bucket is accounted for).
+  // spawned_at is left at the original submission time, per the latency
+  // metric's definition (first submission -> shard result ready).
+  for (size_t bi = 0; bi < buckets.size(); ++bi) {
+    if (shard_displaced[bi] == 0) continue;
+    filter_shard(bi);
+    index.filter_stats().NoteShardInline();
+    spawn_verifies(bi);
+  }
+  verify_group.Wait();
+  for (const auto& [bucket_index, pair_index] : displaced_pairs) {
+    verify_pair(bucket_index, pair_index);
+  }
+
+  std::vector<FtvPairRecord> out;
+  for (size_t qi = 0; qi < workload.size(); ++qi) {
+    uint64_t survivors = 0;
+    for (size_t si = 0; si < num_shards; ++si) {
+      const Bucket& b = buckets[qi * num_shards + si];
+      survivors += b.records.size();
+      out.insert(out.end(), b.records.begin(), b.records.end());
+    }
+    index.filter_stats().NoteQuery(index.dataset()->size(),
+                                   index.dataset()->size() - survivors);
+  }
+  return out;
+}
+
+}  // namespace
+
 std::vector<FtvPairRecord> RunFtvWorkloadPsiParallel(
     const GrapesIndex& index, std::span<const gen::Query> workload,
     std::span<const Rewriting> rewritings, const LabelStats& stats,
     const RunnerOptions& options, RaceMode mode, Executor* executor) {
   Executor& exec = executor != nullptr ? *executor : Executor::Shared();
+  if (index.num_filter_shards() > 1) {
+    return RunFtvPipelined(index, workload, rewritings, stats, options, mode,
+                           exec);
+  }
   // Serial phase: rewrite per query and enumerate every (query, candidate)
   // pair, so the parallel phase has stable storage and a fixed order.
   std::vector<std::vector<RewrittenQuery>> instances_per_query;

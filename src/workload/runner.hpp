@@ -110,11 +110,20 @@ std::vector<FtvPairRecord> RunFtvWorkloadPsi(
     const RunnerOptions& options, RaceMode mode,
     Executor* executor = nullptr);
 
-/// Pair-level parallel FTV: filtering stays serial (it is trivial
-/// overhead, §4), then every (query, candidate-graph) verification race
-/// becomes a pool task. Records land in the same order the serial runner
-/// produces. Rejected spawns (bounded pool) verify inline on the calling
-/// thread, so the record set is identical under any queue capacity.
+/// Pair-level parallel FTV. On a single-shard index, filtering stays
+/// serial (it is trivial overhead at that scale, §4) and every (query,
+/// candidate-graph) verification race becomes a pool task. On a
+/// filter-sharded index (GrapesOptions::filter_shards, see
+/// ftv/filter_shards.hpp) the whole workload is *pipelined*: each (query,
+/// shard) filter task runs on the pool under the race budget's deadline
+/// and spawns the verification races of its surviving candidates the
+/// moment its shard result is ready — filter and verify overlap instead
+/// of running as strict phases. Either way, records land in the exact
+/// order the serial runner produces (queries in workload order,
+/// candidates gid-ascending), and work the bounded pool displaces
+/// (rejected or shed filter shards and verification races) re-runs
+/// inline, so the record set is identical under any queue capacity —
+/// including capacity 0.
 std::vector<FtvPairRecord> RunFtvWorkloadPsiParallel(
     const GrapesIndex& index, std::span<const gen::Query> workload,
     std::span<const Rewriting> rewritings, const LabelStats& stats,

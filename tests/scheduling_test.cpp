@@ -347,6 +347,80 @@ TEST(SchedulingTest, ShedAndRejectPoliciesMatchSerialResults) {
   }
 }
 
+TEST(SchedulingTest, NoDeadlineSubmitAgesAheadOfPatientDeadlines) {
+  // A deadline-less Submit sorts by its aged effective deadline
+  // (enqueue + no_deadline_aging), so patient deadlined work queued
+  // behind it cannot starve it — the ROADMAP's EDF-starvation fix.
+  ExecutorOptions o;
+  o.num_threads = 1;
+  // A wide window (vs the 100ms urgent deadline below) keeps the
+  // expected order robust even if this thread stalls for seconds
+  // between enqueues (TSan CI runs 5-15x slower).
+  o.no_deadline_aging = std::chrono::seconds(30);
+  Executor exec(o);
+  std::atomic<bool> started{false};
+  std::atomic<bool> release{false};
+  Block(exec, &started, &release);
+
+  std::mutex order_mutex;
+  std::vector<int> order;
+  std::atomic<int> done{0};
+  auto record = [&](int id) {
+    {
+      std::lock_guard<std::mutex> lock(order_mutex);
+      order.push_back(id);
+    }
+    done.fetch_add(1);
+  };
+  // Patient deadlined work first (1h), then the fire-and-forget Submit,
+  // then urgent deadlined work (100ms, far tighter than the aging
+  // window).
+  TaskGroup patient(exec, Deadline::After(1h));
+  patient.Spawn([&](TaskStart) { record(2); });
+  ASSERT_EQ(exec.Submit([&] { record(1); }), Admission::kAdmitted);
+  TaskGroup urgent(exec, Deadline::After(100ms));
+  urgent.Spawn([&](TaskStart) { record(0); });
+
+  release.store(true);
+  while (done.load() < 3) std::this_thread::sleep_for(100us);
+  // Urgent (tight deadline) first, the aged Submit second — it overtakes
+  // the patient 1h deadline instead of starving at the back.
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+  urgent.Wait();
+  patient.Wait();
+}
+
+TEST(SchedulingTest, AgingDisabledRestoresSortLastBehaviour) {
+  ExecutorOptions o;
+  o.num_threads = 1;
+  o.no_deadline_aging = std::chrono::nanoseconds(0);  // disabled
+  Executor exec(o);
+  std::atomic<bool> started{false};
+  std::atomic<bool> release{false};
+  Block(exec, &started, &release);
+
+  std::mutex order_mutex;
+  std::vector<int> order;
+  std::atomic<int> done{0};
+  auto record = [&](int id) {
+    {
+      std::lock_guard<std::mutex> lock(order_mutex);
+      order.push_back(id);
+    }
+    done.fetch_add(1);
+  };
+  ASSERT_EQ(exec.Submit([&] { record(1); }), Admission::kAdmitted);
+  TaskGroup patient(exec, Deadline::After(1h));
+  patient.Spawn([&](TaskStart) { record(0); });
+
+  release.store(true);
+  while (done.load() < 2) std::this_thread::sleep_for(100us);
+  // Without aging the deadline-less Submit sorts after every deadlined
+  // task, arrival order notwithstanding.
+  EXPECT_EQ(order, (std::vector<int>{0, 1}));
+  patient.Wait();
+}
+
 TEST(SchedulingTest, GaugesExposeWaitHistogram) {
   Executor exec(ExecutorOptions{.num_threads = 1});
   TaskGroup group(exec);
