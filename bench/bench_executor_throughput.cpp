@@ -96,7 +96,8 @@ std::unique_ptr<PsiEngine> ServingEngine(const Graph& data, RaceMode mode,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  JsonOut json("bench_executor_throughput", argc, argv);
   Banner("executor throughput",
          "the exec-layer deployment scenario (beyond the paper's protocol)");
 
@@ -142,6 +143,10 @@ int main() {
   t1.Print(std::cout);
   std::cout << "pool/threads QPS ratio: "
             << TextTable::Num(pooled.qps / threads.qps, 2) << "x\n";
+  json.Metric("workload_queries", static_cast<double>(workload.size()));
+  json.Metric("single_client_threads_qps", threads.qps);
+  json.Metric("single_client_pool_qps", pooled.qps);
+  json.Metric("single_client_pool_ratio", pooled.qps / threads.qps);
   Shape(pooled.qps > threads.qps,
         "RaceMode::kPool beats kThreads on single-client QPS");
   std::cout << FormatPoolGauges(pool.gauges()) << "\n\n";
@@ -170,6 +175,8 @@ int main() {
              TextTable::Num(conc_pool.qps, 1),
              std::to_string(conc_pool.answered)});
   t2.Print(std::cout);
+  json.Metric("concurrent_threads_qps", conc_threads.qps);
+  json.Metric("concurrent_pool_qps", conc_pool.qps);
   Shape(conc_pool.answered == workload.size(),
         "pool engine answered every query under 8-client load");
   Shape(conc_pool.qps >= conc_threads.qps,
@@ -190,6 +197,8 @@ int main() {
                    static_cast<double>(workload.size()) / par_s, 1)
             << " QPS (" << TextTable::Num(par_s, 2) << " s, " << par_answered
             << " answered)\n";
+  json.Metric("parallel_workload_qps",
+              static_cast<double>(workload.size()) / par_s);
   Shape(par_answered == pooled.answered,
         "parallel workload reproduces the serial serving answers");
   std::cout << FormatPoolGauges(pool.gauges()) << "\n";

@@ -17,12 +17,15 @@
 #define PSI_BENCH_BENCH_UTIL_HPP_
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "rewrite/rewrite.hpp"
@@ -126,10 +129,117 @@ inline void Banner(const char* experiment, const char* paper_ref) {
             << Scale() << "\n\n";
 }
 
+// ---- Machine-readable results (--json) ----
+//
+// Construct one JsonOut at the top of main(). Metric()/Note() record flat
+// key -> value pairs; when the binary was invoked with `--json out.json`
+// (or `--json=out.json`) the destructor writes everything as one JSON
+// object — { "bench": ..., "metrics": {...}, "notes": {...},
+// "shapes": [{"claim": ..., "ok": ...}, ...] } — so CI can archive the
+// perf trajectory. Shape() results are captured automatically through
+// the active instance. Without --json this is a no-op recorder.
+
+class JsonOut {
+ public:
+  JsonOut(const char* bench_name, int argc, char** argv)
+      : bench_(bench_name) {
+    for (int i = 1; i < argc; ++i) {
+      const char* arg = argv[i];
+      if (std::strncmp(arg, "--json=", 7) == 0) {
+        path_ = arg + 7;
+      } else if (std::strcmp(arg, "--json") == 0 && i + 1 < argc) {
+        path_ = argv[i + 1];
+      }
+    }
+    active_ = this;
+  }
+
+  ~JsonOut() {
+    if (active_ == this) active_ = nullptr;
+    if (path_.empty()) return;
+    std::ofstream out(path_);
+    if (!out) {
+      std::cerr << "cannot write --json file " << path_ << "\n";
+      return;
+    }
+    out << "{\n  \"bench\": \"" << Escape(bench_) << "\",\n";
+    out << "  \"metrics\": {";
+    for (size_t i = 0; i < metrics_.size(); ++i) {
+      out << (i > 0 ? ",\n    " : "\n    ") << "\""
+          << Escape(metrics_[i].first) << "\": " << metrics_[i].second;
+    }
+    out << "\n  },\n  \"notes\": {";
+    for (size_t i = 0; i < notes_.size(); ++i) {
+      out << (i > 0 ? ",\n    " : "\n    ") << "\"" << Escape(notes_[i].first)
+          << "\": \"" << Escape(notes_[i].second) << "\"";
+    }
+    out << "\n  },\n  \"shapes\": [";
+    for (size_t i = 0; i < shapes_.size(); ++i) {
+      out << (i > 0 ? ",\n    " : "\n    ") << "{\"claim\": \""
+          << Escape(shapes_[i].first) << "\", \"ok\": "
+          << (shapes_[i].second ? "true" : "false") << "}";
+    }
+    out << "\n  ]\n}\n";
+    std::cout << "json: wrote " << path_ << "\n";
+  }
+
+  JsonOut(const JsonOut&) = delete;
+  JsonOut& operator=(const JsonOut&) = delete;
+
+  void Metric(const std::string& key, double value) {
+    // inf/nan (e.g. a degenerate ratio on a noisy runner) would make
+    // the whole document unparseable; record them as JSON null.
+    if (!std::isfinite(value)) {
+      metrics_.push_back({key, "null"});
+      return;
+    }
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", value);
+    metrics_.push_back({key, buf});
+  }
+  void Note(const std::string& key, std::string value) {
+    notes_.push_back({key, std::move(value)});
+  }
+  void RecordShape(const std::string& claim, bool ok) {
+    shapes_.push_back({claim, ok});
+  }
+
+  /// The instance Shape() reports into (latest constructed), or nullptr.
+  static JsonOut* Active() { return active_; }
+
+ private:
+  static std::string Escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+      if (c == '"' || c == '\\') {
+        out += '\\';
+        out += c;
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        out += ' ';
+      } else {
+        out += c;
+      }
+    }
+    return out;
+  }
+
+  static inline JsonOut* active_ = nullptr;
+  std::string bench_;
+  std::string path_;
+  std::vector<std::pair<std::string, std::string>> metrics_;
+  std::vector<std::pair<std::string, std::string>> notes_;
+  std::vector<std::pair<std::string, bool>> shapes_;
+};
+
 /// Prints a one-line qualitative-shape assertion, mirroring the claim the
-/// paper's figure/table makes; EXPERIMENTS.md records these outcomes.
+/// paper's figure/table makes; EXPERIMENTS.md records these outcomes and
+/// the active JsonOut (if any) archives them.
 inline void Shape(bool holds, const std::string& claim) {
   std::cout << "SHAPE[" << (holds ? "ok" : "MISS") << "] " << claim << "\n";
+  if (JsonOut::Active() != nullptr) {
+    JsonOut::Active()->RecordShape(claim, holds);
+  }
 }
 
 /// Multi-size NFV workload: sizes x queries-per-size, fixed seed.

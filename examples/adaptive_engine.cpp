@@ -1,8 +1,12 @@
 // Adaptive engine walkthrough: PsiEngine answers a query stream while
 // learning which (algorithm, rewriting) variant wins for which query
-// shape, then narrows the raced portfolio to the predicted top-2 —
-// recovering most of the racing benefit at a fraction of the work
-// (the paper's §9 future-work direction, implemented in src/select).
+// shape. Every query runs through the query-planning pipeline
+// (src/plan/): cold, the plan is the classic full race; once the
+// selector is warm the planner narrows the full stage to the predicted
+// top-2 *and* stages the race — the predicted winner probes alone under
+// 10% of the budget and the race escalates only on a miss. This recovers
+// most of the racing benefit at a fraction of the work (the paper's §9
+// future-work direction, implemented in src/plan + src/select).
 //
 //   $ ./examples/adaptive_engine
 
@@ -27,7 +31,9 @@ int main() {
   options.budget = std::chrono::seconds(2);
   options.rewritings = {Rewriting::kOriginal, Rewriting::kIlf,
                         Rewriting::kDnd};
-  options.portfolio_limit = 2;  // after warm-up, race only the top-2
+  options.portfolio_limit = 2;  // after warm-up, full stage = top-2
+  options.staged = true;        // probe the predicted winner first
+  options.probe_fraction = 0.1;
   options.learn = true;
 
   PsiEngine engine(options);
@@ -49,6 +55,12 @@ int main() {
       for (auto& q : *w) stream.push_back(std::move(q));
     }
   }
+  if (stream.empty()) return 1;
+
+  std::cout << "cold plan for the first query:\n"
+            << FormatPlan(engine.ExplainPlan(stream.front().graph),
+                          engine.portfolio())
+            << "\n";
 
   size_t answered = 0;
   double total_ms = 0.0;
@@ -58,17 +70,24 @@ int main() {
       ++answered;
       total_ms += r.wall_ms();
       if (answered % 8 == 0) {
-        std::cout << "after " << answered << " queries: winner pool "
-                  << (engine.observed_races() >= 8 ? "narrowed to top-2"
-                                                   : "still warming up")
+        std::cout << "after " << answered << " queries: plans "
+                  << (engine.observed_races() >= 8
+                          ? "staged + narrowed to top-2"
+                          : "still warming up (full races)")
                   << ", last winner = " << r.workers[r.winner].name
                   << "\n";
       }
     }
   }
+
+  std::cout << "\nwarm plan for the first query:\n"
+            << FormatPlan(engine.ExplainPlan(stream.front().graph),
+                          engine.portfolio());
+  const RewriteCache::Stats cs = engine.rewrite_cache_stats();
   std::cout << "\nanswered " << answered << "/" << stream.size()
             << " queries, avg race latency "
             << (answered ? total_ms / answered : 0.0) << " ms, "
-            << engine.observed_races() << " outcomes recorded\n";
+            << engine.observed_races() << " outcomes recorded, rewrite cache "
+            << cs.hits << "/" << cs.lookups() << " hits\n";
   return 0;
 }

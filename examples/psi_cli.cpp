@@ -3,15 +3,20 @@
 // NFV (matching against one large stored graph, first graph of the file):
 //   psi_cli nfv data.tve queries.tve [--algos=gql,spa,qsi,vf2]
 //           [--rewritings=orig,ilf,ind,dnd,ilf+ind,ilf+dnd]
-//           [--cap-ms=250] [--max-embeddings=1000]
+//           [--cap-ms=250] [--max-embeddings=1000] [--staged=1]
+//           [--explain]
 //
 // FTV (decision against every graph of a dataset):
 //   psi_cli ftv dataset.gfu queries.gfu [--threads=4]
-//           [--rewritings=ilf,ind,dnd] [--cap-ms=250]
+//           [--rewritings=ilf,ind,dnd] [--cap-ms=250] [--explain]
 //
-// Both modes race the requested (algorithm x rewriting) portfolio per
-// query — the Ψ-framework — and report per-query winners and timings.
-// Files: .tve / .gfu as documented in io/graph_io.hpp.
+// Both modes run the requested (algorithm x rewriting) portfolio per
+// query through the query-planning pipeline (src/plan/) — the
+// Ψ-framework — and report per-query winners and timings. `--staged=1`
+// enables probe-then-escalate plans once the engine's selector is warm
+// (or set PSI_PLAN_STAGED=1); `--explain` prints each query's chosen
+// plan (variant order, stage budgets) and the rewrite-cache hit
+// counters. Files: .tve / .gfu as documented in io/graph_io.hpp.
 
 #include <cstring>
 #include <iostream>
@@ -25,8 +30,12 @@
 #include "grapes/grapes.hpp"
 #include "graphql/graphql.hpp"
 #include "io/graph_io.hpp"
+#include "plan/plan.hpp"
+#include "plan/planner.hpp"
 #include "psi/engine.hpp"
 #include "quicksi/quicksi.hpp"
+#include "rewrite/rewrite_cache.hpp"
+#include "workload/runner.hpp"
 #include "spath/spath.hpp"
 #include "ullmann/ullmann.hpp"
 #include "vf2/vf2.hpp"
@@ -45,6 +54,15 @@ std::string Opt(int argc, char** argv, const std::string& key,
     }
   }
   return def;
+}
+
+// Bare --key flag presence.
+bool Flag(int argc, char** argv, const std::string& key) {
+  const std::string flag = "--" + key;
+  for (int i = 0; i < argc; ++i) {
+    if (flag == argv[i]) return true;
+  }
+  return false;
 }
 
 std::vector<std::string> Split(const std::string& s) {
@@ -125,6 +143,10 @@ int RunNfv(int argc, char** argv) {
   }
   options.rewritings = *rewritings;
 
+  const std::string staged = Opt(argc, argv, "staged", "");
+  if (!staged.empty()) options.staged = staged != "0";
+  const bool explain = Flag(argc, argv, "explain");
+
   PsiEngine engine(options);
   for (const std::string& a :
        Split(Opt(argc, argv, "algos", "gql,spa"))) {
@@ -148,10 +170,16 @@ int RunNfv(int argc, char** argv) {
     return 1;
   }
   std::cerr << "portfolio: " << engine.portfolio().entries.size()
-            << " contenders\n";
+            << " contenders"
+            << (options.staged ? ", staged plans once warm" : "") << "\n";
 
   std::cout << "query\tembeddings\twinner\tms\n";
   for (size_t i = 0; i < queries->size(); ++i) {
+    if (explain) {
+      std::cerr << "query " << i << " "
+                << FormatPlan(engine.ExplainPlan(queries->graph(i)),
+                              engine.portfolio());
+    }
     auto r = engine.Run(queries->graph(i), options.max_embeddings);
     if (r.completed()) {
       std::cout << i << "\t" << r.result.embedding_count << "\t"
@@ -159,6 +187,12 @@ int RunNfv(int argc, char** argv) {
     } else {
       std::cout << i << "\tKILLED\t-\t-\n";
     }
+  }
+  if (explain) {
+    const RewriteCache::Stats cs = engine.rewrite_cache_stats();
+    std::cerr << "rewrite cache: " << cs.hits << " hits / " << cs.lookups()
+              << " lookups, " << engine.observed_races()
+              << " race outcomes learned\n";
   }
   return 0;
 }
@@ -193,35 +227,57 @@ int RunFtv(int argc, char** argv) {
   }
   const double cap_ms = std::stod(
       Opt(argc, argv, "cap-ms", std::to_string(CapMillis())));
+  const bool explain = Flag(argc, argv, "explain");
   const LabelStats stats = LabelStats::FromGraphs(dataset->graphs());
+
+  // Verification plans over the rewriting-only universe; the rewrite
+  // cache memoizes each query's instances across its candidate graphs
+  // (the pre-plan CLI rewrote per candidate).
+  const Portfolio universe = MakeFtvVerificationPortfolio(*rewritings);
+  QueryPlannerOptions po = QueryPlannerOptions::FromEnv();  // PSI_PLAN_*
+  po.budget =
+      std::chrono::nanoseconds(static_cast<int64_t>(cap_ms * 1e6));
+  QueryPlanner planner;
+  planner.Configure(&universe, &stats, po);
+  RewriteCache cache;
 
   std::cout << "query\tcandidates\tanswers\n";
   for (size_t qi = 0; qi < queries->size(); ++qi) {
     const Graph& q = queries->graph(qi);
+    const QueryPlan plan = planner.Plan(q);
+    if (explain) {
+      std::cerr << "query " << qi << " " << FormatPlan(plan, universe);
+    }
     size_t answers = 0;
     auto candidates = index.Filter(q);
     for (const auto& cand : candidates) {
-      std::vector<RewrittenQuery> instances;
-      for (Rewriting r : *rewritings) {
-        auto rq = RewriteQuery(q, r, stats);
-        if (rq.ok()) instances.push_back(std::move(rq).value());
-      }
+      const auto instances = cache.GetInstances(q, *rewritings, stats);
       std::vector<RaceVariant> variants;
-      for (const auto& inst : instances) {
+      for (size_t vi = 0; vi < instances.size(); ++vi) {
         variants.push_back(RaceVariant{
-            std::string(ToString(inst.rewriting)),
-            [&index, &inst, &cand](const MatchOptions& mo) {
-              return index.VerifyCandidate(inst.graph, cand, mo);
+            std::string(ToString((*rewritings)[vi])),
+            [&index, inst = instances[vi], &cand](const MatchOptions& mo) {
+              return index.VerifyCandidate(inst->graph, cand, mo);
             }});
       }
       RaceOptions ro;
-      ro.budget = std::chrono::nanoseconds(
-          static_cast<int64_t>(cap_ms * 1e6));
+      ro.budget = po.budget;
       ro.max_embeddings = 1;
-      auto outcome = Race(variants, ro);
-      if (outcome.completed() && outcome.result.found()) ++answers;
+      const PlanResult outcome = ExecutePlan(plan, variants, ro);
+      if (outcome.race.completed() && outcome.race.result.found()) {
+        ++answers;
+      }
+      if (outcome.race.completed()) {
+        planner.Observe(plan.features,
+                        static_cast<size_t>(outcome.race.winner));
+      }
     }
     std::cout << qi << "\t" << candidates.size() << "\t" << answers << "\n";
+  }
+  if (explain) {
+    const RewriteCache::Stats cs = cache.stats();
+    std::cerr << "rewrite cache: " << cs.hits << " hits / " << cs.lookups()
+              << " lookups (" << cs.misses << " rewrites computed)\n";
   }
   return 0;
 }
@@ -231,9 +287,11 @@ int RunFtv(int argc, char** argv) {
 int main(int argc, char** argv) {
   if (argc < 4) {
     std::cerr << "usage: psi_cli nfv <data.tve|gfu> <queries.tve|gfu> "
-                 "[--algos=...] [--rewritings=...] [--cap-ms=N]\n"
+                 "[--algos=...] [--rewritings=...] [--cap-ms=N] "
+                 "[--staged=1] [--explain]\n"
                  "       psi_cli ftv <dataset.gfu|tve> <queries.gfu|tve> "
-                 "[--threads=N] [--rewritings=...] [--cap-ms=N]\n";
+                 "[--threads=N] [--rewritings=...] [--cap-ms=N] "
+                 "[--explain]\n";
     return 2;
   }
   if (std::strcmp(argv[1], "nfv") == 0) return RunNfv(argc, argv);

@@ -1,5 +1,6 @@
 #include "core/env.hpp"
 
+#include <algorithm>
 #include <cstdlib>
 #include <string>
 #include <thread>
@@ -44,5 +45,22 @@ std::string PoolOverloadPolicyName() {
 int64_t PoolAgingMillis() { return EnvInt("PSI_POOL_AGING_MS", 500); }
 
 int64_t FtvFilterShards() { return EnvInt("PSI_FTV_FILTER_SHARDS", 0); }
+
+int64_t GuardPeriod() {
+  const int64_t v = EnvInt("PSI_GUARD_PERIOD", 256);
+  return v > 0 ? v : 256;
+}
+
+bool PlanStaged() { return EnvInt("PSI_PLAN_STAGED", 0) != 0; }
+
+int64_t PlanProbePercent() {
+  const int64_t v = EnvInt("PSI_PLAN_PROBE_PCT", 10);
+  return std::min<int64_t>(100, std::max<int64_t>(1, v));
+}
+
+int64_t PlanMinSamples() {
+  const int64_t v = EnvInt("PSI_PLAN_MIN_SAMPLES", 8);
+  return v >= 0 ? v : 8;
+}
 
 }  // namespace psi

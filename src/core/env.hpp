@@ -58,6 +58,24 @@ int64_t PoolAgingMillis();
 /// <= 0 (the default) means auto: one shard per pool worker.
 int64_t FtvFilterShards();
 
+/// CostGuard poll period — search steps between stop/deadline checks
+/// (PSI_GUARD_PERIOD, default 256). Feeds PsiEngineOptions::guard_period
+/// and, through it, RaceOptions::guard_period.
+int64_t GuardPeriod();
+
+/// Staged racing default for query plans (PSI_PLAN_STAGED, default 0):
+/// non-zero makes QueryPlanner emit probe-then-escalate plans once the
+/// selector is warm. Feeds PsiEngineOptions::staged.
+bool PlanStaged();
+
+/// Probe-budget percentage of the full race budget for staged plans
+/// (PSI_PLAN_PROBE_PCT, default 10, clamped to [1, 100]).
+int64_t PlanProbePercent();
+
+/// Race outcomes the online selector must have observed before plans
+/// narrow or stage the portfolio (PSI_PLAN_MIN_SAMPLES, default 8).
+int64_t PlanMinSamples();
+
 }  // namespace psi
 
 #endif  // PSI_CORE_ENV_HPP_

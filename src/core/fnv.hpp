@@ -1,0 +1,28 @@
+// Shared FNV-1a 64-bit hashing kernel.
+//
+// Both content-identity fingerprints in the system — the rewrite cache's
+// query fingerprint (rewrite/rewrite_cache.hpp) and
+// LabelStats::identity() — feed the same cache key space, so they must
+// mix bytes identically; this header is the single definition they use.
+
+#ifndef PSI_CORE_FNV_HPP_
+#define PSI_CORE_FNV_HPP_
+
+#include <cstdint>
+
+namespace psi {
+
+inline constexpr uint64_t kFnv1aOffset = 1469598103934665603ull;
+inline constexpr uint64_t kFnv1aPrime = 1099511628211ull;
+
+/// Folds the 8 little-endian bytes of `v` into the running hash `*h`.
+inline void Fnv1aMix(uint64_t v, uint64_t* h) {
+  for (int i = 0; i < 8; ++i) {
+    *h ^= (v >> (i * 8)) & 0xff;
+    *h *= kFnv1aPrime;
+  }
+}
+
+}  // namespace psi
+
+#endif  // PSI_CORE_FNV_HPP_

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "core/fnv.hpp"
+
 namespace psi {
 
 namespace {
@@ -20,6 +22,7 @@ LabelStats LabelStats::FromGraph(const Graph& g) {
   LabelStats s;
   Accumulate(g, &s.counts_, &s.total_);
   for (uint64_t c : s.counts_) s.num_seen_ += (c > 0);
+  s.ComputeIdentity();
   return s;
 }
 
@@ -27,7 +30,21 @@ LabelStats LabelStats::FromGraphs(std::span<const Graph> graphs) {
   LabelStats s;
   for (const Graph& g : graphs) Accumulate(g, &s.counts_, &s.total_);
   for (uint64_t c : s.counts_) s.num_seen_ += (c > 0);
+  s.ComputeIdentity();
   return s;
+}
+
+void LabelStats::ComputeIdentity() {
+  // FNV-1a over the frequency table. Trailing zero counts are skipped so
+  // the identity does not depend on the label-universe upper bound two
+  // otherwise-identical tables happened to be sized for.
+  uint64_t h = kFnv1aOffset;
+  size_t last = counts_.size();
+  while (last > 0 && counts_[last - 1] == 0) --last;
+  Fnv1aMix(static_cast<uint64_t>(last), &h);
+  for (size_t i = 0; i < last; ++i) Fnv1aMix(counts_[i], &h);
+  if (h == 0) h = 1;  // 0 is reserved for "no stats"
+  identity_ = h;
 }
 
 double LabelStats::MeanFrequency() const {

@@ -36,10 +36,19 @@ class LabelStats {
   double MeanFrequency() const;
   double StdDevFrequency() const;
 
+  /// Content fingerprint over the frequency table. Two LabelStats with
+  /// the same identity order labels identically, so ILF-family rewrite
+  /// results may be shared between them (the rewrite cache keys on this);
+  /// a default-constructed LabelStats has identity 0.
+  uint64_t identity() const { return identity_; }
+
  private:
+  void ComputeIdentity();
+
   std::vector<uint64_t> counts_;
   uint64_t total_ = 0;
   uint32_t num_seen_ = 0;
+  uint64_t identity_ = 0;
 };
 
 }  // namespace psi

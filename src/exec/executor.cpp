@@ -293,12 +293,18 @@ TaskGroup::~TaskGroup() {
 }
 
 Admission TaskGroup::Spawn(std::function<void(TaskStart)> fn) {
+  return Spawn(std::move(fn), Deadline());
+}
+
+Admission TaskGroup::Spawn(std::function<void(TaskStart)> fn,
+                           Deadline task_deadline) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
     ++pending_;
   }
   const Admission admission = executor_->Enqueue(
-      this, deadline_, [this, fn = std::move(fn)](TaskStart start) {
+      this, task_deadline.enabled() ? task_deadline : deadline_,
+      [this, fn = std::move(fn)](TaskStart start) {
         if (start == TaskStart::kRun && stop_.stop_requested()) {
           // Fast-cancel: the group was cancelled while this task was
           // queued; only this envelope runs.

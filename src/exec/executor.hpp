@@ -224,8 +224,9 @@ class Executor {
     Deadline::Clock::time_point enqueued_at{};
   };
 
-  /// Admission decision + sorted insert. `deadline` is the spawning
-  /// group's deadline (ignored under kFifo).
+  /// Admission decision + sorted insert. `deadline` is the task's EDF
+  /// key — the spawning group's deadline, or a per-task override from
+  /// TaskGroup::Spawn(fn, task_deadline) (ignored under kFifo).
   Admission Enqueue(const TaskGroup* group, Deadline deadline,
                     std::function<void(TaskStart)> fn);
   /// Runs the earliest queued task belonging to `group` on the calling
@@ -287,6 +288,14 @@ class TaskGroup {
   /// kRejected when the bounded queue refused the task — then `fn` never
   /// runs at all and the task does not count as pending.
   Admission Spawn(std::function<void(TaskStart)> fn);
+
+  /// Spawn with a *per-task* deadline: the task sorts in the EDF queue
+  /// (and stands in shed-victim selection) by `task_deadline` instead of
+  /// the group's deadline. A staged plan's probe task queues by its own
+  /// short probe deadline rather than the race group's full budget; the
+  /// group deadline still governs cancellation and Wait(). A disabled
+  /// `task_deadline` falls back to the group deadline.
+  Admission Spawn(std::function<void(TaskStart)> fn, Deadline task_deadline);
 
   /// Back-compat convenience: `fn(pre_cancelled)` where pre_cancelled
   /// covers both fast-cancel and shed starts.

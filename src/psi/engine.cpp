@@ -1,6 +1,7 @@
 #include "psi/engine.hpp"
 
 #include <algorithm>
+#include <utility>
 
 namespace psi {
 
@@ -29,67 +30,72 @@ Status PsiEngine::Prepare(const Graph& data) {
       portfolio_.entries.push_back({m.get(), r, 0});
     }
   }
+  QueryPlannerOptions po;
+  po.budget = options_.budget;
+  po.staged = options_.staged;
+  po.probe_fraction = options_.probe_fraction;
+  po.portfolio_limit = options_.portfolio_limit;
+  po.min_samples = options_.plan_min_samples;
+  planner_.Configure(&portfolio_, &stats_, po);
+  rewrite_cache_.Clear();
   return Status::OK();
 }
 
-Portfolio PsiEngine::SelectPortfolio(const Graph& query) {
-  if (options_.portfolio_limit == 0 ||
-      options_.portfolio_limit >= portfolio_.entries.size()) {
-    return portfolio_;
-  }
-  const QueryFeatures f = ExtractFeatures(query, stats_);
-  std::vector<size_t> order;
-  {
-    std::lock_guard<std::mutex> lock(selector_mutex_);
-    // Until the selector has seen a reasonable history, race everything.
-    if (selector_.sample_count() < 8) return portfolio_;
-    order = selector_.Rank(f, portfolio_.entries.size());
-  }
-  Portfolio narrowed;
-  narrowed.name = portfolio_.name + "(top" +
-                  std::to_string(options_.portfolio_limit) + ")";
-  for (size_t i = 0;
-       i < options_.portfolio_limit && i < order.size(); ++i) {
-    narrowed.entries.push_back(portfolio_.entries[order[i]]);
-  }
-  return narrowed;
-}
-
-RaceResult PsiEngine::Run(const Graph& query, uint64_t max_embeddings) {
-  const Portfolio active = SelectPortfolio(query);
+RaceOptions PsiEngine::BaseRaceOptions(uint64_t max_embeddings) const {
   RaceOptions ro;
   ro.budget = options_.budget;
   ro.max_embeddings = max_embeddings;
   ro.mode = options_.mode;
   ro.executor = options_.executor;
+  ro.guard_period = options_.guard_period;
   ro.on_overload = options_.fail_fast_on_overload
                        ? OverloadResponse::kFail
                        : OverloadResponse::kFallbackSequential;
-  RaceResult r = RunPortfolio(active, query, stats_, ro);
-  if (options_.learn && r.completed()) {
-    // Map the winner back to its index in the *full* portfolio so learned
-    // preferences stay stable when narrowing changes.
-    const std::string winner = r.workers[r.winner].name;
-    for (size_t i = 0; i < portfolio_.entries.size(); ++i) {
-      if (EntryName(portfolio_.entries[i]) == winner) {
-        const QueryFeatures f = ExtractFeatures(query, stats_);
-        std::lock_guard<std::mutex> lock(selector_mutex_);
-        selector_.Observe(f, i);
-        break;
-      }
-    }
+  return ro;
+}
+
+QueryPlan PsiEngine::ExplainPlan(const Graph& query) const {
+  if (!planner_.configured()) return QueryPlan{};
+  return planner_.Plan(query);
+}
+
+RaceResult PsiEngine::Run(const Graph& query, uint64_t max_embeddings) {
+  if (data_ == nullptr) {
+    RaceResult empty;
+    empty.mode = options_.mode;
+    return empty;
   }
-  return r;
+  const QueryPlan plan = planner_.Plan(query);
+  PlanResult pr =
+      ExecutePortfolioPlan(plan, portfolio_, query, stats_,
+                           BaseRaceOptions(max_embeddings), &rewrite_cache_);
+  if (options_.learn && pr.race.completed()) {
+    // The plan executor reports winners as full-portfolio indices, so
+    // learned preferences stay stable however the plan narrowed or
+    // staged this particular race.
+    planner_.Observe(plan.features, static_cast<size_t>(pr.race.winner));
+  }
+  return std::move(pr.race);
 }
 
 namespace {
 
 Status RaceFailure(const RaceResult& r) {
-  // A fully rejected race that did not fall back to sequential execution
-  // (mode still kPool) never ran: that is overload, not a cap kill.
-  if (r.mode == RaceMode::kPool && r.overloaded() &&
-      r.rejected_variants == r.workers.size()) {
-    return Status::Overloaded("executor queue rejected the race");
+  // A race that pool admission control displaced and that did not fall
+  // back to sequential execution (mode still kPool) is overload, not a
+  // cap kill — but only when *nothing* actually ran; a variant that
+  // started and hit the cap makes this an Aborted like any other kill.
+  if (r.mode == RaceMode::kPool && r.overloaded()) {
+    bool any_ran = false;
+    for (const auto& w : r.workers) {
+      if (VariantStarted(w.result)) {
+        any_ran = true;
+        break;
+      }
+    }
+    if (!any_ran) {
+      return Status::Overloaded("executor queue rejected the race");
+    }
   }
   return Status::Aborted("all contenders hit the cap");
 }

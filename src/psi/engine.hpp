@@ -1,8 +1,8 @@
 // PsiEngine — the user-facing facade over the whole system: owns a set of
 // prepared matchers and a rewriting list, answers decision/matching queries
-// by racing the portfolio, and (optionally) learns per-query variant
-// preferences from race outcomes to shrink future portfolios (the paper's
-// §9 direction).
+// by planning and racing the portfolio, and (optionally) learns per-query
+// variant preferences from race outcomes to shrink — or *stage* — future
+// races (the paper's §9 direction).
 //
 // Typical use:
 //   PsiEngine engine;
@@ -11,20 +11,28 @@
 //   engine.Prepare(data);                       // builds all indexes
 //   auto contains = engine.Contains(query);     // decision
 //   auto count    = engine.CountEmbeddings(query);  // capped matching
+//
+// Every query runs through the plan pipeline (src/plan/): the QueryPlanner
+// fuses feature extraction, the rule-based selector and the learned
+// OnlineSelector into one QueryPlan; ExecutePortfolioPlan rewrites only
+// the variants the plan races (memoized in a per-engine RewriteCache) and
+// races them stage by stage.
 
 #ifndef PSI_PSI_ENGINE_HPP_
 #define PSI_PSI_ENGINE_HPP_
 
 #include <memory>
-#include <mutex>
 #include <vector>
 
+#include "core/env.hpp"
 #include "core/label_stats.hpp"
 #include "match/matcher.hpp"
+#include "plan/plan.hpp"
+#include "plan/planner.hpp"
 #include "psi/portfolio.hpp"
 #include "psi/racer.hpp"
 #include "rewrite/rewrite.hpp"
-#include "select/online_selector.hpp"
+#include "rewrite/rewrite_cache.hpp"
 
 namespace psi {
 
@@ -47,8 +55,24 @@ struct PsiEngineOptions {
   /// the online selector (falls back to the full portfolio until enough
   /// outcomes have been observed).
   size_t portfolio_limit = 0;
-  /// Learn from race outcomes (feeds the selector).
+  /// Learn from race outcomes (feeds the planner's online selector).
   bool learn = true;
+  /// Staged racing (default: env PSI_PLAN_STAGED, off): once the
+  /// selector is warm, race the predicted winner alone under
+  /// `probe_fraction` of the budget and escalate to the full race only
+  /// on a miss. Never changes answers — a probe miss falls through to
+  /// the race that would have run anyway.
+  bool staged = PlanStaged();
+  /// Probe budget as a fraction of `budget` (default: env
+  /// PSI_PLAN_PROBE_PCT / 100).
+  double probe_fraction = static_cast<double>(PlanProbePercent()) / 100.0;
+  /// Race outcomes observed before plans narrow or stage (default: env
+  /// PSI_PLAN_MIN_SAMPLES).
+  size_t plan_min_samples = static_cast<size_t>(PlanMinSamples());
+  /// CostGuard poll period forwarded into every race (default: env
+  /// PSI_GUARD_PERIOD). Smaller = snappier cancellation, more clock
+  /// polling.
+  uint32_t guard_period = static_cast<uint32_t>(GuardPeriod());
   /// Degradation when a bounded pool (kPool + Executor queue capacity)
   /// rejects a whole race: false (default) falls back to running the race
   /// sequentially on the calling thread — the query is still answered,
@@ -67,18 +91,21 @@ class PsiEngine {
   /// Registers an engine. Call before Prepare.
   void AddMatcher(std::unique_ptr<Matcher> matcher);
 
-  /// Builds every matcher's index over `data` and the label statistics
-  /// the ILF rewritings need. `data` must outlive the engine. Not
-  /// thread-safe; call once before serving queries.
+  /// Builds every matcher's index over `data`, the label statistics the
+  /// ILF rewritings need, and the query planner over the resulting
+  /// portfolio. `data` must outlive the engine. Not thread-safe; call
+  /// once before serving queries.
   Status Prepare(const Graph& data);
 
   // After Prepare, the query entry points below are safe to call from any
   // number of client threads concurrently: the portfolio, indexes and
   // stats are immutable, every race keeps its state on the calling
-  // thread's stack with its own cancellation group, and the learning
-  // selector is the only shared mutable state (guarded by a mutex).
+  // thread's stack with its own cancellation group, and the only shared
+  // mutable state — the planner's learning selector and the rewrite
+  // cache — is internally locked.
 
-  /// Races the portfolio on `query` in decision mode (first match wins).
+  /// Plans and races the portfolio on `query` in decision mode (first
+  /// match wins).
   ///
   /// Errors: Status::Aborted when every contender hit the kill cap;
   /// Status::Overloaded when fail_fast_on_overload is set and a bounded
@@ -86,20 +113,29 @@ class PsiEngine {
   /// answered sequentially on this thread instead).
   Result<bool> Contains(const Graph& query);
 
-  /// Races the portfolio in matching mode; returns the embedding count
-  /// (capped at options.max_embeddings). Same error contract as
-  /// Contains().
+  /// Plans and races the portfolio in matching mode; returns the
+  /// embedding count (capped at options.max_embeddings). Same error
+  /// contract as Contains().
   Result<uint64_t> CountEmbeddings(const Graph& query);
 
-  /// Full-control entry point; exposes the complete race outcome,
-  /// including RaceResult::rejected_variants under pool overload.
+  /// Full-control entry point; exposes the complete race outcome.
+  /// RaceResult::workers is in full-portfolio order (plan stages map
+  /// their outcomes back), winner is a full-portfolio index, and
+  /// rejected_variants counts pool displacements across all executed
+  /// stages.
   RaceResult Run(const Graph& query, uint64_t max_embeddings);
+
+  /// The plan Run would execute for `query` right now (selector state
+  /// included) without racing anything — psi_cli --explain, debugging.
+  QueryPlan ExplainPlan(const Graph& query) const;
 
   const Portfolio& portfolio() const { return portfolio_; }
   const LabelStats& stats() const { return stats_; }
-  size_t observed_races() const {
-    std::lock_guard<std::mutex> lock(selector_mutex_);
-    return selector_.sample_count();
+  const QueryPlanner& planner() const { return planner_; }
+  size_t observed_races() const { return planner_.sample_count(); }
+  /// Hit/miss counters of the per-engine rewrite memoization.
+  RewriteCache::Stats rewrite_cache_stats() const {
+    return rewrite_cache_.stats();
   }
 
   /// The pool backing kPool races: the configured executor, or the
@@ -111,15 +147,15 @@ class PsiEngine {
   PoolGauges pool_gauges() const { return executor().gauges(); }
 
  private:
-  Portfolio SelectPortfolio(const Graph& query);
+  RaceOptions BaseRaceOptions(uint64_t max_embeddings) const;
 
   PsiEngineOptions options_;
   std::vector<std::unique_ptr<Matcher>> matchers_;
   const Graph* data_ = nullptr;
   LabelStats stats_;
   Portfolio portfolio_;  // the full portfolio
-  OnlineSelector selector_;
-  mutable std::mutex selector_mutex_;
+  QueryPlanner planner_;
+  RewriteCache rewrite_cache_;
 };
 
 }  // namespace psi

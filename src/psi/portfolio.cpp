@@ -1,5 +1,7 @@
 #include "psi/portfolio.hpp"
 
+#include "plan/plan.hpp"
+
 namespace psi {
 
 Portfolio MakeRewritingPortfolio(const Matcher& matcher,
@@ -39,6 +41,10 @@ Portfolio MakeMultiAlgorithmPortfolio(
 }
 
 std::string EntryName(const PortfolioEntry& entry) {
+  // Matcher-less entries (the FTV verification universe, where the
+  // algorithm is fixed and only rewritings race) are named by rewriting
+  // alone.
+  if (entry.matcher == nullptr) return std::string(ToString(entry.rewriting));
   std::string out(entry.matcher->name());
   out += "-";
   out += ToString(entry.rewriting);
@@ -46,36 +52,15 @@ std::string EntryName(const PortfolioEntry& entry) {
 }
 
 RaceResult RunPortfolio(const Portfolio& portfolio, const Graph& query,
-                        const LabelStats& stats, const RaceOptions& options) {
-  // Rewrite once per entry up front; the rewritten graphs must outlive the
-  // race, so they are owned here.
-  std::vector<RewrittenQuery> rewritten;
-  rewritten.reserve(portfolio.entries.size());
-  std::vector<RaceVariant> variants;
-  variants.reserve(portfolio.entries.size());
-  for (const PortfolioEntry& e : portfolio.entries) {
-    auto rq = RewriteQuery(query, e.rewriting, stats, e.random_seed);
-    if (!rq.ok()) {
-      // Rewriting a valid query cannot fail; treat defensively by racing
-      // the original instead.
-      RewrittenQuery fallback;
-      fallback.graph = query;
-      fallback.rewriting = Rewriting::kOriginal;
-      rewritten.push_back(std::move(fallback));
-    } else {
-      rewritten.push_back(std::move(rq).value());
-    }
-  }
-  for (size_t i = 0; i < portfolio.entries.size(); ++i) {
-    const PortfolioEntry& e = portfolio.entries[i];
-    const Graph* gq = &rewritten[i].graph;
-    variants.push_back(RaceVariant{
-        EntryName(e),
-        [matcher = e.matcher, gq](const MatchOptions& mo) {
-          return matcher->Match(*gq, mo);
-        }});
-  }
-  return Race(variants, options);
+                        const LabelStats& stats, const RaceOptions& options,
+                        RewriteCache* rewrite_cache) {
+  // The classic full race is the trivial one-stage plan; everything —
+  // rewriting (optionally memoized), variant construction, racing — runs
+  // through the plan executor so there is exactly one racing code path.
+  const QueryPlan plan = FullRacePlan(portfolio.entries.size());
+  return ExecutePortfolioPlan(plan, portfolio, query, stats, options,
+                              rewrite_cache)
+      .race;
 }
 
 }  // namespace psi

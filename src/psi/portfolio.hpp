@@ -20,6 +20,8 @@
 
 namespace psi {
 
+class RewriteCache;  // rewrite/rewrite_cache.hpp
+
 /// One contender: a prepared matcher plus the rewriting it runs under.
 struct PortfolioEntry {
   const Matcher* matcher = nullptr;
@@ -42,16 +44,20 @@ Portfolio MakeMultiAlgorithmPortfolio(
     std::span<const Matcher* const> matchers,
     std::span<const Rewriting> rewritings);
 
-/// Human-readable contender label, e.g. "GQL-ILF".
+/// Human-readable contender label, e.g. "GQL-ILF" (rewriting alone for
+/// matcher-less entries).
 std::string EntryName(const PortfolioEntry& entry);
 
-/// Races all portfolio entries on `query`. `stats` supplies the stored
-/// graph's label frequencies for the ILF family. Rewriting costs are a few
-/// tens of microseconds (measured in bench_ablation_overhead) and are
-/// included in each variant's budget, faithfully to the paper which found
-/// them negligible.
+/// Races all portfolio entries on `query` — the classic full race,
+/// executed as the trivial one-stage plan (plan/plan.hpp). `stats`
+/// supplies the stored graph's label frequencies for the ILF family.
+/// Rewriting costs are a few tens of microseconds (measured in
+/// bench_ablation_overhead) and are included in each variant's budget,
+/// faithfully to the paper which found them negligible; pass a
+/// `rewrite_cache` to memoize them across calls (rewrite_cache.hpp).
 RaceResult RunPortfolio(const Portfolio& portfolio, const Graph& query,
-                        const LabelStats& stats, const RaceOptions& options);
+                        const LabelStats& stats, const RaceOptions& options,
+                        RewriteCache* rewrite_cache = nullptr);
 
 }  // namespace psi
 

@@ -30,6 +30,35 @@ Deadline SharedDeadline(const RaceOptions& options) {
                                     : Deadline();
 }
 
+/// Variant i's own kill budget: its RaceOptions::variant_budgets override
+/// when set, the shared budget otherwise.
+std::chrono::nanoseconds VariantBudget(const RaceOptions& options, size_t i) {
+  if (i < options.variant_budgets.size() &&
+      options.variant_budgets[i].count() > 0) {
+    return options.variant_budgets[i];
+  }
+  return options.budget;
+}
+
+Deadline EarlierOf(Deadline a, Deadline b) {
+  if (!a.enabled()) return b;
+  if (!b.enabled()) return a;
+  return a.at() <= b.at() ? a : b;
+}
+
+/// The deadline variant i races under in the concurrent modes: the shared
+/// race deadline, tightened by the variant's own budget when one is set
+/// (both measured from the race's start, not the variant's — a queued
+/// pool variant does not stop its clock).
+Deadline VariantDeadline(const RaceOptions& options, size_t i,
+                         Deadline shared) {
+  if (i < options.variant_budgets.size() &&
+      options.variant_budgets[i].count() > 0) {
+    return EarlierOf(shared, Deadline::After(options.variant_budgets[i]));
+  }
+  return shared;
+}
+
 /// Runs variant `i` under the race's shared deadline/token, records its
 /// outcome, and — on the race's first completion — claims the win and
 /// trips `stop` to call off the rest of the race.
@@ -74,8 +103,9 @@ RaceResult RaceThreads(std::span<const RaceVariant> variants,
   std::vector<std::thread> threads;
   threads.reserve(variants.size());
   for (size_t i = 0; i < variants.size(); ++i) {
+    const Deadline vd = VariantDeadline(options, i, deadline);
     threads.emplace_back(
-        [&, i] { RunVariant(variants[i], i, options, deadline, stop, s); });
+        [&, i, vd] { RunVariant(variants[i], i, options, vd, stop, s); });
   }
   for (auto& t : threads) t.join();
   return FinishRace(s);
@@ -94,21 +124,26 @@ RaceResult RacePool(std::span<const RaceVariant> variants,
   {
     TaskGroup group(exec, SharedDeadline(options));
     for (size_t i = 0; i < variants.size(); ++i) {
+      // A variant with its own (tighter) budget also *queues* under it:
+      // the per-task EDF deadline makes a staged plan's probe overtake
+      // queued full-budget work instead of sorting by the race cap.
+      const Deadline vd = VariantDeadline(options, i, group.deadline());
       const Admission admission =
-          group.Spawn([&, i](TaskStart start) {
-            if (start != TaskStart::kRun) {
-              // Fast-cancel (the winner finished while this variant was
-              // still queued) or shed from a full queue; either way it
-              // never ran at all.
-              if (start == TaskStart::kShed) {
-                shed.fetch_add(1, std::memory_order_relaxed);
-              }
-              s.out.workers[i].result.cancelled = true;
-              return;
-            }
-            RunVariant(variants[i], i, options, group.deadline(),
-                       group.token(), s);
-          });
+          group.Spawn(
+              [&, i, vd](TaskStart start) {
+                if (start != TaskStart::kRun) {
+                  // Fast-cancel (the winner finished while this variant
+                  // was still queued) or shed from a full queue; either
+                  // way it never ran at all.
+                  if (start == TaskStart::kShed) {
+                    shed.fetch_add(1, std::memory_order_relaxed);
+                  }
+                  s.out.workers[i].result.cancelled = true;
+                  return;
+                }
+                RunVariant(variants[i], i, options, vd, group.token(), s);
+              },
+              vd);
       if (admission == Admission::kRejected) {
         // The closure never runs for a rejected spawn; the race proceeds
         // with the admitted subset (any completed variant is a correct
@@ -135,10 +170,11 @@ RaceResult RaceSequential(std::span<const RaceVariant> variants,
   for (size_t i = 0; i < variants.size(); ++i) {
     MatchOptions mo;
     mo.max_embeddings = options.max_embeddings;
-    // Each variant gets its own full cap, measured from its own start —
-    // exactly the standalone execution the paper's speedup* needs.
-    if (options.budget.count() > 0) {
-      mo.deadline = Deadline::After(options.budget);
+    // Each variant gets its own full cap (or its per-variant override),
+    // measured from its own start — exactly the standalone execution the
+    // paper's speedup* needs.
+    if (const auto vb = VariantBudget(options, i); vb.count() > 0) {
+      mo.deadline = Deadline::After(vb);
     }
     mo.guard_period = options.guard_period;
     MatchResult r = variants[i].run(mo);

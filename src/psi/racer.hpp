@@ -75,6 +75,13 @@ struct RaceOptions {
   /// uncapped. Kept relative rather than absolute so that sequential mode
   /// can grant each variant its own full cap.
   std::chrono::nanoseconds budget{0};
+  /// Optional per-variant budget overrides, indexed like the `variants`
+  /// span passed to Race(); entry i > 0 caps variant i at that budget
+  /// instead of `budget` (a tighter-than-shared entry makes the variant a
+  /// short *probe* — the staged-plan building block). Missing / zero
+  /// entries inherit `budget`. In kPool mode a variant with its own
+  /// budget also queues under that deadline (per-task EDF priority).
+  std::vector<std::chrono::nanoseconds> variant_budgets;
   /// Embedding cap forwarded to every variant (1 = decision problem,
   /// 1000 = the paper's NFV matching cap).
   uint64_t max_embeddings = 1;

@@ -6,7 +6,8 @@
 // (query features -> winning variant) sample; prediction is a distance-
 // weighted vote among the k nearest stored samples in normalized feature
 // space. No training phase, no external dependencies, thread-compatible
-// with an external lock (PsiEngine serializes access).
+// with an external lock (QueryPlanner, which owns the serving-path
+// instance, serializes access under its mutex).
 
 #ifndef PSI_SELECT_ONLINE_SELECTOR_HPP_
 #define PSI_SELECT_ONLINE_SELECTOR_HPP_

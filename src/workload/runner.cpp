@@ -50,13 +50,26 @@ std::vector<QueryRecord> RunWorkload(const Matcher& matcher,
 
 QueryRecord RunOnePsi(const Portfolio& portfolio, const Graph& query,
                       const LabelStats& stats, const RunnerOptions& options,
-                      RaceMode mode, Executor* executor) {
+                      RaceMode mode, Executor* executor,
+                      QueryPlanner* planner, RewriteCache* rewrite_cache) {
   RaceOptions ro;
   ro.budget = BudgetOf(options);
   ro.max_embeddings = options.max_embeddings;
   ro.mode = mode;
   ro.executor = executor;
-  const RaceResult race = RunPortfolio(portfolio, query, stats, ro);
+  RaceResult race;
+  if (planner != nullptr && planner->configured()) {
+    const QueryPlan plan = planner->Plan(query);
+    PlanResult pr = ExecutePortfolioPlan(plan, portfolio, query, stats, ro,
+                                         rewrite_cache);
+    if (pr.race.completed()) {
+      planner->Observe(plan.features,
+                       static_cast<size_t>(pr.race.winner));
+    }
+    race = std::move(pr.race);
+  } else {
+    race = RunPortfolio(portfolio, query, stats, ro, rewrite_cache);
+  }
   QueryRecord rec;
   rec.killed = !race.completed();
   rec.ms = rec.killed && options.cap_ms > 0.0
@@ -71,12 +84,14 @@ std::vector<QueryRecord> RunWorkloadPsi(const Portfolio& portfolio,
                                         std::span<const gen::Query> workload,
                                         const LabelStats& stats,
                                         const RunnerOptions& options,
-                                        RaceMode mode, Executor* executor) {
+                                        RaceMode mode, Executor* executor,
+                                        QueryPlanner* planner,
+                                        RewriteCache* rewrite_cache) {
   std::vector<QueryRecord> out;
   out.reserve(workload.size());
   for (const gen::Query& q : workload) {
     out.push_back(RunOnePsi(portfolio, q.graph, stats, options, mode,
-                            executor));
+                            executor, planner, rewrite_cache));
   }
   return out;
 }
@@ -84,7 +99,7 @@ std::vector<QueryRecord> RunWorkloadPsi(const Portfolio& portfolio,
 std::vector<QueryRecord> RunWorkloadPsiParallel(
     const Portfolio& portfolio, std::span<const gen::Query> workload,
     const LabelStats& stats, const RunnerOptions& options, RaceMode mode,
-    Executor* executor) {
+    Executor* executor, QueryPlanner* planner, RewriteCache* rewrite_cache) {
   Executor& exec = executor != nullptr ? *executor : Executor::Shared();
   std::vector<QueryRecord> out(workload.size());
   // Queries a bounded pool refused (rejected at Spawn or shed while
@@ -101,7 +116,7 @@ std::vector<QueryRecord> RunWorkloadPsiParallel(
             }
             if (start == TaskStart::kCancelled) return;  // group teardown
             out[i] = RunOnePsi(portfolio, workload[i].graph, stats, options,
-                               mode, &exec);
+                               mode, &exec, planner, rewrite_cache);
           });
       if (admission == Admission::kRejected) displaced[i] = 1;
     }
@@ -111,8 +126,8 @@ std::vector<QueryRecord> RunWorkloadPsiParallel(
   // also throttles a flooding client to the pool's actual capacity.
   for (size_t i = 0; i < workload.size(); ++i) {
     if (displaced[i] != 0) {
-      out[i] =
-          RunOnePsi(portfolio, workload[i].graph, stats, options, mode, &exec);
+      out[i] = RunOnePsi(portfolio, workload[i].graph, stats, options, mode,
+                         &exec, planner, rewrite_cache);
     }
   }
   return out;
@@ -168,22 +183,43 @@ std::vector<FtvPairRecord> RunFtvWorkload(
   return out;
 }
 
+Portfolio MakeFtvVerificationPortfolio(
+    std::span<const Rewriting> rewritings) {
+  Portfolio p;
+  p.name = "Psi-FTV(";
+  for (size_t i = 0; i < rewritings.size(); ++i) {
+    if (i > 0) p.name += "/";
+    p.name += ToString(rewritings[i]);
+    p.entries.push_back({nullptr, rewritings[i], 0});
+  }
+  p.name += ")";
+  return p;
+}
+
 namespace {
 
-/// Races one (query instance set, candidate) verification and fills the
-/// record fields common to the serial and parallel FTV runners.
-FtvPairRecord RaceFtvPair(const GrapesIndex& index,
-                          std::span<const RewrittenQuery> instances,
+/// Plans and races one (query, candidate) verification and fills the
+/// record fields common to the serial and parallel FTV runners. The
+/// rewritten instances come from `cache` — the first pair of a query
+/// computes them, every later pair of the same query reuses them (and
+/// the stats-independent ones are shared across stats identities).
+/// `plan` stages/narrows the race (nullptr = classic full race over all
+/// rewritings); a completed race feeds `planner` when one is given.
+FtvPairRecord RaceFtvPair(const GrapesIndex& index, const Graph& query,
+                          std::span<const Rewriting> rewritings,
+                          const LabelStats& stats, RewriteCache& cache,
                           const GrapesCandidate& cand, uint32_t query_index,
                           const RunnerOptions& options, RaceMode mode,
-                          Executor* executor) {
-  std::vector<RaceVariant> variants;
-  variants.reserve(instances.size());
-  for (const RewrittenQuery& inst : instances) {
-    variants.push_back(RaceVariant{
-        std::string(ToString(inst.rewriting)),
-        [&index, &inst, &cand](const MatchOptions& mo) {
-          return index.VerifyCandidate(inst.graph, cand, mo);
+                          Executor* executor, const QueryPlan* plan,
+                          QueryPlanner* planner) {
+  const auto instances = cache.GetInstances(query, rewritings, stats);
+  std::vector<RaceVariant> universe;
+  universe.reserve(instances.size());
+  for (size_t i = 0; i < instances.size(); ++i) {
+    universe.push_back(RaceVariant{
+        std::string(ToString(rewritings[i])),
+        [&index, inst = instances[i], &cand](const MatchOptions& mo) {
+          return index.VerifyCandidate(inst->graph, cand, mo);
         }});
   }
   RaceOptions ro;
@@ -191,7 +227,13 @@ FtvPairRecord RaceFtvPair(const GrapesIndex& index,
   ro.max_embeddings = 1;
   ro.mode = mode;
   ro.executor = executor;
-  const RaceResult race = Race(variants, ro);
+  const PlanResult pr =
+      ExecutePlan(plan != nullptr ? *plan : FullRacePlan(universe.size()),
+                  universe, ro);
+  const RaceResult& race = pr.race;
+  if (planner != nullptr && plan != nullptr && race.completed()) {
+    planner->Observe(plan->features, static_cast<size_t>(race.winner));
+  }
   FtvPairRecord rec;
   rec.query_index = query_index;
   rec.graph_id = cand.graph_id;
@@ -203,33 +245,26 @@ FtvPairRecord RaceFtvPair(const GrapesIndex& index,
   return rec;
 }
 
-std::vector<RewrittenQuery> RewriteInstances(
-    const Graph& query, std::span<const Rewriting> rewritings,
-    const LabelStats& stats) {
-  std::vector<RewrittenQuery> instances;
-  instances.reserve(rewritings.size());
-  for (Rewriting r : rewritings) {
-    auto rq = RewriteQuery(query, r, stats);
-    if (rq.ok()) instances.push_back(std::move(rq).value());
-  }
-  return instances;
-}
-
 }  // namespace
 
 std::vector<FtvPairRecord> RunFtvWorkloadPsi(
     const GrapesIndex& index, std::span<const gen::Query> workload,
     std::span<const Rewriting> rewritings, const LabelStats& stats,
-    const RunnerOptions& options, RaceMode mode, Executor* executor) {
+    const RunnerOptions& options, RaceMode mode, Executor* executor,
+    QueryPlanner* planner, RewriteCache* rewrite_cache) {
+  RewriteCache local_cache;
+  RewriteCache& cache =
+      rewrite_cache != nullptr ? *rewrite_cache : local_cache;
   std::vector<FtvPairRecord> out;
   for (uint32_t qi = 0; qi < workload.size(); ++qi) {
     const Graph& query = workload[qi].graph;
-    // Rewrite once per query; instances are shared across candidates.
-    const std::vector<RewrittenQuery> instances =
-        RewriteInstances(query, rewritings, stats);
+    QueryPlan plan;
+    const bool planned = planner != nullptr && planner->configured();
+    if (planned) plan = planner->Plan(query);
     for (const GrapesCandidate& cand : index.Filter(query)) {
-      out.push_back(RaceFtvPair(index, instances, cand, qi, options, mode,
-                                executor));
+      out.push_back(RaceFtvPair(index, query, rewritings, stats, cache, cand,
+                                qi, options, mode, executor,
+                                planned ? &plan : nullptr, planner));
     }
   }
   return out;
@@ -247,21 +282,29 @@ namespace {
 std::vector<FtvPairRecord> RunFtvPipelined(
     const GrapesIndex& index, std::span<const gen::Query> workload,
     std::span<const Rewriting> rewritings, const LabelStats& stats,
-    const RunnerOptions& options, RaceMode mode, Executor& exec) {
+    const RunnerOptions& options, RaceMode mode, Executor& exec,
+    QueryPlanner* planner, RewriteCache& cache) {
   const size_t num_shards = index.num_filter_shards();
   const auto budget = BudgetOf(options);
 
-  // Serial prologue: rewritten instances and path indexes per query, so
-  // every pool task works off stable storage.
+  // Serial prologue: path indexes and plans per query, so every pool
+  // task works off stable storage. Rewriting is *not* done here: the
+  // verification tasks pull instances from the shared rewrite cache, so
+  // a query none of whose shards survive filtering is never rewritten at
+  // all, and a surviving query is rewritten exactly once however many
+  // candidates and shards it fans out to.
   struct QueryCtx {
-    std::vector<RewrittenQuery> instances;
     std::vector<QueryPath> paths;
+    QueryPlan plan;
+    bool planned = false;
   };
   std::vector<QueryCtx> ctx(workload.size());
   for (size_t qi = 0; qi < workload.size(); ++qi) {
-    ctx[qi].instances =
-        RewriteInstances(workload[qi].graph, rewritings, stats);
     ctx[qi].paths = index.CollectPaths(workload[qi].graph);
+    if (planner != nullptr && planner->configured()) {
+      ctx[qi].plan = planner->Plan(workload[qi].graph);
+      ctx[qi].planned = true;
+    }
   }
 
   // One bucket per (query, shard). The owning filter task sizes
@@ -283,9 +326,10 @@ std::vector<FtvPairRecord> RunFtvPipelined(
   auto verify_pair = [&](size_t bucket_index, size_t pair_index) {
     const size_t qi = bucket_index / num_shards;
     Bucket& b = buckets[bucket_index];
-    b.records[pair_index] =
-        RaceFtvPair(index, ctx[qi].instances, b.cands[pair_index],
-                    static_cast<uint32_t>(qi), options, mode, &exec);
+    b.records[pair_index] = RaceFtvPair(
+        index, workload[qi].graph, rewritings, stats, cache,
+        b.cands[pair_index], static_cast<uint32_t>(qi), options, mode, &exec,
+        ctx[qi].planned ? &ctx[qi].plan : nullptr, planner);
   };
   auto spawn_verifies = [&](size_t bucket_index) {
     Bucket& b = buckets[bucket_index];
@@ -374,24 +418,33 @@ std::vector<FtvPairRecord> RunFtvPipelined(
 std::vector<FtvPairRecord> RunFtvWorkloadPsiParallel(
     const GrapesIndex& index, std::span<const gen::Query> workload,
     std::span<const Rewriting> rewritings, const LabelStats& stats,
-    const RunnerOptions& options, RaceMode mode, Executor* executor) {
+    const RunnerOptions& options, RaceMode mode, Executor* executor,
+    QueryPlanner* planner, RewriteCache* rewrite_cache) {
   Executor& exec = executor != nullptr ? *executor : Executor::Shared();
+  RewriteCache local_cache;
+  RewriteCache& cache =
+      rewrite_cache != nullptr ? *rewrite_cache : local_cache;
   if (index.num_filter_shards() > 1) {
     return RunFtvPipelined(index, workload, rewritings, stats, options, mode,
-                           exec);
+                           exec, planner, cache);
   }
-  // Serial phase: rewrite per query and enumerate every (query, candidate)
+  // Serial phase: plan per query and enumerate every (query, candidate)
   // pair, so the parallel phase has stable storage and a fixed order.
-  std::vector<std::vector<RewrittenQuery>> instances_per_query;
-  instances_per_query.reserve(workload.size());
+  // Rewriting happens lazily in the pair tasks, through the shared cache:
+  // one rewrite per surviving query, none for fully pruned ones.
   struct Pair {
     uint32_t query_index;
     GrapesCandidate cand;
   };
   std::vector<Pair> pairs;
+  std::vector<QueryPlan> plans(workload.size());
+  std::vector<uint8_t> planned(workload.size(), 0);
   for (uint32_t qi = 0; qi < workload.size(); ++qi) {
     const Graph& query = workload[qi].graph;
-    instances_per_query.push_back(RewriteInstances(query, rewritings, stats));
+    if (planner != nullptr && planner->configured()) {
+      plans[qi] = planner->Plan(query);
+      planned[qi] = 1;
+    }
     for (const GrapesCandidate& cand : index.Filter(query)) {
       pairs.push_back({qi, cand});
     }
@@ -399,6 +452,15 @@ std::vector<FtvPairRecord> RunFtvWorkloadPsiParallel(
   // Parallel phase: one pool task per verification race. Pairs a bounded
   // pool refuses (rejected or shed) re-run inline after the join, so the
   // record set is identical to the serial runner's under any capacity.
+  auto race_pair = [&](size_t i) {
+    const Pair& p = pairs[i];
+    return RaceFtvPair(index, workload[p.query_index].graph, rewritings,
+                       stats, cache, p.cand, p.query_index, options, mode,
+                       &exec,
+                       planned[p.query_index] != 0 ? &plans[p.query_index]
+                                                   : nullptr,
+                       planner);
+  };
   std::vector<FtvPairRecord> out(pairs.size());
   std::vector<uint8_t> displaced(pairs.size(), 0);
   {
@@ -410,20 +472,14 @@ std::vector<FtvPairRecord> RunFtvWorkloadPsiParallel(
           return;
         }
         if (start == TaskStart::kCancelled) return;
-        const Pair& p = pairs[i];
-        out[i] = RaceFtvPair(index, instances_per_query[p.query_index], p.cand,
-                             p.query_index, options, mode, &exec);
+        out[i] = race_pair(i);
       });
       if (admission == Admission::kRejected) displaced[i] = 1;
     }
     group.Wait();
   }
   for (size_t i = 0; i < pairs.size(); ++i) {
-    if (displaced[i] != 0) {
-      const Pair& p = pairs[i];
-      out[i] = RaceFtvPair(index, instances_per_query[p.query_index], p.cand,
-                           p.query_index, options, mode, &exec);
-    }
+    if (displaced[i] != 0) out[i] = race_pair(i);
   }
   return out;
 }

@@ -20,7 +20,10 @@
 #include "grapes/grapes.hpp"
 #include "match/matcher.hpp"
 #include "metrics/metrics.hpp"
+#include "plan/plan.hpp"
+#include "plan/planner.hpp"
 #include "psi/portfolio.hpp"
+#include "rewrite/rewrite_cache.hpp"
 
 namespace psi {
 
@@ -48,18 +51,27 @@ std::vector<QueryRecord> RunWorkload(const Matcher& matcher,
                                      std::span<const gen::Query> workload,
                                      const RunnerOptions& options);
 
-/// Runs one query through a Ψ portfolio race; the record reflects the
-/// race outcome (killed only when *every* contender was killed).
-/// `executor` backs kPool races (nullptr = the shared pool).
+/// Runs one query through the Ψ plan pipeline; the record reflects the
+/// race outcome (killed only when *every* contender of the final stage
+/// was killed). `executor` backs kPool races (nullptr = the shared
+/// pool). With `planner` (configured over this same `portfolio`), the
+/// query executes the planner's plan — staged/narrowed once warm — and
+/// the race outcome feeds the planner's learning selector; without one
+/// it runs the classic full race. `rewrite_cache` memoizes the
+/// rewritings across calls (nullptr = rewrite fresh).
 QueryRecord RunOnePsi(const Portfolio& portfolio, const Graph& query,
                       const LabelStats& stats, const RunnerOptions& options,
-                      RaceMode mode, Executor* executor = nullptr);
+                      RaceMode mode, Executor* executor = nullptr,
+                      QueryPlanner* planner = nullptr,
+                      RewriteCache* rewrite_cache = nullptr);
 std::vector<QueryRecord> RunWorkloadPsi(const Portfolio& portfolio,
                                         std::span<const gen::Query> workload,
                                         const LabelStats& stats,
                                         const RunnerOptions& options,
                                         RaceMode mode,
-                                        Executor* executor = nullptr);
+                                        Executor* executor = nullptr,
+                                        QueryPlanner* planner = nullptr,
+                                        RewriteCache* rewrite_cache = nullptr);
 
 /// Pipelines the whole workload through the persistent pool: queries run
 /// as parallel tasks, and (with mode == kPool) each query's race shares
@@ -77,11 +89,13 @@ std::vector<QueryRecord> RunWorkloadPsi(const Portfolio& portfolio,
 ///
 /// Thread-safety: safe to call from several threads at once when they
 /// use distinct record vectors (they always do — each call owns its
-/// output); the shared Executor is itself thread-safe.
+/// output); the shared Executor, the QueryPlanner and the RewriteCache
+/// are themselves thread-safe.
 std::vector<QueryRecord> RunWorkloadPsiParallel(
     const Portfolio& portfolio, std::span<const gen::Query> workload,
     const LabelStats& stats, const RunnerOptions& options, RaceMode mode,
-    Executor* executor = nullptr);
+    Executor* executor = nullptr, QueryPlanner* planner = nullptr,
+    RewriteCache* rewrite_cache = nullptr);
 
 /// One (query, stored graph) verification data point of the FTV protocol.
 struct FtvPairRecord {
@@ -102,13 +116,25 @@ std::vector<FtvPairRecord> RunFtvWorkload(
     const GgsxIndex& index, std::span<const gen::Query> workload,
     const RunnerOptions& options);
 
+/// A variant universe for FTV verification plans: one matcher-less entry
+/// per rewriting, in order. Configure a QueryPlanner over it (plus the
+/// dataset's LabelStats) to stage/narrow the per-pair verification races
+/// of the FTV runners below.
+Portfolio MakeFtvVerificationPortfolio(std::span<const Rewriting> rewritings);
+
 /// Ψ-framework over Grapes verification: per candidate graph, races one
-/// VF2 verification per rewriting (paper §8, FTV side).
+/// VF2 verification per rewriting (paper §8, FTV side). Every query is
+/// rewritten exactly once — per-pair races fetch their instances from
+/// `rewrite_cache` (nullptr = a cache local to this call), so a query
+/// surviving against N candidate graphs costs one rewrite, not N. With
+/// `planner` (configured over MakeFtvVerificationPortfolio(rewritings)),
+/// each pair executes the query's plan instead of the full race.
 std::vector<FtvPairRecord> RunFtvWorkloadPsi(
     const GrapesIndex& index, std::span<const gen::Query> workload,
     std::span<const Rewriting> rewritings, const LabelStats& stats,
     const RunnerOptions& options, RaceMode mode,
-    Executor* executor = nullptr);
+    Executor* executor = nullptr, QueryPlanner* planner = nullptr,
+    RewriteCache* rewrite_cache = nullptr);
 
 /// Pair-level parallel FTV. On a single-shard index, filtering stays
 /// serial (it is trivial overhead at that scale, §4) and every (query,
@@ -128,7 +154,8 @@ std::vector<FtvPairRecord> RunFtvWorkloadPsiParallel(
     const GrapesIndex& index, std::span<const gen::Query> workload,
     std::span<const Rewriting> rewritings, const LabelStats& stats,
     const RunnerOptions& options, RaceMode mode,
-    Executor* executor = nullptr);
+    Executor* executor = nullptr, QueryPlanner* planner = nullptr,
+    RewriteCache* rewrite_cache = nullptr);
 
 /// Convenience: extract the times / kill flags of a record series.
 std::vector<double> TimesOf(std::span<const QueryRecord> records);

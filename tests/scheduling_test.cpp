@@ -265,6 +265,75 @@ TEST(SchedulingTest, EdfDrainsEarliestDeadlineFirstUnderConcurrentEnqueue) {
   groups.clear();
 }
 
+TEST(SchedulingTest, PerTaskDeadlineOverridesGroupDeadlineInEdfOrder) {
+  Executor exec(ExecutorOptions{.num_threads = 1});  // unbounded EDF
+  std::atomic<bool> started{false};
+  std::atomic<bool> release{false};
+  Block(exec, &started, &release);
+
+  TaskGroup patient(exec, Deadline::After(std::chrono::hours(2)));
+  TaskGroup lazy(exec, Deadline::After(std::chrono::hours(3)));
+  std::mutex order_mutex;
+  std::vector<int> order;
+  std::atomic<int> done{0};
+  auto record = [&](int tag) {
+    {
+      std::lock_guard<std::mutex> lock(order_mutex);
+      order.push_back(tag);
+    }
+    done.fetch_add(1);
+  };
+  // Enqueued first, but sorts by its far group deadline.
+  patient.Spawn([&](TaskStart) { record(1); });
+  // Enqueued second on the *laziest* group — yet its own per-task probe
+  // deadline is the earliest key in the queue, so it drains first. This
+  // is the staged-plan contract: a probe sorts by its short probe
+  // budget, not the race group's full budget.
+  lazy.Spawn([&](TaskStart) { record(0); }, Deadline::After(1ms));
+  // A disabled per-task deadline falls back to the group deadline.
+  lazy.Spawn([&](TaskStart) { record(2); }, Deadline());
+  release.store(true);
+  while (done.load() < 3) std::this_thread::sleep_for(100us);
+  {
+    std::lock_guard<std::mutex> lock(order_mutex);
+    ASSERT_EQ(order.size(), 3u);
+    EXPECT_EQ(order[0], 0);  // per-task probe deadline first
+    EXPECT_EQ(order[1], 1);  // then the hours(2) group
+    EXPECT_EQ(order[2], 2);  // then the hours(3) group's own deadline
+  }
+}
+
+TEST(SchedulingTest, PerTaskDeadlineStandsInShedVictimSelection) {
+  // Width 1, capacity 1, shed-latest-deadline: with the worker blocked,
+  // a queued far-deadline task is evicted by a newcomer whose *per-task*
+  // deadline is earlier, even though the newcomer's group deadline is
+  // not.
+  Executor exec(BoundedOptions(1, /*cap=*/1,
+                               OverloadPolicy::kShedLatestDeadline));
+  std::atomic<bool> started{false};
+  std::atomic<bool> release{false};
+  Block(exec, &started, &release);
+
+  TaskGroup patient(exec, Deadline::After(std::chrono::hours(2)));
+  TaskGroup lazy(exec, Deadline::After(std::chrono::hours(3)));
+  std::atomic<int> patient_shed{0};
+  std::atomic<int> probe_ran{0};
+  ASSERT_EQ(patient.Spawn([&](TaskStart start) {
+              if (start == TaskStart::kShed) patient_shed.fetch_add(1);
+            }),
+            Admission::kAdmitted);
+  ASSERT_EQ(lazy.Spawn([&](TaskStart start) {
+              if (start == TaskStart::kRun) probe_ran.fetch_add(1);
+            },
+                       Deadline::After(1ms)),
+            Admission::kAdmitted);
+  EXPECT_EQ(patient_shed.load(), 1);  // shed synchronously at admission
+  release.store(true);
+  patient.Wait();
+  lazy.Wait();
+  EXPECT_EQ(probe_ran.load(), 1);
+}
+
 TEST(SchedulingTest, FifoDisciplineIgnoresDeadlines) {
   ExecutorOptions o;
   o.num_threads = 1;
