@@ -1,0 +1,206 @@
+// bench_match_kernel — the candidate-index kernel's effect on the four
+// matchers (match/candidate_index.hpp): per-matcher NFV workload
+// wall-clock, candidates_tried / recursion-node reduction, and variant-run
+// throughput with the index on vs. off. Not a paper figure — this tracks
+// the serving-path kernel optimization against the ROADMAP's "as fast as
+// the hardware allows" goal; CI's bench-smoke job archives the --json
+// output so every commit appends a data point.
+
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.hpp"
+#include "core/env.hpp"
+#include "core/label_stats.hpp"
+#include "graphql/graphql.hpp"
+#include "match/candidate_index.hpp"
+#include "metrics/metrics.hpp"
+#include "psi/portfolio.hpp"
+#include "quicksi/quicksi.hpp"
+#include "spath/spath.hpp"
+#include "vf2/vf2.hpp"
+#include "workload/runner.hpp"
+
+using namespace psi;
+using namespace psi::bench;
+
+namespace {
+
+std::unique_ptr<Matcher> MakeMatcher(int which) {
+  switch (which) {
+    case 0: return std::make_unique<Vf2Matcher>();
+    case 1: return std::make_unique<QuickSiMatcher>();
+    case 2: return std::make_unique<GraphQlMatcher>();
+    default: return std::make_unique<SPathMatcher>();
+  }
+}
+
+struct Arm {
+  double wall_ms = 0.0;
+  uint64_t tried = 0;
+  uint64_t recursion = 0;
+  uint64_t nlf_rejects = 0;
+  uint64_t bitset_checks = 0;
+  uint64_t slice_candidates = 0;
+  uint64_t embeddings = 0;
+};
+
+// Serial per-matcher workload pass, accumulating the effort counters the
+// runner records discard.
+Arm RunArm(const Matcher& m, std::span<const gen::Query> workload,
+           double cap_ms) {
+  Arm a;
+  for (const auto& q : workload) {
+    MatchOptions mo;
+    mo.max_embeddings = 1000;  // paper §3.2
+    if (cap_ms > 0) {
+      mo.deadline = Deadline::After(
+          std::chrono::nanoseconds(static_cast<int64_t>(cap_ms * 1e6)));
+    }
+    const MatchResult r = m.Match(q.graph, mo);
+    a.wall_ms += r.elapsed_ms();
+    a.tried += r.stats.candidates_tried;
+    a.recursion += r.stats.recursion_nodes;
+    a.nlf_rejects += r.stats.nlf_rejects;
+    a.bitset_checks += r.stats.bitset_edge_checks;
+    a.slice_candidates += r.stats.slice_candidates;
+    a.embeddings += r.embedding_count;
+  }
+  return a;
+}
+
+double Ratio(double num, double den) { return den > 0 ? num / den : 0.0; }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  JsonOut json("bench_match_kernel", argc, argv);
+  Banner("Match-kernel ablation (index on/off, all four matchers)",
+         "the candidate-index kernel (no paper figure)");
+
+  const Graph g = Yeast();
+  std::cout << "stored graph: " << g.num_vertices() << " vertices, "
+            << g.num_edges() << " edges, " << g.NumDistinctLabels()
+            << " labels\n";
+  const auto workload =
+      NfvWorkload(g, {4, 8, 12}, QueriesPerSize(8), /*seed=*/20260730);
+  std::cout << "workload: " << workload.size() << " queries\n\n";
+  const double cap_ms = CapMs();
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto shared_index = CandidateIndex::Build(g);
+  const double build_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - t0)
+          .count();
+  std::cout << "index build: " << build_ms << " ms, "
+            << shared_index->memory_bytes() / 1024 << " KiB, "
+            << shared_index->num_hubs() << " hubs\n\n";
+  json.Metric("index_build_ms", build_ms);
+  json.Metric("index_kib",
+              static_cast<double>(shared_index->memory_bytes()) / 1024.0);
+
+  const char* names[] = {"VF2", "QSI", "GQL", "SPA"};
+  double total_on = 0.0, total_off = 0.0;
+  uint64_t tried_on = 0, tried_off = 0, rec_on = 0, rec_off = 0;
+  std::cout << "matcher  arm    wall_ms      tried   recursion  "
+               "nlf_rej  bitset  slice\n";
+  for (int which = 0; which < 4; ++which) {
+    auto with = MakeMatcher(which);
+    with->set_candidate_index(shared_index);
+    auto without = MakeMatcher(which);
+    without->set_candidate_index(nullptr);
+    if (!with->Prepare(g).ok() || !without->Prepare(g).ok()) {
+      std::cerr << "prepare failed\n";
+      return 1;
+    }
+    // Warm-up pass (touches the lazy caches and the scratch) then measure.
+    RunArm(*without, workload, cap_ms);
+    const Arm off = RunArm(*without, workload, cap_ms);
+    RunArm(*with, workload, cap_ms);
+    const Arm on = RunArm(*with, workload, cap_ms);
+    if (on.embeddings != off.embeddings) {
+      std::cerr << "ANSWER DIVERGENCE in " << names[which] << ": "
+                << on.embeddings << " vs " << off.embeddings << "\n";
+      return 1;
+    }
+    for (const Arm* a : {&off, &on}) {
+      std::printf("%-7s  %-3s  %9.2f  %9llu  %10llu  %7llu  %6llu  %5llu\n",
+                  names[which], a == &on ? "on" : "off", a->wall_ms,
+                  static_cast<unsigned long long>(a->tried),
+                  static_cast<unsigned long long>(a->recursion),
+                  static_cast<unsigned long long>(a->nlf_rejects),
+                  static_cast<unsigned long long>(a->bitset_checks),
+                  static_cast<unsigned long long>(a->slice_candidates));
+    }
+    const double tried_red = Ratio(static_cast<double>(off.tried),
+                                   static_cast<double>(on.tried));
+    const double speedup = Ratio(off.wall_ms, on.wall_ms);
+    std::printf("%-7s  =>   tried x%.2f   wall x%.2f\n\n", names[which],
+                tried_red, speedup);
+    json.Metric(std::string("tried_reduction_") + names[which], tried_red);
+    json.Metric(std::string("wall_speedup_") + names[which], speedup);
+    json.Metric(std::string("wall_ms_on_") + names[which], on.wall_ms);
+    json.Metric(std::string("wall_ms_off_") + names[which], off.wall_ms);
+    total_on += on.wall_ms;
+    total_off += off.wall_ms;
+    tried_on += on.tried;
+    tried_off += off.tried;
+    rec_on += on.recursion;
+    rec_off += off.recursion;
+  }
+
+  const double tried_reduction =
+      Ratio(static_cast<double>(tried_off), static_cast<double>(tried_on));
+  const double wall_speedup = Ratio(total_off, total_on);
+  const double recursion_reduction =
+      Ratio(static_cast<double>(rec_off), static_cast<double>(rec_on));
+  std::cout << "aggregate: candidates_tried x" << tried_reduction
+            << ", recursion x" << recursion_reduction << ", wall x"
+            << wall_speedup << "\n";
+  json.Metric("tried_reduction_all", tried_reduction);
+  json.Metric("recursion_reduction_all", recursion_reduction);
+  json.Metric("wall_speedup_all", wall_speedup);
+
+  // Variant-run throughput: the Ψ race multiplies any kernel win across
+  // 1-6 variant runs per query; measure a 4-contender pool race end to
+  // end.
+  {
+    const LabelStats stats = LabelStats::FromGraph(g);
+    Executor pool(static_cast<size_t>(PoolThreads()));
+    RunnerOptions ro = NfvRunnerOptions();
+    double race_ms[2] = {0.0, 0.0};
+    for (int on = 0; on < 2; ++on) {
+      GraphQlMatcher gql;
+      SPathMatcher spa;
+      std::shared_ptr<const CandidateIndex> idx =
+          on != 0 ? shared_index : nullptr;
+      gql.set_candidate_index(idx);
+      spa.set_candidate_index(idx);
+      if (!gql.Prepare(g).ok() || !spa.Prepare(g).ok()) return 1;
+      const Matcher* ms[] = {&gql, &spa};
+      const Rewriting rw[] = {Rewriting::kOriginal, Rewriting::kDnd};
+      const Portfolio p = MakeMultiAlgorithmPortfolio(ms, rw);
+      const auto r0 = std::chrono::steady_clock::now();
+      const auto records =
+          RunWorkloadPsi(p, workload, stats, ro, RaceMode::kPool, &pool);
+      race_ms[on] = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - r0)
+                        .count();
+      std::cout << "variant-run race (" << (on ? "on" : "off")
+                << "): " << race_ms[on] << " ms for " << records.size()
+                << " queries\n";
+    }
+    json.Metric("race_wall_ms_off", race_ms[0]);
+    json.Metric("race_wall_ms_on", race_ms[1]);
+    json.Metric("race_speedup", Ratio(race_ms[0], race_ms[1]));
+  }
+
+  Shape(tried_reduction >= 1.5,
+        "index cuts candidates_tried >= 1.5x across the four matchers");
+  Shape(wall_speedup > 1.0,
+        "index improves aggregate NFV wall-clock (noisy on shared runners)");
+  return 0;
+}

@@ -15,8 +15,11 @@
 // Ψ-framework — and report per-query winners and timings. `--staged=1`
 // enables probe-then-escalate plans once the engine's selector is warm
 // (or set PSI_PLAN_STAGED=1); `--explain` prints each query's chosen
-// plan (variant order, stage budgets) and the rewrite-cache hit
-// counters. Files: .tve / .gfu as documented in io/graph_io.hpp.
+// plan (variant order, stage budgets), per-race matching-kernel counters
+// (candidates tried, NLF rejects, bitset edge checks, label-slice sizes
+// — match/candidate_index.hpp), the rewrite-cache hit counters, and the
+// aggregate kernel[...] gauges. Files: .tve / .gfu as documented in
+// io/graph_io.hpp.
 
 #include <cstring>
 #include <iostream>
@@ -26,6 +29,8 @@
 
 #include "core/env.hpp"
 #include "core/label_stats.hpp"
+#include "match/candidate_index.hpp"
+#include "metrics/metrics.hpp"
 #include "ggsx/ggsx.hpp"
 #include "grapes/grapes.hpp"
 #include "graphql/graphql.hpp"
@@ -85,6 +90,18 @@ Result<GraphDataset> Load(const std::string& path, io::LabelDict* dict) {
     return io::ReadGfuFile(path, dict);
   }
   return io::ReadTveFile(path, dict);
+}
+
+// Per-race kernel-counter line for --explain: the candidate-index effort
+// of every contender that actually ran (match/candidate_index.hpp).
+std::string FormatRaceKernelCounters(const RaceResult& r) {
+  MatchStats total;
+  for (const auto& w : r.workers) total.Add(w.result.stats);
+  std::string out = "  kernel: tried=" + std::to_string(total.candidates_tried);
+  out += " nlf_rejects=" + std::to_string(total.nlf_rejects);
+  out += " bitset_checks=" + std::to_string(total.bitset_edge_checks);
+  out += " slice_cands=" + std::to_string(total.slice_candidates);
+  return out;
 }
 
 Result<std::vector<Rewriting>> ParseRewritings(const std::string& spec) {
@@ -181,6 +198,7 @@ int RunNfv(int argc, char** argv) {
                               engine.portfolio());
     }
     auto r = engine.Run(queries->graph(i), options.max_embeddings);
+    if (explain) std::cerr << FormatRaceKernelCounters(r) << "\n";
     if (r.completed()) {
       std::cout << i << "\t" << r.result.embedding_count << "\t"
                 << r.workers[r.winner].name << "\t" << r.wall_ms() << "\n";
@@ -193,6 +211,8 @@ int RunNfv(int argc, char** argv) {
     std::cerr << "rewrite cache: " << cs.hits << " hits / " << cs.lookups()
               << " lookups, " << engine.observed_races()
               << " race outcomes learned\n";
+    const std::string kernel = FormatKernelGauges(engine.pool_gauges());
+    if (!kernel.empty()) std::cerr << kernel << "\n";
   }
   return 0;
 }
@@ -264,6 +284,10 @@ int RunFtv(int argc, char** argv) {
       ro.budget = po.budget;
       ro.max_embeddings = 1;
       const PlanResult outcome = ExecutePlan(plan, variants, ro);
+      if (explain) {
+        std::cerr << "  g" << cand.graph_id
+                  << FormatRaceKernelCounters(outcome.race) << "\n";
+      }
       if (outcome.race.completed() && outcome.race.result.found()) {
         ++answers;
       }
@@ -278,6 +302,10 @@ int RunFtv(int argc, char** argv) {
     const RewriteCache::Stats cs = cache.stats();
     std::cerr << "rewrite cache: " << cs.hits << " hits / " << cs.lookups()
               << " lookups (" << cs.misses << " rewrites computed)\n";
+    PoolGauges g;
+    index.kernel_stats().AddTo(&g);
+    const std::string kernel = FormatKernelGauges(g);
+    if (!kernel.empty()) std::cerr << kernel << "\n";
   }
   return 0;
 }

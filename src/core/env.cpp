@@ -63,4 +63,8 @@ int64_t PlanMinSamples() {
   return v >= 0 ? v : 8;
 }
 
+bool MatchIndexEnabled() { return EnvInt("PSI_MATCH_INDEX", 1) != 0; }
+
+int64_t MatchBitsetDegree() { return EnvInt("PSI_MATCH_BITSET_DEGREE", 64); }
+
 }  // namespace psi

@@ -76,6 +76,19 @@ int64_t PlanProbePercent();
 /// narrow or stage the portfolio (PSI_PLAN_MIN_SAMPLES, default 8).
 int64_t PlanMinSamples();
 
+/// Shared candidate-index matching kernel (PSI_MATCH_INDEX, default 1):
+/// non-zero makes Matcher::Prepare (and the Grapes/GGSX builds) construct
+/// the label-partitioned adjacency + NLF + hub-bitset index of
+/// match/candidate_index.hpp; 0 restores the paper-faithful unindexed
+/// searches. Never changes answers, only effort.
+bool MatchIndexEnabled();
+
+/// Hub-bitset degree threshold of the candidate index
+/// (PSI_MATCH_BITSET_DEGREE, default 64): vertices at or above it get a
+/// dense adjacency bitset for O(1) backward-edge checks; <= 0 disables
+/// the bitsets while keeping slices and NLF prefilters.
+int64_t MatchBitsetDegree();
+
 }  // namespace psi
 
 #endif  // PSI_CORE_ENV_HPP_

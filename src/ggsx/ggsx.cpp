@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 
+#include "match/candidate_index.hpp"
 #include "vf2/vf2.hpp"
 
 namespace psi {
@@ -24,6 +25,16 @@ Status GgsxIndex::Build(const GraphDataset& dataset) {
         BuildShardTries(dataset, options_.max_path_edges,
                         /*store_locations=*/false, shard_ranges_,
                         options_.executor);
+  }
+  // One shared candidate index per stored graph for the verification
+  // stage (untimed, like the trie build — paper §3.2).
+  const bool kernel = ResolveKernelEnabled(options_.candidate_index);
+  graph_indexes_.clear();
+  if (kernel) {
+    graph_indexes_.reserve(dataset.size());
+    for (uint32_t gid = 0; gid < dataset.size(); ++gid) {
+      graph_indexes_.push_back(CandidateIndex::Build(dataset.graph(gid)));
+    }
   }
   return Status::OK();
 }
@@ -107,7 +118,10 @@ MatchResult GgsxIndex::VerifyCandidate(const Graph& query, uint32_t graph_id,
                                        const MatchOptions& opts) const {
   MatchOptions mo = opts;
   mo.max_embeddings = 1;  // decision problem
-  return Vf2Match(query, dataset_->graph(graph_id), mo);
+  MatchResult r =
+      Vf2Match(query, dataset_->graph(graph_id), mo, graph_index(graph_id));
+  kernel_stats_.Note(r.stats, graph_index(graph_id) != nullptr);
+  return r;
 }
 
 }  // namespace psi

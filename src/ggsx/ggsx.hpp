@@ -17,6 +17,7 @@
 #define PSI_GGSX_GGSX_HPP_
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -42,6 +43,12 @@ struct GgsxOptions {
   /// Pool backing the sharded build and FilterSharded; nullptr = the
   /// process-wide Executor::Shared(). Ignored when single-shard.
   Executor* executor = nullptr;
+  /// Candidate-index matching kernel for the verification stage
+  /// (match/candidate_index.hpp): -1 (default) resolves from the
+  /// environment (PSI_MATCH_INDEX), 0 forces it off, 1 on. When enabled,
+  /// Build constructs one immutable CandidateIndex per stored graph;
+  /// every whole-graph VF2 verification shares it.
+  int candidate_index = -1;
 };
 
 class GgsxIndex {
@@ -85,6 +92,13 @@ class GgsxIndex {
   size_t num_filter_shards() const { return shard_tries_.size(); }
   std::span<const ShardRange> shard_ranges() const { return shard_ranges_; }
   FilterStageStats& filter_stats() const { return filter_stats_; }
+  /// The shared candidate index of stored graph `graph_id`; nullptr when
+  /// the matching kernel is disabled for this index.
+  const CandidateIndex* graph_index(uint32_t graph_id) const {
+    return graph_indexes_.empty() ? nullptr : graph_indexes_[graph_id].get();
+  }
+  /// Kernel-effort counters over every VerifyCandidate call.
+  MatchKernelStats& kernel_stats() const { return kernel_stats_; }
 
  private:
   GgsxOptions options_;
@@ -92,7 +106,10 @@ class GgsxIndex {
   std::vector<ShardRange> shard_ranges_;
   std::vector<PathTrie> shard_tries_;
   mutable FilterStageStats filter_stats_;
+  mutable MatchKernelStats kernel_stats_;
   const GraphDataset* dataset_ = nullptr;
+  /// One index per stored graph; empty when the kernel is disabled.
+  std::vector<std::shared_ptr<const CandidateIndex>> graph_indexes_;
 };
 
 }  // namespace psi

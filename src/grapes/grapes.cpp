@@ -7,6 +7,7 @@
 #include <thread>
 
 #include "core/graph_algos.hpp"
+#include "match/candidate_index.hpp"
 #include "vf2/vf2.hpp"
 
 namespace psi {
@@ -80,9 +81,14 @@ Status GrapesIndex::Build(const GraphDataset& dataset) {
                         options_.executor);
   }
 
-  // Cache component subgraphs for the verification stage.
+  // Cache component subgraphs for the verification stage, each with its
+  // shared candidate index when the matching kernel is enabled (index
+  // build is untimed, like the trie build — paper §3.2).
+  const bool kernel = ResolveKernelEnabled(options_.candidate_index);
   components_.clear();
   components_.resize(dataset.size());
+  component_indexes_.clear();
+  if (kernel) component_indexes_.resize(dataset.size());
   for (uint32_t gid = 0; gid < dataset.size(); ++gid) {
     const Graph& g = dataset.graph(gid);
     const uint32_t ncomp = g.NumComponents();
@@ -91,6 +97,12 @@ Status GrapesIndex::Build(const GraphDataset& dataset) {
       auto comp = ExtractComponent(g, c);
       if (!comp.ok()) return comp.status();
       components_[gid].push_back(std::move(comp).value());
+    }
+    if (kernel) {
+      component_indexes_[gid].reserve(ncomp);
+      for (const Graph& comp : components_[gid]) {
+        component_indexes_[gid].push_back(CandidateIndex::Build(comp));
+      }
     }
   }
   return Status::OK();
@@ -268,9 +280,11 @@ MatchResult GrapesIndex::VerifyCandidate(const Graph& query,
   mo.max_embeddings = 1;  // decision problem: first match wins
 
   const auto start = std::chrono::steady_clock::now();
-  // Disconnected queries span components; fall back to whole-graph VF2.
+  // Disconnected queries span components; fall back to whole-graph VF2
+  // (rare path, no per-whole-graph index is kept).
   if (query.NumComponents() > 1) {
     MatchResult r = Vf2Match(query, dataset_->graph(candidate.graph_id), mo);
+    kernel_stats_.Note(r.stats, false);
     return r;
   }
 
@@ -285,9 +299,9 @@ MatchResult GrapesIndex::VerifyCandidate(const Graph& query,
     total.complete = true;
     for (uint32_t comp : candidate.components) {
       MatchResult r =
-          Vf2Match(query, components_[candidate.graph_id][comp], mo);
-      total.stats.recursion_nodes += r.stats.recursion_nodes;
-      total.stats.candidates_tried += r.stats.candidates_tried;
+          Vf2Match(query, components_[candidate.graph_id][comp], mo,
+                   component_index(candidate.graph_id, comp));
+      total.stats.Add(r.stats);
       if (r.found()) {
         total.embedding_count = 1;
         total.complete = true;
@@ -311,9 +325,10 @@ MatchResult GrapesIndex::VerifyCandidate(const Graph& query,
     std::atomic<bool> found{false};
     std::atomic<bool> timed_out{false};
     std::vector<std::thread> workers;
+    std::vector<MatchStats> worker_stats(threads);
     std::atomic<uint32_t> next{0};
     for (uint32_t t = 0; t < threads; ++t) {
-      workers.emplace_back([&] {
+      workers.emplace_back([&, t] {
         for (;;) {
           const uint32_t i = next.fetch_add(1);
           if (i >= candidate.components.size()) return;
@@ -324,7 +339,9 @@ MatchResult GrapesIndex::VerifyCandidate(const Graph& query,
           MatchResult r = Vf2Match(
               query,
               components_[candidate.graph_id][candidate.components[i]],
-              local);
+              local,
+              component_index(candidate.graph_id, candidate.components[i]));
+          worker_stats[t].Add(r.stats);
           if (r.found()) {
             found.store(true);
             inner_stop.RequestStop();
@@ -339,6 +356,7 @@ MatchResult GrapesIndex::VerifyCandidate(const Graph& query,
       });
     }
     for (auto& w : workers) w.join();
+    for (const MatchStats& ws : worker_stats) total.stats.Add(ws);
     total.embedding_count = found.load() ? 1 : 0;
     if (found.load()) {
       total.complete = true;
@@ -351,6 +369,7 @@ MatchResult GrapesIndex::VerifyCandidate(const Graph& query,
     }
   }
   total.elapsed = std::chrono::steady_clock::now() - start;
+  kernel_stats_.Note(total.stats, !component_indexes_.empty());
   return total;
 }
 

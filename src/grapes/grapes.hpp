@@ -23,6 +23,7 @@
 #define PSI_GRAPES_GRAPES_HPP_
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -55,6 +56,13 @@ struct GrapesOptions {
   /// process-wide Executor::Shared(). Ignored when the index is
   /// single-shard.
   Executor* executor = nullptr;
+  /// Candidate-index matching kernel for the verification stage
+  /// (match/candidate_index.hpp): -1 (default) resolves from the
+  /// environment (PSI_MATCH_INDEX), 0 forces it off, 1 on. When enabled,
+  /// Build constructs one immutable CandidateIndex per cached component
+  /// subgraph; every VF2 verification of that component — across all
+  /// racing rewritings and pool tasks — shares it.
+  int candidate_index = -1;
 };
 
 /// One filtering survivor: a stored graph plus the components that contain
@@ -131,6 +139,17 @@ class GrapesIndex {
   const std::vector<Graph>& components(uint32_t graph_id) const {
     return components_[graph_id];
   }
+  /// The shared candidate index of one cached component; nullptr when the
+  /// matching kernel is disabled for this index.
+  const CandidateIndex* component_index(uint32_t graph_id,
+                                        uint32_t component) const {
+    return component_indexes_.empty()
+               ? nullptr
+               : component_indexes_[graph_id][component].get();
+  }
+  /// Kernel-effort counters over every VerifyCandidate call; surface with
+  /// MatchKernelStats::AddTo next to the filter stats.
+  MatchKernelStats& kernel_stats() const { return kernel_stats_; }
 
  private:
   GrapesOptions options_;
@@ -138,9 +157,13 @@ class GrapesIndex {
   std::vector<ShardRange> shard_ranges_;
   std::vector<PathTrie> shard_tries_;
   mutable FilterStageStats filter_stats_;
+  mutable MatchKernelStats kernel_stats_;
   const GraphDataset* dataset_ = nullptr;
   /// components_[graph_id][component_id] — standalone component graphs.
   std::vector<std::vector<Graph>> components_;
+  /// Parallel to components_; empty when the kernel is disabled.
+  std::vector<std::vector<std::shared_ptr<const CandidateIndex>>>
+      component_indexes_;
 };
 
 }  // namespace psi

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <chrono>
 
+#include "match/candidate_index.hpp"
+#include "match/scratch.hpp"
+
 namespace psi {
 
 namespace {
@@ -25,18 +28,29 @@ bool MultisetContained(const std::vector<LabelId>& a,
 }
 
 // Per-query search state: candidate bitmaps/lists, refinement, ordering and
-// the final backtracking join.
+// the final backtracking join. All O(|V|)-sized buffers live in the leased
+// CandidateScratch (epoch-stamped, reused across calls on one thread) —
+// FTV matches one query against many candidates and NFV serves thousands
+// of queries per prepared matcher, so the former per-call
+// allocate-and-zero-fill of the O(|V| * nq) candidate bitmap was pure
+// churn.
 class GqlSearch {
  public:
   GqlSearch(const Graph& q, const Graph& g,
             const std::vector<std::vector<LabelId>>& signatures,
-            const GraphQlOptions& options, const MatchOptions& opts)
+            const GraphQlOptions& options, const MatchOptions& opts,
+            const CandidateIndex* index, CandidateScratch& scr)
       : q_(q),
         g_(g),
         signatures_(signatures),
         options_(options),
         opts_(opts),
-        guard_(opts.stop, opts.deadline, opts.guard_period, opts.stop2) {}
+        index_(index),
+        scr_(scr),
+        nv_(g.num_vertices()),
+        guard_(opts.stop, opts.deadline, opts.guard_period, opts.stop2) {
+    scr_.BeginCall(q.num_vertices(), nv_);
+  }
 
   MatchResult Run() {
     const auto start = std::chrono::steady_clock::now();
@@ -52,8 +66,7 @@ class GqlSearch {
     if (feasible) feasible = Refine();
     if (feasible && !guard_.interrupted()) {
       BuildOrder();
-      map_.assign(q_.num_vertices(), kInvalidVertex);
-      used_.assign(g_.num_vertices(), 0);
+      scr_.map.assign(q_.num_vertices(), kInvalidVertex);
       Recurse(0);
     }
     r.embedding_count = found_;
@@ -66,27 +79,50 @@ class GqlSearch {
   }
 
  private:
+  // Epoch-stamped views over the scratch: a cell is set iff it carries the
+  // current call's epoch.
+  bool CandBit(VertexId u, VertexId v) const {
+    return scr_.cand_stamp[static_cast<size_t>(u) * nv_ + v] == scr_.epoch;
+  }
+  void SetCand(VertexId u, VertexId v) {
+    scr_.cand_stamp[static_cast<size_t>(u) * nv_ + v] = scr_.epoch;
+  }
+  void ClearCand(VertexId u, VertexId v) {
+    scr_.cand_stamp[static_cast<size_t>(u) * nv_ + v] = 0;
+  }
+  bool Used(VertexId v) const { return scr_.used_stamp[v] == scr_.epoch; }
+  void SetUsed(VertexId v) { scr_.used_stamp[v] = scr_.epoch; }
+  void ClearUsed(VertexId v) { scr_.used_stamp[v] = 0; }
+
   // Stage 1: label + signature containment. Returns false if some query
-  // vertex ends up with no candidates.
+  // vertex ends up with no candidates. The candidate index's NLF
+  // fingerprint runs before the O(d) multiset walk — multiset containment
+  // implies fingerprint containment, so the prefilter only skips work,
+  // never changes the candidate lists.
   bool BuildCandidates() {
     const uint32_t nq = q_.num_vertices();
+    std::vector<uint64_t> qnlf;
+    if (index_ != nullptr) qnlf = CandidateIndex::QueryNlf(q_);
     // Query-side signatures.
     std::vector<std::vector<LabelId>> qsig(nq);
     for (VertexId u = 0; u < nq; ++u) {
       for (VertexId w : q_.neighbors(u)) qsig[u].push_back(q_.label(w));
       std::sort(qsig[u].begin(), qsig[u].end());
     }
-    cand_list_.assign(nq, {});
-    cand_bit_.assign(nq, std::vector<uint8_t>(g_.num_vertices(), 0));
     for (VertexId u = 0; u < nq; ++u) {
       for (VertexId v : g_.VerticesWithLabel(q_.label(u))) {
         if (guard_.Check() != Interrupt::kNone) return false;
         if (g_.degree(v) < q_.degree(u)) continue;
+        if (index_ != nullptr &&
+            !index_->NlfAdmits(qnlf[u], q_.degree(u), v)) {
+          ++stats_.nlf_rejects;
+          continue;
+        }
         if (!MultisetContained(qsig[u], signatures_[v])) continue;
-        cand_list_[u].push_back(v);
-        cand_bit_[u][v] = 1;
+        scr_.cand_list[u].push_back(v);
+        SetCand(u, v);
       }
-      if (cand_list_[u].empty()) return false;
+      if (scr_.cand_list[u].empty()) return false;
     }
     return true;
   }
@@ -99,9 +135,9 @@ class GqlSearch {
     auto gn = g_.neighbors(v);
     if (qn.size() > gn.size()) return false;
     // match_right[j] = index into qn matched to gn[j], or -1.
-    match_right_.assign(gn.size(), -1);
+    scr_.match_right.assign(gn.size(), -1);
     for (size_t i = 0; i < qn.size(); ++i) {
-      visited_.assign(gn.size(), 0);
+      scr_.visited.assign(gn.size(), 0);
       if (!Augment(qn, gn, static_cast<int>(i))) return false;
     }
     return true;
@@ -110,10 +146,10 @@ class GqlSearch {
   bool Augment(std::span<const VertexId> qn, std::span<const VertexId> gn,
                int i) {
     for (size_t j = 0; j < gn.size(); ++j) {
-      if (visited_[j] || !cand_bit_[qn[i]][gn[j]]) continue;
-      visited_[j] = 1;
-      if (match_right_[j] < 0 || Augment(qn, gn, match_right_[j])) {
-        match_right_[j] = i;
+      if (scr_.visited[j] || !CandBit(qn[i], gn[j])) continue;
+      scr_.visited[j] = 1;
+      if (scr_.match_right[j] < 0 || Augment(qn, gn, scr_.match_right[j])) {
+        scr_.match_right[j] = i;
         return true;
       }
     }
@@ -126,7 +162,7 @@ class GqlSearch {
     for (uint32_t round = 0; round < options_.refine_level; ++round) {
       bool changed = false;
       for (VertexId u = 0; u < q_.num_vertices(); ++u) {
-        auto& list = cand_list_[u];
+        auto& list = scr_.cand_list[u];
         size_t keep = 0;
         for (size_t k = 0; k < list.size(); ++k) {
           if (guard_.Check() != Interrupt::kNone) return false;
@@ -134,7 +170,7 @@ class GqlSearch {
           if (NeighborsMatchable(u, v)) {
             list[keep++] = v;
           } else {
-            cand_bit_[u][v] = 0;
+            ClearCand(u, v);
             changed = true;
           }
         }
@@ -151,8 +187,8 @@ class GqlSearch {
   // (candidate cardinality), breaking ties by vertex id.
   void BuildOrder() {
     const uint32_t nq = q_.num_vertices();
-    order_.clear();
-    order_.reserve(nq);
+    scr_.order.clear();
+    scr_.order.reserve(nq);
     std::vector<uint8_t> chosen(nq, 0);
     auto pick_best = [&](bool need_connected) {
       VertexId best = kInvalidVertex;
@@ -169,62 +205,60 @@ class GqlSearch {
           if (!connected) continue;
         }
         if (best == kInvalidVertex ||
-            cand_list_[u].size() < cand_list_[best].size()) {
+            scr_.cand_list[u].size() < scr_.cand_list[best].size()) {
           best = u;
         }
       }
       return best;
     };
-    while (order_.size() < nq) {
-      VertexId next = pick_best(/*need_connected=*/!order_.empty());
+    while (scr_.order.size() < nq) {
+      VertexId next = pick_best(/*need_connected=*/!scr_.order.empty());
       if (next == kInvalidVertex) next = pick_best(false);  // new component
       chosen[next] = 1;
-      order_.push_back(next);
+      scr_.order.push_back(next);
     }
   }
 
   bool Recurse(uint32_t depth) {
-    if (depth == order_.size()) {
+    if (depth == scr_.order.size()) {
       ++found_;
-      if (opts_.sink && !opts_.sink(map_)) return false;
+      if (opts_.sink && !opts_.sink(scr_.map)) return false;
       return found_ < opts_.max_embeddings;
     }
     ++stats_.recursion_nodes;
-    const VertexId u = order_[depth];
-    // Anchor on the placed neighbour with the smallest-degree image.
-    VertexId anchor_img = kInvalidVertex;
-    for (VertexId w : q_.neighbors(u)) {
-      if (map_[w] != kInvalidVertex &&
-          (anchor_img == kInvalidVertex ||
-           g_.degree(map_[w]) < g_.degree(anchor_img))) {
-        anchor_img = map_[w];
-      }
-    }
-    std::span<const VertexId> source =
-        anchor_img != kInvalidVertex
-            ? g_.neighbors(anchor_img)
-            : std::span<const VertexId>(cand_list_[u]);
+    const VertexId u = scr_.order[depth];
+    // Anchor on the placed neighbour whose image offers the smallest
+    // candidate source — its label slice under the index, raw degree
+    // otherwise.
+    const LabelId ul = q_.label(u);
+    const VertexId anchor_img = CandidateIndex::PickAnchorImage(
+        index_, q_, g_, u, ul,
+        [this](VertexId w) { return scr_.map[w]; });
+    const std::span<const VertexId> source = CandidateIndex::AnchoredSource(
+        index_, g_, anchor_img, ul,
+        std::span<const VertexId>(scr_.cand_list[u]), stats_);
     for (VertexId v : source) {
       if (guard_.Check() != Interrupt::kNone) return false;
       ++stats_.candidates_tried;
-      if (used_[v] || !cand_bit_[u][v]) continue;
+      if (Used(v) || !CandBit(u, v)) continue;
       bool edges_ok = true;
       auto qadj = q_.neighbors(u);
       auto qel = q_.edge_labels(u);
       for (size_t i = 0; i < qadj.size(); ++i) {
         const VertexId w = qadj[i];
-        if (map_[w] != kInvalidVertex &&
-            !g_.HasEdgeWithLabel(v, map_[w], qel[i])) {
+        if (scr_.map[w] == kInvalidVertex) continue;
+        if (!CandidateIndex::CheckEdge(index_, g_, v, scr_.map[w], qel[i],
+                                       stats_)) {
           edges_ok = false;
           break;
         }
       }
       if (!edges_ok) continue;
-      map_[u] = v;
-      used_[v] = 1;
+      scr_.map[u] = v;
+      SetUsed(v);
       const bool keep_going = Recurse(depth + 1);
-      used_[v] = 0;
-      map_[u] = kInvalidVertex;
+      ClearUsed(v);
+      scr_.map[u] = kInvalidVertex;
       if (!keep_going) return false;
     }
     return true;
@@ -235,18 +269,12 @@ class GqlSearch {
   const std::vector<std::vector<LabelId>>& signatures_;
   const GraphQlOptions& options_;
   const MatchOptions& opts_;
+  const CandidateIndex* index_;
+  CandidateScratch& scr_;
+  const uint32_t nv_;
   CostGuard guard_;
   MatchStats stats_;
   uint64_t found_ = 0;
-
-  std::vector<std::vector<VertexId>> cand_list_;
-  std::vector<std::vector<uint8_t>> cand_bit_;
-  std::vector<VertexId> order_;
-  Embedding map_;
-  std::vector<uint8_t> used_;
-  // Scratch for Kuhn matching.
-  std::vector<int> match_right_;
-  std::vector<uint8_t> visited_;
 };
 
 }  // namespace
@@ -254,6 +282,7 @@ class GqlSearch {
 Status GraphQlMatcher::Prepare(const Graph& data) {
   data_ = &data;
   data.EnsureLabelIndex();
+  PrepareCandidateIndex(data);
   signatures_.assign(data.num_vertices(), {});
   for (VertexId v = 0; v < data.num_vertices(); ++v) {
     auto& sig = signatures_[v];
@@ -266,8 +295,12 @@ Status GraphQlMatcher::Prepare(const Graph& data) {
 
 MatchResult GraphQlMatcher::Match(const Graph& query,
                                   const MatchOptions& opts) const {
-  GqlSearch search(query, *data_, signatures_, options_, opts);
-  return search.Run();
+  ScratchLease scratch;
+  GqlSearch search(query, *data_, signatures_, options_, opts,
+                   candidate_index(), *scratch);
+  MatchResult r = search.Run();
+  kernel_stats_.Note(r.stats, candidate_index() != nullptr);
+  return r;
 }
 
 }  // namespace psi

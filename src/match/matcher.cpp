@@ -2,7 +2,37 @@
 
 #include <algorithm>
 
+#include "core/env.hpp"
+#include "match/candidate_index.hpp"
+#include "metrics/metrics.hpp"
+
 namespace psi {
+
+void MatchKernelStats::AddTo(PoolGauges* g) const {
+  g->kernel_matches += matches_.load(std::memory_order_relaxed);
+  g->kernel_indexed_matches +=
+      indexed_matches_.load(std::memory_order_relaxed);
+  g->kernel_candidates_tried +=
+      candidates_tried_.load(std::memory_order_relaxed);
+  g->kernel_nlf_rejects += nlf_rejects_.load(std::memory_order_relaxed);
+  g->kernel_bitset_checks += bitset_checks_.load(std::memory_order_relaxed);
+  g->kernel_slice_candidates +=
+      slice_candidates_.load(std::memory_order_relaxed);
+}
+
+void Matcher::PrepareCandidateIndex(const Graph& data) {
+  if (candidate_index_injected_) {
+    // An explicitly injected index wins — including an injected nullptr
+    // (kernel pinned off). Rebuild only if it demonstrably covers a
+    // different graph (address or extents mismatch — Covers()).
+    if (candidate_index_ != nullptr && !candidate_index_->Covers(data)) {
+      candidate_index_ = CandidateIndex::Build(data);
+    }
+    return;
+  }
+  candidate_index_ =
+      MatchIndexEnabled() ? CandidateIndex::Build(data) : nullptr;
+}
 
 bool IsValidEmbedding(const Graph& query, const Graph& data,
                       const Embedding& emb) {

@@ -10,6 +10,7 @@
 #ifndef PSI_MATCH_MATCHER_HPP_
 #define PSI_MATCH_MATCHER_HPP_
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <functional>
@@ -22,6 +23,9 @@
 #include "core/stop_token.hpp"
 
 namespace psi {
+
+class CandidateIndex;  // match/candidate_index.hpp
+struct PoolGauges;     // metrics/metrics.hpp
 
 /// One embedding: data-graph vertex assigned to each query vertex
 /// (indexed by query vertex id).
@@ -49,10 +53,59 @@ struct MatchOptions {
   uint32_t guard_period = 256;
 };
 
-/// Search-effort counters, for tests and ablation benches.
+/// Search-effort counters, for tests and ablation benches. The kernel
+/// counters are zero when the candidate index (candidate_index.hpp) is
+/// disabled for the call.
 struct MatchStats {
   uint64_t recursion_nodes = 0;   ///< backtracking tree nodes expanded
   uint64_t candidates_tried = 0;  ///< (query vertex, data vertex) pairs tried
+  uint64_t nlf_rejects = 0;       ///< candidates dropped by the O(1) NLF
+                                  ///< prefilter before any per-pair work
+                                  ///< (not counted in candidates_tried)
+  uint64_t bitset_edge_checks = 0;  ///< edge checks answered by hub bitsets
+  uint64_t slice_candidates = 0;    ///< candidates drawn from label slices
+                                    ///< (sum of enumerated slice sizes)
+
+  void Add(const MatchStats& o) {
+    recursion_nodes += o.recursion_nodes;
+    candidates_tried += o.candidates_tried;
+    nlf_rejects += o.nlf_rejects;
+    bitset_edge_checks += o.bitset_edge_checks;
+    slice_candidates += o.slice_candidates;
+  }
+};
+
+/// Thread-safe accumulator of kernel effort across Match() calls — the
+/// serving-side observability hook, surfaced through PoolGauges next to
+/// the executor's own counters (FilterStageStats is the sibling for the
+/// FTV filter stage). Every Matcher carries one; the Grapes/GGSX
+/// verification kernels keep their own. Snapshot with AddTo.
+class MatchKernelStats {
+ public:
+  /// One finished Match() call; `index_used` tells whether the candidate
+  /// index was active for it.
+  void Note(const MatchStats& s, bool index_used) {
+    matches_.fetch_add(1, std::memory_order_relaxed);
+    if (index_used) indexed_matches_.fetch_add(1, std::memory_order_relaxed);
+    candidates_tried_.fetch_add(s.candidates_tried,
+                                std::memory_order_relaxed);
+    nlf_rejects_.fetch_add(s.nlf_rejects, std::memory_order_relaxed);
+    bitset_checks_.fetch_add(s.bitset_edge_checks, std::memory_order_relaxed);
+    slice_candidates_.fetch_add(s.slice_candidates,
+                                std::memory_order_relaxed);
+  }
+
+  /// Adds this instance's counters into a PoolGauges snapshot
+  /// (metrics/metrics.hpp kernel_* fields).
+  void AddTo(PoolGauges* g) const;
+
+ private:
+  std::atomic<uint64_t> matches_{0};
+  std::atomic<uint64_t> indexed_matches_{0};
+  std::atomic<uint64_t> candidates_tried_{0};
+  std::atomic<uint64_t> nlf_rejects_{0};
+  std::atomic<uint64_t> bitset_checks_{0};
+  std::atomic<uint64_t> slice_candidates_{0};
 };
 
 /// Outcome of one Match() call.
@@ -93,6 +146,38 @@ class Matcher {
 
   /// The prepared stored graph, or nullptr before Prepare.
   virtual const Graph* data() const = 0;
+
+  // ---- Shared candidate-index kernel (match/candidate_index.hpp) ----
+  //
+  // All four library matchers accelerate candidate enumeration and
+  // backward-edge checks through one immutable per-stored-graph
+  // CandidateIndex. Inject a prebuilt index *before* Prepare to share one
+  // across matchers over the same graph (PsiEngine::Prepare does);
+  // without an injection, Prepare builds a private one when the kernel is
+  // enabled (PSI_MATCH_INDEX, default on). Injecting nullptr pins the
+  // kernel off for this matcher regardless of the environment — the
+  // differential tests' "index disabled" arm.
+
+  void set_candidate_index(std::shared_ptr<const CandidateIndex> index) {
+    candidate_index_ = std::move(index);
+    candidate_index_injected_ = true;
+  }
+  /// The index Match() uses after Prepare; nullptr = kernel disabled.
+  const CandidateIndex* candidate_index() const {
+    return candidate_index_.get();
+  }
+  /// Kernel-effort counters accumulated over every Match() call.
+  MatchKernelStats& kernel_stats() const { return kernel_stats_; }
+
+ protected:
+  /// Resolves the index for `data` at Prepare time: keeps a matching
+  /// injected index (rebuilding if it was built over a different graph),
+  /// builds one when the kernel is enabled, clears it when disabled.
+  void PrepareCandidateIndex(const Graph& data);
+
+  std::shared_ptr<const CandidateIndex> candidate_index_;
+  bool candidate_index_injected_ = false;
+  mutable MatchKernelStats kernel_stats_;
 };
 
 /// Factory signature used by portfolio configuration.

@@ -1,0 +1,135 @@
+// Epoch-stamped, thread-reused search scratch for the candidate-list
+// matchers (GraphQL, sPath).
+//
+// Both engines used to allocate and zero-fill an O(|V| * nq) candidate
+// bitmap (plus used-flags, order, map and Kuhn buffers) on *every* Match()
+// call — pure churn in the FTV/NFV serving paths, where one prepared
+// matcher answers thousands of calls. This scratch keeps those buffers
+// alive per thread and replaces the zero-fills with epoch stamps: a cell
+// is "set" iff it carries the current call's epoch, so starting a call
+// costs one counter increment instead of an O(|V| * nq) clear.
+//
+// Thread-compatibility with the Matcher contract (concurrent const
+// Match() calls): every call leases the calling thread's scratch through
+// ScratchLease, so two threads never share buffers; a re-entrant Match on
+// the same thread (e.g. from inside an embedding sink) transparently gets
+// a private heap-allocated scratch instead — correctness never depends on
+// the lease being the thread-local one.
+
+#ifndef PSI_MATCH_SCRATCH_HPP_
+#define PSI_MATCH_SCRATCH_HPP_
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "core/graph.hpp"
+#include "match/matcher.hpp"
+
+namespace psi {
+
+struct CandidateScratch {
+  /// Epoch of the call currently using the scratch; a stamp cell is set
+  /// iff it equals this value. 0 is never a valid epoch, so fresh
+  /// (zero-resized) cells are always "unset".
+  uint32_t epoch = 0;
+  bool in_use = false;
+
+  std::vector<uint32_t> cand_stamp;  ///< nq * |V| candidate-bit stamps
+  std::vector<uint32_t> used_stamp;  ///< |V| used-vertex stamps
+  std::vector<std::vector<VertexId>> cand_list;
+  std::vector<VertexId> order;
+  Embedding map;
+  // Kuhn-matching buffers (degree-sized).
+  std::vector<int> match_right;
+  std::vector<uint8_t> visited;
+
+  /// nq * nv of the most recent call — the lease's trim heuristic reads
+  /// it to avoid shrinking buffers a workload legitimately needs.
+  size_t last_cells = 0;
+
+  /// Opens a new call over an nq-vertex query against an nv-vertex data
+  /// graph: bumps the epoch (invalidating every previous stamp in O(1))
+  /// and grows the stamp buffers as needed. Handles epoch wrap-around by
+  /// clearing once every ~4G calls.
+  void BeginCall(uint32_t nq, uint32_t nv) {
+    if (epoch == std::numeric_limits<uint32_t>::max()) {
+      std::fill(cand_stamp.begin(), cand_stamp.end(), 0u);
+      std::fill(used_stamp.begin(), used_stamp.end(), 0u);
+      epoch = 0;
+    }
+    ++epoch;
+    const size_t cells = static_cast<size_t>(nq) * nv;
+    last_cells = cells;
+    if (cand_stamp.size() < cells) cand_stamp.resize(cells, 0u);
+    if (used_stamp.size() < nv) used_stamp.resize(nv, 0u);
+    if (cand_list.size() < nq) cand_list.resize(nq);
+    for (uint32_t u = 0; u < nq; ++u) cand_list[u].clear();
+  }
+};
+
+/// Leases the calling thread's scratch for one Match() call; falls back to
+/// a private scratch when the thread's one is already leased (re-entrant
+/// call). Move-free RAII: construct on the stack, use via ->.
+class ScratchLease {
+ public:
+  ScratchLease() {
+    CandidateScratch& tls = ThreadScratch();
+    if (tls.in_use) {
+      owned_ = std::make_unique<CandidateScratch>();
+      scratch_ = owned_.get();
+    } else {
+      tls.in_use = true;
+      scratch_ = &tls;
+    }
+  }
+  ~ScratchLease() {
+    if (owned_ == nullptr) {
+      scratch_->in_use = false;
+      // Don't pin unbounded buffers to a pool thread forever: a one-off
+      // huge (query, graph) pair should not cost memory for the rest of
+      // the process. The candidate lists' combined capacity has the same
+      // worst case as the stamp matrix, so both count against the cap.
+      // Trim only when the retained capacity dwarfs what the *current*
+      // workload actually uses (last_cells) — a workload whose every
+      // call legitimately needs more than the cap must keep its buffers,
+      // or the scratch would degrade into per-call realloc + zero-fill
+      // of a matrix 4x the old uint8 bitmap. (The epoch stays monotonic,
+      // so dropped-and-regrown cells can never alias a live stamp.)
+      constexpr size_t kMaxRetainedCells = size_t{1} << 22;  // 16 MiB
+      size_t list_cells = 0;
+      for (const auto& l : scratch_->cand_list) list_cells += l.capacity();
+      const size_t retained = scratch_->cand_stamp.size() +
+                              scratch_->used_stamp.size() + list_cells;
+      const size_t need = std::max<size_t>(scratch_->last_cells, 1);
+      if (retained > kMaxRetainedCells && retained / 4 > need) {
+        scratch_->cand_stamp.clear();
+        scratch_->cand_stamp.shrink_to_fit();
+        scratch_->used_stamp.clear();
+        scratch_->used_stamp.shrink_to_fit();
+        scratch_->cand_list.clear();
+        scratch_->cand_list.shrink_to_fit();
+      }
+    }
+  }
+  ScratchLease(const ScratchLease&) = delete;
+  ScratchLease& operator=(const ScratchLease&) = delete;
+
+  CandidateScratch* operator->() { return scratch_; }
+  CandidateScratch& operator*() { return *scratch_; }
+
+ private:
+  static CandidateScratch& ThreadScratch() {
+    static thread_local CandidateScratch scratch;
+    return scratch;
+  }
+
+  CandidateScratch* scratch_ = nullptr;
+  std::unique_ptr<CandidateScratch> owned_;
+};
+
+}  // namespace psi
+
+#endif  // PSI_MATCH_SCRATCH_HPP_

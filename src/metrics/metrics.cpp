@@ -205,6 +205,18 @@ std::string FormatFilterWaitHistogram(const PoolGauges& g) {
   return FormatWaitHistogram(g.filter_wait_hist);
 }
 
+std::string FormatKernelGauges(const PoolGauges& g) {
+  if (g.kernel_matches == 0) return "";
+  std::string out = "kernel[matches=" + std::to_string(g.kernel_matches);
+  out += " indexed=" + std::to_string(g.kernel_indexed_matches);
+  out += " tried=" + std::to_string(g.kernel_candidates_tried);
+  out += " nlf_rejects=" + std::to_string(g.kernel_nlf_rejects);
+  out += " bitset_checks=" + std::to_string(g.kernel_bitset_checks);
+  out += " slice_cands=" + std::to_string(g.kernel_slice_candidates);
+  out += "]";
+  return out;
+}
+
 Bucket Classify(double ms, bool killed, const BucketThresholds& t) {
   if (killed || (t.cap_ms > 0.0 && ms >= t.cap_ms)) return Bucket::kHard;
   if (ms < t.easy_ms) return Bucket::kEasy;

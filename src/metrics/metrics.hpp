@@ -130,6 +130,21 @@ struct PoolGauges {
   uint64_t filter_wait_count = 0;
   double filter_wait_total_ms = 0.0;
 
+  // ---- Match-kernel counters (match/candidate_index.hpp) ----
+  //
+  // Zero unless a MatchKernelStats instance contributed its counters into
+  // this snapshot (MatchKernelStats::AddTo; PsiEngine::pool_gauges folds
+  // its matchers' in). `kernel_matches` counts finished Match() calls;
+  // `kernel_indexed_matches` the subset that ran with the candidate index
+  // active. The remaining counters aggregate the per-call MatchStats.
+  uint64_t kernel_matches = 0;
+  uint64_t kernel_indexed_matches = 0;
+  uint64_t kernel_candidates_tried = 0;
+  uint64_t kernel_nlf_rejects = 0;       ///< O(1) NLF prefilter drops
+  uint64_t kernel_bitset_checks = 0;     ///< edge checks hub bitsets answered
+  uint64_t kernel_slice_candidates = 0;  ///< candidates drawn from label
+                                         ///< slices (sum of slice sizes)
+
   /// Fraction of pool threads currently busy, in [0, 1].
   double utilization() const;
   /// Fraction of executed tasks that were fast-cancelled, in [0, 1].
@@ -154,6 +169,10 @@ std::string FormatFilterGauges(const PoolGauges& g);
 
 /// Multi-line rendering of the per-shard filter latency histogram.
 std::string FormatFilterWaitHistogram(const PoolGauges& g);
+
+/// One-line rendering of the match-kernel counters ("kernel[...]"); empty
+/// string when no MatchKernelStats contributed to the snapshot.
+std::string FormatKernelGauges(const PoolGauges& g);
 
 /// Aggregate of one workload's bucket structure (rows of Fig 1/2, Tab 3/4).
 struct BucketBreakdown {

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "match/candidate_index.hpp"
+
 namespace psi {
 
 void PsiEngine::AddMatcher(std::unique_ptr<Matcher> matcher) {
@@ -14,12 +16,24 @@ Executor& PsiEngine::executor() const {
                                       : Executor::Shared();
 }
 
+PoolGauges PsiEngine::pool_gauges() const {
+  PoolGauges g = executor().gauges();
+  for (const auto& m : matchers_) m->kernel_stats().AddTo(&g);
+  return g;
+}
+
 Status PsiEngine::Prepare(const Graph& data) {
   if (matchers_.empty()) {
     return Status::InvalidArgument("no matchers registered");
   }
   data_ = &data;
+  // One candidate index serves every matcher (and every race over them):
+  // the kernel structures depend only on the stored graph, so building it
+  // per matcher would be pure duplication.
+  candidate_index_ =
+      MatchIndexEnabled() ? CandidateIndex::Build(data) : nullptr;
   for (auto& m : matchers_) {
+    m->set_candidate_index(candidate_index_);
     PSI_RETURN_NOT_OK(m->Prepare(data));
   }
   stats_ = LabelStats::FromGraph(data);

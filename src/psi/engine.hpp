@@ -143,8 +143,15 @@ class PsiEngine {
   Executor& executor() const;
   /// Snapshot of that pool's gauges — the serving-side observability
   /// hook; stress tests and benches read it next to the FTV filter's
-  /// FilterStageStats.
-  PoolGauges pool_gauges() const { return executor().gauges(); }
+  /// FilterStageStats. The matchers' MatchKernelStats (candidate-index
+  /// effort counters) are folded into the snapshot's kernel_* fields.
+  PoolGauges pool_gauges() const;
+
+  /// The candidate index shared by every prepared matcher, or nullptr
+  /// when the matching kernel is disabled (PSI_MATCH_INDEX=0).
+  const CandidateIndex* candidate_index() const {
+    return candidate_index_.get();
+  }
 
  private:
   RaceOptions BaseRaceOptions(uint64_t max_embeddings) const;
@@ -156,6 +163,9 @@ class PsiEngine {
   Portfolio portfolio_;  // the full portfolio
   QueryPlanner planner_;
   RewriteCache rewrite_cache_;
+  /// One candidate index over `data_`, shared by all matchers — built in
+  /// Prepare, immutable afterwards (match/candidate_index.hpp).
+  std::shared_ptr<const CandidateIndex> candidate_index_;
 };
 
 }  // namespace psi

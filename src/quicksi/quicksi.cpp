@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <chrono>
 
+#include "match/candidate_index.hpp"
+
 namespace psi {
 
 namespace {
@@ -20,14 +22,18 @@ uint64_t EdgeKey(LabelId a, LabelId b, LabelId edge_label) {
 class QsiSearch {
  public:
   QsiSearch(const Graph& q, const Graph& g,
-            const std::vector<QsiEntry>& seq, const MatchOptions& opts)
+            const std::vector<QsiEntry>& seq, const MatchOptions& opts,
+            const CandidateIndex* index)
       : q_(q),
         g_(g),
         seq_(seq),
         opts_(opts),
+        index_(index),
         guard_(opts.stop, opts.deadline, opts.guard_period, opts.stop2),
         map_(q.num_vertices(), kInvalidVertex),
-        used_(g.num_vertices(), 0) {}
+        used_(g.num_vertices(), 0) {
+    if (index_ != nullptr) qnlf_ = CandidateIndex::QueryNlf(q);
+  }
 
   MatchResult Run() {
     const auto start = std::chrono::steady_clock::now();
@@ -51,7 +57,9 @@ class QsiSearch {
  private:
   // Label + parent-adjacency + back-edge checks only — faithful to the
   // original QuickSI, which carries no degree-based pruning (its fragility
-  // on bad orders is exactly what the paper's Fig 2/Table 3 expose).
+  // on bad orders is exactly what the paper's Fig 2/Table 3 expose; the
+  // candidate index's NLF prefilter in Recurse is an answer-preserving
+  // kernel accelerator on top, PSI_MATCH_INDEX=0 restores the original).
   bool Feasible(const QsiEntry& e, VertexId gv, LabelId via_edge_label) {
     if (used_[gv] || g_.label(gv) != q_.label(e.vertex)) return false;
     if (e.parent != kInvalidVertex &&
@@ -59,8 +67,8 @@ class QsiSearch {
       return false;
     }
     for (size_t i = 0; i < e.back_edges.size(); ++i) {
-      if (!g_.HasEdgeWithLabel(gv, map_[e.back_edges[i]],
-                               e.back_edge_labels[i])) {
+      if (!CandidateIndex::CheckEdge(index_, g_, gv, map_[e.back_edges[i]],
+                                     e.back_edge_labels[i], stats_)) {
         return false;
       }
     }
@@ -87,18 +95,33 @@ class QsiSearch {
     const QsiEntry& e = seq_[depth];
     // Tree children draw candidates from the parent image's adjacency
     // (edge labels ride along in the parallel span); roots scan the label
-    // index. Both ascend in data-vertex id.
+    // index. Both ascend in data-vertex id. With the candidate index, a
+    // child enumerates only the parent image's correctly-labelled slice —
+    // the label check in Feasible would have rejected the rest one by one.
     std::span<const VertexId> candidates;
     std::span<const LabelId> via_labels;
     if (e.parent != kInvalidVertex) {
-      candidates = g_.neighbors(map_[e.parent]);
-      via_labels = g_.edge_labels(map_[e.parent]);
+      if (index_ != nullptr) {
+        const CandidateIndex::LabelSlice slice =
+            index_->Slice(map_[e.parent], q_.label(e.vertex));
+        candidates = slice.vertices;
+        via_labels = slice.edge_labels;
+        stats_.slice_candidates += candidates.size();
+      } else {
+        candidates = g_.neighbors(map_[e.parent]);
+        via_labels = g_.edge_labels(map_[e.parent]);
+      }
     } else {
       candidates = g_.VerticesWithLabel(q_.label(e.vertex));
     }
     for (size_t ci = 0; ci < candidates.size(); ++ci) {
       const VertexId gv = candidates[ci];
       if (guard_.Check() != Interrupt::kNone) return false;
+      if (index_ != nullptr &&
+          !index_->NlfAdmits(qnlf_[e.vertex], q_.degree(e.vertex), gv)) {
+        ++stats_.nlf_rejects;
+        continue;
+      }
       ++stats_.candidates_tried;
       const LabelId via =
           via_labels.empty() ? e.parent_edge_label : via_labels[ci];
@@ -112,11 +135,13 @@ class QsiSearch {
   const Graph& g_;
   const std::vector<QsiEntry>& seq_;
   const MatchOptions& opts_;
+  const CandidateIndex* index_;
   CostGuard guard_;
   MatchStats stats_;
   uint64_t found_ = 0;
   Embedding map_;
   std::vector<uint8_t> used_;
+  std::vector<uint64_t> qnlf_;  // empty when index_ == nullptr
 };
 
 }  // namespace
@@ -124,6 +149,7 @@ class QsiSearch {
 Status QuickSiMatcher::Prepare(const Graph& data) {
   data_ = &data;
   data.EnsureLabelIndex();
+  PrepareCandidateIndex(data);
   label_freq_.assign(data.LabelUniverseUpperBound(), 0);
   for (VertexId v = 0; v < data.num_vertices(); ++v) {
     ++label_freq_[data.label(v)];
@@ -254,8 +280,10 @@ std::vector<QsiEntry> QuickSiMatcher::CompileSequence(
 MatchResult QuickSiMatcher::Match(const Graph& query,
                                   const MatchOptions& opts) const {
   const auto seq = CompileSequence(query);
-  QsiSearch search(query, *data_, seq, opts);
-  return search.Run();
+  QsiSearch search(query, *data_, seq, opts, candidate_index());
+  MatchResult r = search.Run();
+  kernel_stats_.Note(r.stats, candidate_index() != nullptr);
+  return r;
 }
 
 }  // namespace psi

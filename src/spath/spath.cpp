@@ -4,6 +4,9 @@
 #include <chrono>
 #include <deque>
 
+#include "match/candidate_index.hpp"
+#include "match/scratch.hpp"
+
 namespace psi {
 
 std::vector<std::vector<SPathMatcher::NsEntry>> BuildDistanceSignatures(
@@ -80,20 +83,28 @@ bool SignatureDominates(const std::vector<NsEntry>& query_sig,
   return true;
 }
 
-// Backtracking join over the path-cover order.
+// Backtracking join over the path-cover order. Like GraphQL, all
+// O(|V|)-sized buffers live in the leased epoch-stamped CandidateScratch
+// instead of being allocated and zero-filled per call.
 class SpaSearch {
  public:
   SpaSearch(const Graph& q, const Graph& g,
             const std::vector<std::vector<NsEntry>>& data_sig,
             const SPathOptions& options, const MatchOptions& opts,
-            const SPathMatcher& matcher)
+            const SPathMatcher& matcher, const CandidateIndex* index,
+            CandidateScratch& scr)
       : q_(q),
         g_(g),
         data_sig_(data_sig),
         options_(options),
         opts_(opts),
         matcher_(matcher),
-        guard_(opts.stop, opts.deadline, opts.guard_period, opts.stop2) {}
+        index_(index),
+        scr_(scr),
+        nv_(g.num_vertices()),
+        guard_(opts.stop, opts.deadline, opts.guard_period, opts.stop2) {
+    scr_.BeginCall(q.num_vertices(), nv_);
+  }
 
   MatchResult Run() {
     const auto start = std::chrono::steady_clock::now();
@@ -107,8 +118,7 @@ class SpaSearch {
     }
     if (BuildCandidates()) {
       BuildOrder();
-      map_.assign(q_.num_vertices(), kInvalidVertex);
-      used_.assign(g_.num_vertices(), 0);
+      scr_.map.assign(q_.num_vertices(), kInvalidVertex);
       Recurse(0);
     }
     r.embedding_count = found_;
@@ -121,67 +131,80 @@ class SpaSearch {
   }
 
  private:
+  bool CandBit(VertexId u, VertexId v) const {
+    return scr_.cand_stamp[static_cast<size_t>(u) * nv_ + v] == scr_.epoch;
+  }
+  void SetCand(VertexId u, VertexId v) {
+    scr_.cand_stamp[static_cast<size_t>(u) * nv_ + v] = scr_.epoch;
+  }
+  bool Used(VertexId v) const { return scr_.used_stamp[v] == scr_.epoch; }
+  void SetUsed(VertexId v) { scr_.used_stamp[v] = scr_.epoch; }
+  void ClearUsed(VertexId v) { scr_.used_stamp[v] = 0; }
+
+  // The NLF prefilter runs before the O(labels * radius) dominance walk;
+  // dominance at distance 1 implies fingerprint containment, so the
+  // prefilter only skips work, never changes the candidate lists.
   bool BuildCandidates() {
     const auto query_sig =
         BuildDistanceSignatures(q_, options_.radius);
     const uint32_t nq = q_.num_vertices();
-    cand_list_.assign(nq, {});
-    cand_bit_.assign(nq, std::vector<uint8_t>(g_.num_vertices(), 0));
+    std::vector<uint64_t> qnlf;
+    if (index_ != nullptr) qnlf = CandidateIndex::QueryNlf(q_);
     for (VertexId u = 0; u < nq; ++u) {
       for (VertexId v : g_.VerticesWithLabel(q_.label(u))) {
         if (guard_.Check() != Interrupt::kNone) return false;
         if (g_.degree(v) < q_.degree(u)) continue;
+        if (index_ != nullptr &&
+            !index_->NlfAdmits(qnlf[u], q_.degree(u), v)) {
+          ++stats_.nlf_rejects;
+          continue;
+        }
         if (!SignatureDominates(query_sig[u], data_sig_[v])) continue;
-        cand_list_[u].push_back(v);
-        cand_bit_[u][v] = 1;
+        scr_.cand_list[u].push_back(v);
+        SetCand(u, v);
       }
-      if (cand_list_[u].empty()) return false;
+      if (scr_.cand_list[u].empty()) return false;
     }
     return true;
   }
 
   // Flattens the greedy path cover into a vertex visit order.
   void BuildOrder() {
-    order_.clear();
+    scr_.order.clear();
     std::vector<uint8_t> placed(q_.num_vertices(), 0);
     for (const auto& path : matcher_.DecomposeQuery(q_)) {
       for (VertexId u : path) {
         if (!placed[u]) {
           placed[u] = 1;
-          order_.push_back(u);
+          scr_.order.push_back(u);
         }
       }
     }
     // Safety net for isolated query vertices (absent from any path).
     for (VertexId u = 0; u < q_.num_vertices(); ++u) {
-      if (!placed[u]) order_.push_back(u);
+      if (!placed[u]) scr_.order.push_back(u);
     }
   }
 
   bool Recurse(uint32_t depth) {
-    if (depth == order_.size()) {
+    if (depth == scr_.order.size()) {
       ++found_;
-      if (opts_.sink && !opts_.sink(map_)) return false;
+      if (opts_.sink && !opts_.sink(scr_.map)) return false;
       return found_ < opts_.max_embeddings;
     }
     ++stats_.recursion_nodes;
-    const VertexId u = order_[depth];
-    VertexId anchor_img = kInvalidVertex;
-    for (VertexId w : q_.neighbors(u)) {
-      if (map_[w] != kInvalidVertex &&
-          (anchor_img == kInvalidVertex ||
-           g_.degree(map_[w]) < g_.degree(anchor_img))) {
-        anchor_img = map_[w];
-      }
-    }
-    std::span<const VertexId> source =
-        anchor_img != kInvalidVertex
-            ? g_.neighbors(anchor_img)
-            : std::span<const VertexId>(cand_list_[u]);
+    const VertexId u = scr_.order[depth];
+    const LabelId ul = q_.label(u);
+    const VertexId anchor_img = CandidateIndex::PickAnchorImage(
+        index_, q_, g_, u, ul,
+        [this](VertexId w) { return scr_.map[w]; });
+    const std::span<const VertexId> source = CandidateIndex::AnchoredSource(
+        index_, g_, anchor_img, ul,
+        std::span<const VertexId>(scr_.cand_list[u]), stats_);
     for (VertexId v : source) {
       if (guard_.Check() != Interrupt::kNone) return false;
       ++stats_.candidates_tried;
-      if (used_[v] || !cand_bit_[u][v]) continue;
+      if (Used(v) || !CandBit(u, v)) continue;
       // Edge-by-edge verification against the partial embedding,
       // edge labels included.
       bool edges_ok = true;
@@ -189,18 +212,19 @@ class SpaSearch {
       auto qel = q_.edge_labels(u);
       for (size_t i = 0; i < qadj.size(); ++i) {
         const VertexId w = qadj[i];
-        if (map_[w] != kInvalidVertex &&
-            !g_.HasEdgeWithLabel(v, map_[w], qel[i])) {
+        if (scr_.map[w] == kInvalidVertex) continue;
+        if (!CandidateIndex::CheckEdge(index_, g_, v, scr_.map[w], qel[i],
+                                       stats_)) {
           edges_ok = false;
           break;
         }
       }
       if (!edges_ok) continue;
-      map_[u] = v;
-      used_[v] = 1;
+      scr_.map[u] = v;
+      SetUsed(v);
       const bool keep_going = Recurse(depth + 1);
-      used_[v] = 0;
-      map_[u] = kInvalidVertex;
+      ClearUsed(v);
+      scr_.map[u] = kInvalidVertex;
       if (!keep_going) return false;
     }
     return true;
@@ -212,15 +236,12 @@ class SpaSearch {
   const SPathOptions& options_;
   const MatchOptions& opts_;
   const SPathMatcher& matcher_;
+  const CandidateIndex* index_;
+  CandidateScratch& scr_;
+  const uint32_t nv_;
   CostGuard guard_;
   MatchStats stats_;
   uint64_t found_ = 0;
-
-  std::vector<std::vector<VertexId>> cand_list_;
-  std::vector<std::vector<uint8_t>> cand_bit_;
-  std::vector<VertexId> order_;
-  Embedding map_;
-  std::vector<uint8_t> used_;
 };
 
 }  // namespace
@@ -228,6 +249,7 @@ class SpaSearch {
 Status SPathMatcher::Prepare(const Graph& data) {
   data_ = &data;
   data.EnsureLabelIndex();
+  PrepareCandidateIndex(data);
   ns_ = BuildDistanceSignatures(data, options_.radius);
   return Status::OK();
 }
@@ -324,8 +346,12 @@ std::vector<std::vector<VertexId>> SPathMatcher::DecomposeQuery(
 
 MatchResult SPathMatcher::Match(const Graph& query,
                                 const MatchOptions& opts) const {
-  SpaSearch search(query, *data_, ns_, options_, opts, *this);
-  return search.Run();
+  ScratchLease scratch;
+  SpaSearch search(query, *data_, ns_, options_, opts, *this,
+                   candidate_index(), *scratch);
+  MatchResult r = search.Run();
+  kernel_stats_.Note(r.stats, candidate_index() != nullptr);
+  return r;
 }
 
 }  // namespace psi

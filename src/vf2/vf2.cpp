@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <vector>
 
+#include "match/candidate_index.hpp"
+
 namespace psi {
 
 namespace {
@@ -12,15 +14,19 @@ namespace {
 // terminal set (0 = never), enabling O(1) backtracking.
 class Vf2State {
  public:
-  Vf2State(const Graph& q, const Graph& g, const MatchOptions& opts)
+  Vf2State(const Graph& q, const Graph& g, const MatchOptions& opts,
+           const CandidateIndex* index)
       : q_(q),
         g_(g),
         opts_(opts),
+        index_(index),
         guard_(opts.stop, opts.deadline, opts.guard_period, opts.stop2),
         core_q_(q.num_vertices(), kInvalidVertex),
         core_g_(g.num_vertices(), kInvalidVertex),
         in_q_(q.num_vertices(), 0),
-        in_g_(g.num_vertices(), 0) {}
+        in_g_(g.num_vertices(), 0) {
+    if (index_ != nullptr) qnlf_ = CandidateIndex::QueryNlf(q);
+  }
 
   MatchResult Run() {
     const auto start = std::chrono::steady_clock::now();
@@ -79,8 +85,9 @@ class Vf2State {
       auto elabels = q_.edge_labels(qv);
       for (size_t i = 0; i < adj.size(); ++i) {
         const VertexId qw = adj[i];
-        if (core_q_[qw] != kInvalidVertex &&
-            !g_.HasEdgeWithLabel(gv, core_q_[qw], elabels[i])) {
+        if (core_q_[qw] == kInvalidVertex) continue;
+        if (!CandidateIndex::CheckEdge(index_, g_, gv, core_q_[qw],
+                                       elabels[i], stats_)) {
           return false;
         }
       }
@@ -139,24 +146,28 @@ class Vf2State {
     ++stats_.recursion_nodes;
     const VertexId qv = NextQueryVertex();
 
-    // Candidate enumeration in ascending data-vertex id. If qv has a matched
-    // neighbour, its image's adjacency is the tightest candidate source
-    // (rule 1 pre-applied); otherwise fall back to the label index.
-    VertexId anchor = kInvalidVertex;
-    for (VertexId qw : q_.neighbors(qv)) {
-      if (core_q_[qw] != kInvalidVertex &&
-          (anchor == kInvalidVertex ||
-           g_.degree(core_q_[qw]) < g_.degree(anchor))) {
-        anchor = core_q_[qw];
-      }
-    }
-    std::span<const VertexId> candidates =
-        anchor != kInvalidVertex ? g_.neighbors(anchor)
-                                 : g_.VerticesWithLabel(q_.label(qv));
+    // Candidate enumeration in ascending data-vertex id. If qv has a
+    // matched neighbour, its image's adjacency is the tightest candidate
+    // source (rule 1 pre-applied); otherwise fall back to the label index.
+    // With the candidate index the anchor's *label slice* replaces its
+    // full adjacency, and the anchor itself is chosen by the size of that
+    // label-restricted slice, not raw degree (PickAnchorImage).
+    const LabelId ql = q_.label(qv);
+    const VertexId anchor = CandidateIndex::PickAnchorImage(
+        index_, q_, g_, qv, ql,
+        [this](VertexId qw) { return core_q_[qw]; });
+    const std::span<const VertexId> candidates =
+        CandidateIndex::AnchoredSource(index_, g_, anchor, ql,
+                                       g_.VerticesWithLabel(ql), stats_);
 
     for (VertexId gv : candidates) {
       if (guard_.Check() != Interrupt::kNone) return false;
       if (core_g_[gv] != kInvalidVertex) continue;
+      if (index_ != nullptr &&
+          !index_->NlfAdmits(qnlf_[qv], q_.degree(qv), gv)) {
+        ++stats_.nlf_rejects;
+        continue;
+      }
       ++stats_.candidates_tried;
       if (!Feasible(qv, gv)) continue;
       Push(qv, gv, depth);
@@ -170,6 +181,7 @@ class Vf2State {
   const Graph& q_;
   const Graph& g_;
   const MatchOptions& opts_;
+  const CandidateIndex* index_;
   CostGuard guard_;
   MatchStats stats_;
   uint64_t found_ = 0;
@@ -178,14 +190,37 @@ class Vf2State {
   // Depth+1 at which the vertex joined the terminal set; 0 = not a member.
   std::vector<uint32_t> in_q_;
   std::vector<uint32_t> in_g_;
+  // Query-side NLF fingerprints; empty when index_ == nullptr.
+  std::vector<uint64_t> qnlf_;
 };
 
 }  // namespace
 
 MatchResult Vf2Match(const Graph& query, const Graph& data,
                      const MatchOptions& opts) {
-  Vf2State state(query, data, opts);
+  Vf2State state(query, data, opts, nullptr);
   return state.Run();
+}
+
+MatchResult Vf2Match(const Graph& query, const Graph& data,
+                     const MatchOptions& opts,
+                     const CandidateIndex* index) {
+  Vf2State state(query, data, opts, index);
+  return state.Run();
+}
+
+Status Vf2Matcher::Prepare(const Graph& data) {
+  data_ = &data;
+  data.EnsureLabelIndex();
+  PrepareCandidateIndex(data);
+  return Status::OK();
+}
+
+MatchResult Vf2Matcher::Match(const Graph& query,
+                              const MatchOptions& opts) const {
+  MatchResult r = Vf2Match(query, *data_, opts, candidate_index());
+  kernel_stats_.Note(r.stats, candidate_index() != nullptr);
+  return r;
 }
 
 }  // namespace psi

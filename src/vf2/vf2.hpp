@@ -21,20 +21,24 @@ namespace psi {
 MatchResult Vf2Match(const Graph& query, const Graph& data,
                      const MatchOptions& opts);
 
-/// Matcher adapter so VF2 can participate in NFV portfolios. Prepare() just
-/// records the stored graph (VF2 keeps no index).
+/// VF2 over a prebuilt candidate index (match/candidate_index.hpp) for
+/// `data`: anchored enumeration walks the anchor image's label slice, an
+/// O(1) NLF prefilter runs before the feasibility rules, and backward
+/// edges resolve through hub bitsets. `index == nullptr` is the plain
+/// search; answers (and the embedding stream) are identical either way —
+/// the Grapes/GGSX verification passes its per-stored-graph indexes here.
+MatchResult Vf2Match(const Graph& query, const Graph& data,
+                     const MatchOptions& opts, const CandidateIndex* index);
+
+/// Matcher adapter so VF2 can participate in NFV portfolios. Prepare()
+/// records the stored graph and resolves the shared candidate index (VF2
+/// keeps no algorithm-specific index of its own).
 class Vf2Matcher : public Matcher {
  public:
   std::string_view name() const override { return "VF2"; }
-  Status Prepare(const Graph& data) override {
-    data_ = &data;
-    data.EnsureLabelIndex();
-    return Status::OK();
-  }
+  Status Prepare(const Graph& data) override;
   MatchResult Match(const Graph& query,
-                    const MatchOptions& opts) const override {
-    return Vf2Match(query, *data_, opts);
-  }
+                    const MatchOptions& opts) const override;
   const Graph* data() const override { return data_; }
 
  private:
