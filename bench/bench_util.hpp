@@ -242,6 +242,28 @@ inline void Shape(bool holds, const std::string& claim) {
   }
 }
 
+/// Prints and (when a JsonOut is active) records the p50/p95/p99 of a
+/// per-query latency series as "<prefix>_p50_ms" / "_p95_ms" / "_p99_ms",
+/// plus the mean as "<prefix>_mean_ms". The tail percentiles are the
+/// straggler view the paper's §4 analysis is about: a mean can look fine
+/// while p99 carries the whole workload latency.
+inline void RecordLatencyPercentiles(JsonOut& json, const std::string& prefix,
+                                     std::span<const double> latencies_ms) {
+  const double p50 = Percentile(latencies_ms, 50.0);
+  const double p95 = Percentile(latencies_ms, 95.0);
+  const double p99 = Percentile(latencies_ms, 99.0);
+  double mean = 0.0;
+  for (double v : latencies_ms) mean += v;
+  if (!latencies_ms.empty()) mean /= static_cast<double>(latencies_ms.size());
+  std::cout << prefix << ": mean=" << mean << "ms p50=" << p50 << "ms p95="
+            << p95 << "ms p99=" << p99 << "ms (" << latencies_ms.size()
+            << " queries)\n";
+  json.Metric(prefix + "_mean_ms", mean);
+  json.Metric(prefix + "_p50_ms", p50);
+  json.Metric(prefix + "_p95_ms", p95);
+  json.Metric(prefix + "_p99_ms", p99);
+}
+
 /// Multi-size NFV workload: sizes x queries-per-size, fixed seed.
 inline std::vector<gen::Query> NfvWorkload(const Graph& g,
                                            std::vector<uint32_t> sizes,

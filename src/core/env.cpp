@@ -67,4 +67,14 @@ bool MatchIndexEnabled() { return EnvInt("PSI_MATCH_INDEX", 1) != 0; }
 
 int64_t MatchBitsetDegree() { return EnvInt("PSI_MATCH_BITSET_DEGREE", 64); }
 
+int64_t MatchSplit() {
+  const int64_t v = EnvInt("PSI_MATCH_SPLIT", 0);
+  return v > 0 ? v : 0;
+}
+
+int64_t MatchSplitMinSlice() {
+  const int64_t v = EnvInt("PSI_MATCH_SPLIT_MIN_SLICE", 8);
+  return v > 0 ? v : 1;
+}
+
 }  // namespace psi

@@ -115,7 +115,9 @@ class GqlSearch {
         if (g_.degree(v) < q_.degree(u)) continue;
         if (index_ != nullptr &&
             !index_->NlfAdmits(qnlf[u], q_.degree(u), v)) {
-          ++stats_.nlf_rejects;
+          // Every split range repeats this shared build stage; the
+          // primary range alone counts it (exact stats folding).
+          if (opts_.primary_range()) ++stats_.nlf_rejects;
           continue;
         }
         if (!MultisetContained(qsig[u], signatures_[v])) continue;
@@ -225,7 +227,9 @@ class GqlSearch {
       if (opts_.sink && !opts_.sink(scr_.map)) return false;
       return found_ < opts_.max_embeddings;
     }
-    ++stats_.recursion_nodes;
+    // The shared depth-0 node belongs to the primary split range (exact
+    // per-range stats folding — see MatchOptions).
+    if (depth != 0 || opts_.primary_range()) ++stats_.recursion_nodes;
     const VertexId u = scr_.order[depth];
     // Anchor on the placed neighbour whose image offers the smallest
     // candidate source — its label slice under the index, raw degree
@@ -234,9 +238,11 @@ class GqlSearch {
     const VertexId anchor_img = CandidateIndex::PickAnchorImage(
         index_, q_, g_, u, ul,
         [this](VertexId w) { return scr_.map[w]; });
-    const std::span<const VertexId> source = CandidateIndex::AnchoredSource(
+    std::span<const VertexId> source = CandidateIndex::AnchoredSource(
         index_, g_, anchor_img, ul,
         std::span<const VertexId>(scr_.cand_list[u]), stats_);
+    // A split task enumerates only its block of the root frontier.
+    if (depth == 0) source = SplitRootCandidates(source, opts_);
     for (VertexId v : source) {
       if (guard_.Check() != Interrupt::kNone) return false;
       ++stats_.candidates_tried;
@@ -299,7 +305,7 @@ MatchResult GraphQlMatcher::Match(const Graph& query,
   GqlSearch search(query, *data_, signatures_, options_, opts,
                    candidate_index(), *scratch);
   MatchResult r = search.Run();
-  kernel_stats_.Note(r.stats, candidate_index() != nullptr);
+  NoteMatch(opts, r.stats);
   return r;
 }
 

@@ -42,9 +42,14 @@ std::shared_ptr<const CandidateIndex> CandidateIndex::Build(
   x.adj_.resize(x.vert_offsets_[n]);
   x.adj_edge_labels_.resize(x.vert_offsets_[n]);
 
-  // Pass 2: regroup each neighbour list by (label, id) and record the
-  // per-label range directory. The graph's lists are id-sorted, so a
-  // stable sort by label alone yields (label, id) order.
+  // Pass 2: regroup each neighbour list by (label, degree, id) and record
+  // the per-label range directory. Low-degree neighbours lead each slice:
+  // a low-degree candidate constrains the rest of the search most (its
+  // own slices are the smallest), so enumerating it first tends to reach
+  // the max_embeddings cap — and a split range's shared-budget fast-cancel
+  // — sooner. The graph's lists are id-sorted, so the stable sort's
+  // (label, degree) key yields (label, degree, id) order deterministically
+  // for any input permutation of equal keys.
   std::vector<uint32_t> perm;
   for (VertexId v = 0; v < n; ++v) {
     const auto nb = g.neighbors(v);
@@ -52,7 +57,10 @@ std::shared_ptr<const CandidateIndex> CandidateIndex::Build(
     perm.resize(nb.size());
     std::iota(perm.begin(), perm.end(), 0u);
     std::stable_sort(perm.begin(), perm.end(), [&](uint32_t a, uint32_t b) {
-      return g.label(nb[a]) < g.label(nb[b]);
+      const LabelId la = g.label(nb[a]);
+      const LabelId lb = g.label(nb[b]);
+      if (la != lb) return la < lb;
+      return g.degree(nb[a]) < g.degree(nb[b]);
     });
     const uint32_t base = x.vert_offsets_[v];
     LabelId prev = static_cast<LabelId>(-1);

@@ -9,10 +9,12 @@
 //
 //  1. Label-partitioned CSR adjacency — each vertex's neighbour list is
 //     regrouped into contiguous per-label ranges (sorted by neighbour
-//     label, then by neighbour id), with a per-vertex label->range
-//     directory. Anchor-based candidate enumeration jumps straight to the
-//     correctly-labelled slice instead of filtering the whole adjacency
-//     one label mismatch at a time.
+//     label, then neighbour degree, then neighbour id), with a per-vertex
+//     label->range directory. Anchor-based candidate enumeration jumps
+//     straight to the correctly-labelled slice instead of filtering the
+//     whole adjacency one label mismatch at a time; within a slice,
+//     low-degree (most-constraining) candidates come first, so capped
+//     searches (max_embeddings) tend to exit earlier.
 //  2. Packed NLF signatures — a 64-bit neighbourhood-label fingerprint per
 //     vertex: bit LabelBit(l) is set iff the vertex has a neighbour
 //     labelled l. `query_fp & ~data_fp` != 0 refutes a candidate in O(1)
@@ -27,9 +29,14 @@
 // Invariants (held by construction, enforced by the differential harness
 // in tests/candidate_index_test.cpp):
 //  * Prefilters never change answers: every pruned candidate is provably
-//    absent from all embeddings, and label slices enumerate ascending by
-//    vertex id, so the embedding *stream* of every matcher is
-//    byte-identical with the index on or off.
+//    absent from all embeddings — the embedding *set* of every matcher is
+//    identical with the index on or off, as are all uncapped counts. The
+//    enumeration *order* does differ (slices run (degree, id) within a
+//    label, raw adjacency runs plain id), so only the sorted streams are
+//    comparable across index on/off; the byte-identical-stream invariant
+//    lives one level up, in the split driver (match/parallel.hpp): split
+//    on vs. off never reorders anything. Slice order itself is
+//    deterministic — a pure function of the stored graph.
 //  * The index is immutable after Build — safe to share across any number
 //    of racing variants, pool tasks and client threads.
 //  * Bitset threshold semantics: the bitset is a pure accelerator for the
@@ -73,7 +80,8 @@ bool ResolveKernelEnabled(int requested);
 class CandidateIndex {
  public:
   /// A per-label range of one vertex's regrouped adjacency: the neighbours
-  /// carrying one label, ascending by id, with their edge labels parallel.
+  /// carrying one label, ascending by (degree, id) — most-constraining
+  /// first — with their edge labels parallel.
   struct LabelSlice {
     std::span<const VertexId> vertices;
     std::span<const LabelId> edge_labels;
@@ -97,7 +105,8 @@ class CandidateIndex {
            adj_.size() == g.num_edges() * 2;
   }
 
-  /// The neighbours of `v` labelled `l` (ascending by id; empty when none).
+  /// The neighbours of `v` labelled `l` (ascending by (degree, id); empty
+  /// when none).
   LabelSlice Slice(VertexId v, LabelId l) const;
 
   /// The NLF bit a label occupies (multiplicative hash onto 64 bits).

@@ -18,6 +18,12 @@ void MatchKernelStats::AddTo(PoolGauges* g) const {
   g->kernel_bitset_checks += bitset_checks_.load(std::memory_order_relaxed);
   g->kernel_slice_candidates +=
       slice_candidates_.load(std::memory_order_relaxed);
+  g->kernel_split_matches += split_matches_.load(std::memory_order_relaxed);
+  g->kernel_split_tasks += split_tasks_.load(std::memory_order_relaxed);
+  g->kernel_split_tasks_inline +=
+      split_tasks_inline_.load(std::memory_order_relaxed);
+  g->kernel_split_budget_stops +=
+      split_budget_stops_.load(std::memory_order_relaxed);
 }
 
 void Matcher::PrepareCandidateIndex(const Graph& data) {

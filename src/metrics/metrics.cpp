@@ -26,6 +26,18 @@ SummaryStats Summarize(std::span<const double> values) {
   return s;
 }
 
+double Percentile(std::span<const double> values, double p) {
+  if (values.empty()) return 0.0;
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  p = std::min(100.0, std::max(0.0, p));
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
 double WlaRatio(std::span<const double> base, std::span<const double> alt) {
   if (base.empty() || alt.empty()) return 0.0;
   double sb = 0.0, sa = 0.0;
@@ -213,6 +225,13 @@ std::string FormatKernelGauges(const PoolGauges& g) {
   out += " nlf_rejects=" + std::to_string(g.kernel_nlf_rejects);
   out += " bitset_checks=" + std::to_string(g.kernel_bitset_checks);
   out += " slice_cands=" + std::to_string(g.kernel_slice_candidates);
+  if (g.kernel_split_matches > 0) {
+    out += " split=" + std::to_string(g.kernel_split_matches);
+    out += " split_tasks=" + std::to_string(g.kernel_split_tasks);
+    out += " split_inline=" + std::to_string(g.kernel_split_tasks_inline);
+    out += " split_budget_stops=" +
+           std::to_string(g.kernel_split_budget_stops);
+  }
   out += "]";
   return out;
 }

@@ -32,6 +32,12 @@ struct SummaryStats {
 };
 SummaryStats Summarize(std::span<const double> values);
 
+/// The `p`-th percentile of `values` (p in [0, 100]) by linear
+/// interpolation between closest ranks; 0 when `values` is empty. Feeds
+/// the per-query latency percentiles (p50/p95/p99) the bench harnesses
+/// record next to the workload means.
+double Percentile(std::span<const double> values, double p);
+
 /// avg(base) / avg(alt); 0 when either set is empty or avg(alt) == 0.
 double WlaRatio(std::span<const double> base, std::span<const double> alt);
 
@@ -144,6 +150,11 @@ struct PoolGauges {
   uint64_t kernel_bitset_checks = 0;     ///< edge checks hub bitsets answered
   uint64_t kernel_slice_candidates = 0;  ///< candidates drawn from label
                                          ///< slices (sum of slice sizes)
+  // Intra-query split-enumeration gauges (match/parallel.hpp).
+  uint64_t kernel_split_matches = 0;  ///< Match() calls that actually split
+  uint64_t kernel_split_tasks = 0;    ///< range tasks run on the pool
+  uint64_t kernel_split_tasks_inline = 0;  ///< displaced ranges, run inline
+  uint64_t kernel_split_budget_stops = 0;  ///< shared-budget fast-cancels
 
   /// Fraction of pool threads currently busy, in [0, 1].
   double utilization() const;

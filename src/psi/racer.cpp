@@ -59,10 +59,29 @@ Deadline VariantDeadline(const RaceOptions& options, size_t i,
   return shared;
 }
 
+/// Variant i's requested split width: the variant_splits entry when set
+/// and the variant exposes a split entry point, 1 (serial) otherwise.
+uint32_t VariantSplit(std::span<const RaceVariant> variants,
+                      const RaceOptions& options, size_t i) {
+  if (i < options.variant_splits.size() && options.variant_splits[i] > 1 &&
+      variants[i].run_split) {
+    return options.variant_splits[i];
+  }
+  return 1;
+}
+
+/// Dispatches to the variant's split entry point when a width > 1 was
+/// requested, to its plain run otherwise.
+MatchResult RunBody(const RaceVariant& variant, uint32_t split,
+                    const MatchOptions& mo) {
+  if (split > 1 && variant.run_split) return variant.run_split(mo, split);
+  return variant.run(mo);
+}
+
 /// Runs variant `i` under the race's shared deadline/token, records its
 /// outcome, and — on the race's first completion — claims the win and
 /// trips `stop` to call off the rest of the race.
-void RunVariant(const RaceVariant& variant, size_t i,
+void RunVariant(const RaceVariant& variant, size_t i, uint32_t split,
                 const RaceOptions& options, Deadline deadline,
                 StopToken& stop, RaceShared& s) {
   MatchOptions mo;
@@ -70,7 +89,7 @@ void RunVariant(const RaceVariant& variant, size_t i,
   mo.deadline = deadline;
   mo.stop = &stop;
   mo.guard_period = options.guard_period;
-  MatchResult r = variant.run(mo);
+  MatchResult r = RunBody(variant, split, mo);
   s.out.workers[i].result = r;
   if (r.complete) {
     int expected = -1;
@@ -104,8 +123,10 @@ RaceResult RaceThreads(std::span<const RaceVariant> variants,
   threads.reserve(variants.size());
   for (size_t i = 0; i < variants.size(); ++i) {
     const Deadline vd = VariantDeadline(options, i, deadline);
-    threads.emplace_back(
-        [&, i, vd] { RunVariant(variants[i], i, options, vd, stop, s); });
+    const uint32_t split = VariantSplit(variants, options, i);
+    threads.emplace_back([&, i, vd, split] {
+      RunVariant(variants[i], i, split, options, vd, stop, s);
+    });
   }
   for (auto& t : threads) t.join();
   return FinishRace(s);
@@ -128,9 +149,10 @@ RaceResult RacePool(std::span<const RaceVariant> variants,
       // the per-task EDF deadline makes a staged plan's probe overtake
       // queued full-budget work instead of sorting by the race cap.
       const Deadline vd = VariantDeadline(options, i, group.deadline());
+      const uint32_t split = VariantSplit(variants, options, i);
       const Admission admission =
           group.Spawn(
-              [&, i, vd](TaskStart start) {
+              [&, i, vd, split](TaskStart start) {
                 if (start != TaskStart::kRun) {
                   // Fast-cancel (the winner finished while this variant
                   // was still queued) or shed from a full queue; either
@@ -141,7 +163,11 @@ RaceResult RacePool(std::span<const RaceVariant> variants,
                   s.out.workers[i].result.cancelled = true;
                   return;
                 }
-                RunVariant(variants[i], i, options, vd, group.token(), s);
+                // A split variant fans its range tasks into the same
+                // pool from inside this task; the helping Wait() keeps
+                // the nesting deadlock-free.
+                RunVariant(variants[i], i, split, options, vd, group.token(),
+                           s);
               },
               vd);
       if (admission == Admission::kRejected) {
@@ -177,7 +203,8 @@ RaceResult RaceSequential(std::span<const RaceVariant> variants,
       mo.deadline = Deadline::After(vb);
     }
     mo.guard_period = options.guard_period;
-    MatchResult r = variants[i].run(mo);
+    MatchResult r =
+        RunBody(variants[i], VariantSplit(variants, options, i), mo);
     out.workers[i].name = variants[i].name;
     out.workers[i].result = r;
     if (r.complete && (out.winner < 0 || r.elapsed < best)) {

@@ -91,13 +91,16 @@ class QsiSearch {
       if (opts_.sink && !opts_.sink(map_)) return false;
       return found_ < opts_.max_embeddings;
     }
-    ++stats_.recursion_nodes;
+    // The shared depth-0 node belongs to the primary split range (exact
+    // per-range stats folding — see MatchOptions).
+    if (depth != 0 || opts_.primary_range()) ++stats_.recursion_nodes;
     const QsiEntry& e = seq_[depth];
     // Tree children draw candidates from the parent image's adjacency
     // (edge labels ride along in the parallel span); roots scan the label
-    // index. Both ascend in data-vertex id. With the candidate index, a
-    // child enumerates only the parent image's correctly-labelled slice —
-    // the label check in Feasible would have rejected the rest one by one.
+    // index. With the candidate index, a child enumerates only the parent
+    // image's correctly-labelled slice — the label check in Feasible would
+    // have rejected the rest one by one — in the slice's (degree, id)
+    // order; without it, plain ascending id.
     std::span<const VertexId> candidates;
     std::span<const LabelId> via_labels;
     if (e.parent != kInvalidVertex) {
@@ -114,6 +117,10 @@ class QsiSearch {
     } else {
       candidates = g_.VerticesWithLabel(q_.label(e.vertex));
     }
+    // A split task enumerates only its block of the root frontier (the
+    // QI-sequence root is always depth 0; later roots of a disconnected
+    // forest enumerate fully — they multiply under every root candidate).
+    if (depth == 0) candidates = SplitRootCandidates(candidates, opts_);
     for (size_t ci = 0; ci < candidates.size(); ++ci) {
       const VertexId gv = candidates[ci];
       if (guard_.Check() != Interrupt::kNone) return false;
@@ -282,7 +289,7 @@ MatchResult QuickSiMatcher::Match(const Graph& query,
   const auto seq = CompileSequence(query);
   QsiSearch search(query, *data_, seq, opts, candidate_index());
   MatchResult r = search.Run();
-  kernel_stats_.Note(r.stats, candidate_index() != nullptr);
+  NoteMatch(opts, r.stats);
   return r;
 }
 

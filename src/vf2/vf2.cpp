@@ -143,10 +143,14 @@ class Vf2State {
       if (opts_.sink && !opts_.sink(core_q_)) return false;
       return found_ < opts_.max_embeddings;
     }
-    ++stats_.recursion_nodes;
+    // The shared depth-0 node is counted by the primary split range only,
+    // so per-range stats merged with MatchStats::Add equal the serial
+    // counters exactly.
+    if (depth != 0 || opts_.primary_range()) ++stats_.recursion_nodes;
     const VertexId qv = NextQueryVertex();
 
-    // Candidate enumeration in ascending data-vertex id. If qv has a
+    // Candidate enumeration in ascending data-vertex id (slice-internal
+    // (degree, id) order under the index). If qv has a
     // matched neighbour, its image's adjacency is the tightest candidate
     // source (rule 1 pre-applied); otherwise fall back to the label index.
     // With the candidate index the anchor's *label slice* replaces its
@@ -156,9 +160,11 @@ class Vf2State {
     const VertexId anchor = CandidateIndex::PickAnchorImage(
         index_, q_, g_, qv, ql,
         [this](VertexId qw) { return core_q_[qw]; });
-    const std::span<const VertexId> candidates =
+    std::span<const VertexId> candidates =
         CandidateIndex::AnchoredSource(index_, g_, anchor, ql,
                                        g_.VerticesWithLabel(ql), stats_);
+    // A split task enumerates only its block of the root frontier.
+    if (depth == 0) candidates = SplitRootCandidates(candidates, opts_);
 
     for (VertexId gv : candidates) {
       if (guard_.Check() != Interrupt::kNone) return false;
@@ -219,7 +225,7 @@ Status Vf2Matcher::Prepare(const Graph& data) {
 MatchResult Vf2Matcher::Match(const Graph& query,
                               const MatchOptions& opts) const {
   MatchResult r = Vf2Match(query, *data_, opts, candidate_index());
-  kernel_stats_.Note(r.stats, candidate_index() != nullptr);
+  NoteMatch(opts, r.stats);
   return r;
 }
 

@@ -5,8 +5,9 @@
 // Ordering contract (load-bearing for the paper's findings): VF2 imposes no
 // algorithmic query-vertex order — the next query vertex is the *smallest-ID*
 // unmatched vertex adjacent to the matched region, and data-graph candidates
-// are tried in ascending vertex id. Query rewritings therefore directly
-// steer the search.
+// are tried in ascending vertex id (the candidate index's (degree, id)
+// slice order when the kernel is active — deterministic either way). Query
+// rewritings therefore directly steer the search.
 
 #ifndef PSI_VF2_VF2_HPP_
 #define PSI_VF2_VF2_HPP_
@@ -40,6 +41,8 @@ class Vf2Matcher : public Matcher {
   MatchResult Match(const Graph& query,
                     const MatchOptions& opts) const override;
   const Graph* data() const override { return data_; }
+  /// Honours MatchOptions root ranges (match/parallel.hpp splits here).
+  bool SupportsRootSplit() const override { return true; }
 
  private:
   const Graph* data_ = nullptr;

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
 namespace psi {
 namespace {
 
@@ -35,6 +37,34 @@ TEST(QlaTest, MatchesPaperDefinition) {
   const double alt[] = {1.0, 2.0, 200.0};
   // ratios: 2, 1, 3 -> avg 2.
   EXPECT_DOUBLE_EQ(QlaRatio(base, alt), 2.0);
+}
+
+TEST(PercentileTest, InterpolatesBetweenClosestRanks) {
+  const double v[] = {10.0, 20.0, 30.0, 40.0};  // already sorted
+  EXPECT_DOUBLE_EQ(Percentile(v, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 100.0), 40.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 50.0), 25.0);  // midway 20..30
+  EXPECT_DOUBLE_EQ(Percentile(v, 25.0), 17.5);
+  // Unsorted input sorts internally; out-of-range p clamps.
+  const double shuffled[] = {40.0, 10.0, 30.0, 20.0};
+  EXPECT_DOUBLE_EQ(Percentile(shuffled, 50.0), 25.0);
+  EXPECT_DOUBLE_EQ(Percentile(shuffled, 150.0), 40.0);
+  EXPECT_DOUBLE_EQ(Percentile(shuffled, -5.0), 10.0);
+  EXPECT_DOUBLE_EQ(Percentile({}, 50.0), 0.0);
+  const double one[] = {7.0};
+  EXPECT_DOUBLE_EQ(Percentile(one, 99.0), 7.0);
+}
+
+TEST(PercentileTest, TailSeparatesStragglersFromTheMedian) {
+  // 95 fast queries and five stragglers: p50 ignores the stragglers,
+  // the tail surfaces them — the view bench_match_parallel records per
+  // width. (p99 interpolates between closest ranks, so with stragglers
+  // in the top 5% it lands well above the fast plateau.)
+  std::vector<double> lat(95, 1.0);
+  for (int i = 0; i < 5; ++i) lat.push_back(500.0);
+  EXPECT_DOUBLE_EQ(Percentile(lat, 50.0), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile(lat, 99.0), 500.0);
+  EXPECT_DOUBLE_EQ(Percentile(lat, 100.0), 500.0);
 }
 
 TEST(QlaVsWlaTest, StragglersSeparateTheTwoViews) {
