@@ -17,6 +17,7 @@
 #define PSI_BENCH_BENCH_UTIL_HPP_
 
 #include <algorithm>
+#include <cassert>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -252,9 +253,21 @@ inline void RecordLatencyPercentiles(JsonOut& json, const std::string& prefix,
   const double p50 = Percentile(latencies_ms, 50.0);
   const double p95 = Percentile(latencies_ms, 95.0);
   const double p99 = Percentile(latencies_ms, 99.0);
+  // Mean over the finite samples only, mirroring Percentile's filtering:
+  // one NaN timer reading must not turn the whole series into "null"s.
   double mean = 0.0;
-  for (double v : latencies_ms) mean += v;
-  if (!latencies_ms.empty()) mean /= static_cast<double>(latencies_ms.size());
+  size_t finite = 0;
+  for (double v : latencies_ms) {
+    if (std::isfinite(v)) {
+      mean += v;
+      ++finite;
+    }
+  }
+  if (finite > 0) mean /= static_cast<double>(finite);
+  // Percentile() filters non-finite input and returns 0 on empty, so by
+  // construction nothing non-finite can reach the JSON metrics below.
+  assert(std::isfinite(mean) && std::isfinite(p50) && std::isfinite(p95) &&
+         std::isfinite(p99));
   std::cout << prefix << ": mean=" << mean << "ms p50=" << p50 << "ms p95="
             << p95 << "ms p99=" << p99 << "ms (" << latencies_ms.size()
             << " queries)\n";

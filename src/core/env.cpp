@@ -1,33 +1,89 @@
 #include "core/env.hpp"
 
 #include <algorithm>
+#include <cerrno>
+#include <cstdio>
 #include <cstdlib>
+#include <limits>
 #include <string>
 #include <thread>
 
 namespace psi {
 
-int64_t EnvInt(const char* name, int64_t def) {
-  const char* raw = std::getenv(name);
-  if (raw == nullptr || *raw == '\0') return def;
+namespace {
+
+enum class ParseOutcome { kUnset, kOk, kGarbage, kOverflow };
+
+ParseOutcome ParseInt(const char* raw, int64_t* out) {
+  if (raw == nullptr || *raw == '\0') return ParseOutcome::kUnset;
   char* end = nullptr;
+  errno = 0;
   const long long v = std::strtoll(raw, &end, 10);
-  if (end == raw || *end != '\0') return def;
-  return static_cast<int64_t>(v);
+  if (end == raw || *end != '\0') return ParseOutcome::kGarbage;
+  if (errno == ERANGE) return ParseOutcome::kOverflow;
+  *out = static_cast<int64_t>(v);
+  return ParseOutcome::kOk;
 }
 
-int64_t CapMillis() { return EnvInt("PSI_CAP_MS", 250); }
+}  // namespace
 
-int64_t Scale() { return EnvInt("PSI_SCALE", 1); }
+int64_t EnvInt(const char* name, int64_t def) {
+  int64_t v = 0;
+  return ParseInt(std::getenv(name), &v) == ParseOutcome::kOk ? v : def;
+}
+
+int64_t EnvIntClamped(const char* name, int64_t def, int64_t min_v,
+                      int64_t max_v) {
+  const int64_t fallback = std::clamp(def, min_v, max_v);
+  const char* raw = std::getenv(name);
+  int64_t v = 0;
+  switch (ParseInt(raw, &v)) {
+    case ParseOutcome::kUnset:
+      return fallback;
+    case ParseOutcome::kGarbage:
+      std::fprintf(stderr,
+                   "psi: %s=\"%s\" is not an integer; using %lld\n", name,
+                   raw, static_cast<long long>(fallback));
+      return fallback;
+    case ParseOutcome::kOverflow:
+      std::fprintf(stderr,
+                   "psi: %s=\"%s\" overflows; using %lld\n", name, raw,
+                   static_cast<long long>(fallback));
+      return fallback;
+    case ParseOutcome::kOk:
+      break;
+  }
+  if (v < min_v || v > max_v) {
+    const int64_t clamped = std::clamp(v, min_v, max_v);
+    std::fprintf(
+        stderr, "psi: %s=%lld out of range [%lld, %lld]; using %lld\n", name,
+        static_cast<long long>(v), static_cast<long long>(min_v),
+        static_cast<long long>(max_v), static_cast<long long>(clamped));
+    return clamped;
+  }
+  return v;
+}
+
+namespace {
+// A generous structural ceiling for count-like knobs — far above anything
+// real, low enough that an accidental huge value cannot wedge allocations.
+constexpr int64_t kCountMax = 1 << 20;
+}  // namespace
+
+int64_t CapMillis() {
+  return EnvIntClamped("PSI_CAP_MS", 250, 1,
+                       std::numeric_limits<int64_t>::max() / 2);
+}
+
+int64_t Scale() { return EnvIntClamped("PSI_SCALE", 1, 1, kCountMax); }
 
 int64_t ThreadBudget() {
   const auto hw = static_cast<int64_t>(std::thread::hardware_concurrency());
-  return EnvInt("PSI_THREADS", hw > 0 ? hw : 1);
+  return EnvIntClamped("PSI_THREADS", hw > 0 ? hw : 1, 1, kCountMax);
 }
 
 int64_t PoolThreads() {
-  const int64_t v = EnvInt("PSI_POOL_THREADS", ThreadBudget());
-  return v > 0 ? v : 1;
+  return EnvIntClamped("PSI_POOL_THREADS", ThreadBudget(), 1, kCountMax);
 }
 
 std::string EnvString(const char* name, const char* def) {
@@ -36,45 +92,67 @@ std::string EnvString(const char* name, const char* def) {
   return raw;
 }
 
-int64_t PoolQueueCap() { return EnvInt("PSI_POOL_QUEUE_CAP", 0); }
+// 0 = unbounded; a negative value meant the same and now clamps to 0 with
+// a warning.
+int64_t PoolQueueCap() {
+  return EnvIntClamped("PSI_POOL_QUEUE_CAP", 0, 0,
+                       std::numeric_limits<int64_t>::max() / 2);
+}
 
 std::string PoolOverloadPolicyName() {
   return EnvString("PSI_POOL_OVERLOAD", "reject");
 }
 
-int64_t PoolAgingMillis() { return EnvInt("PSI_POOL_AGING_MS", 500); }
+// 0 disables aging; negatives (the old "disable" spelling) clamp to 0, so
+// the documented behaviour is preserved — now with a warning.
+int64_t PoolAgingMillis() {
+  return EnvIntClamped("PSI_POOL_AGING_MS", 500, 0,
+                       std::numeric_limits<int64_t>::max() / 2);
+}
 
-int64_t FtvFilterShards() { return EnvInt("PSI_FTV_FILTER_SHARDS", 0); }
+// 0 = auto (one shard per pool worker); negatives clamp to auto.
+int64_t FtvFilterShards() {
+  return EnvIntClamped("PSI_FTV_FILTER_SHARDS", 0, 0, kCountMax);
+}
 
 int64_t GuardPeriod() {
-  const int64_t v = EnvInt("PSI_GUARD_PERIOD", 256);
-  return v > 0 ? v : 256;
+  return EnvIntClamped("PSI_GUARD_PERIOD", 256, 1, kCountMax);
 }
 
 bool PlanStaged() { return EnvInt("PSI_PLAN_STAGED", 0) != 0; }
 
 int64_t PlanProbePercent() {
-  const int64_t v = EnvInt("PSI_PLAN_PROBE_PCT", 10);
-  return std::min<int64_t>(100, std::max<int64_t>(1, v));
+  return EnvIntClamped("PSI_PLAN_PROBE_PCT", 10, 1, 100);
 }
 
 int64_t PlanMinSamples() {
-  const int64_t v = EnvInt("PSI_PLAN_MIN_SAMPLES", 8);
-  return v >= 0 ? v : 8;
+  return EnvIntClamped("PSI_PLAN_MIN_SAMPLES", 8, 0, kCountMax);
 }
 
 bool MatchIndexEnabled() { return EnvInt("PSI_MATCH_INDEX", 1) != 0; }
 
-int64_t MatchBitsetDegree() { return EnvInt("PSI_MATCH_BITSET_DEGREE", 64); }
+// 0 disables the hub bitsets; negatives clamp to 0 (disabled, as before).
+int64_t MatchBitsetDegree() {
+  return EnvIntClamped("PSI_MATCH_BITSET_DEGREE", 64, 0, kCountMax);
+}
 
+// 0 = split off; negatives clamp to 0 (off, as before).
 int64_t MatchSplit() {
-  const int64_t v = EnvInt("PSI_MATCH_SPLIT", 0);
-  return v > 0 ? v : 0;
+  return EnvIntClamped("PSI_MATCH_SPLIT", 0, 0, kCountMax);
 }
 
 int64_t MatchSplitMinSlice() {
-  const int64_t v = EnvInt("PSI_MATCH_SPLIT_MIN_SLICE", 8);
-  return v > 0 ? v : 1;
+  return EnvIntClamped("PSI_MATCH_SPLIT_MIN_SLICE", 8, 1, kCountMax);
+}
+
+// 0 = stealing off; > 0 = local recursion nodes before spilling starts.
+int64_t MatchSteal() {
+  return EnvIntClamped("PSI_MATCH_STEAL", 0, 0,
+                       std::numeric_limits<int64_t>::max() / 2);
+}
+
+int64_t MatchStealDepth() {
+  return EnvIntClamped("PSI_MATCH_STEAL_DEPTH", 1, 1, 8);
 }
 
 }  // namespace psi

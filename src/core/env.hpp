@@ -10,9 +10,17 @@
 
 namespace psi {
 
-/// Reads an integer environment variable, falling back to `def` when unset
-/// or unparseable.
+/// Reads an integer environment variable, falling back to `def` when unset,
+/// unparseable, or overflowing int64.
 int64_t EnvInt(const char* name, int64_t def);
+
+/// Hardened knob reader: unset returns `def`; garbage / trailing junk /
+/// overflow falls back to `def`, and a parsed value outside [min_v, max_v]
+/// clamps to the nearest bound — both with a one-line stderr warning
+/// naming the variable, so a typo'd knob is visible instead of silently
+/// steering the engine. `def` itself is clamped into the range.
+int64_t EnvIntClamped(const char* name, int64_t def, int64_t min_v,
+                      int64_t max_v);
 
 /// Reads a string environment variable, falling back to `def` when unset
 /// or empty.
@@ -103,6 +111,19 @@ int64_t MatchSplit();
 /// width — per-task candidate-building overhead is not worth amortizing
 /// over tiny slices.
 int64_t MatchSplitMinSlice();
+
+/// Work-stealing spill threshold below the root split (PSI_MATCH_STEAL,
+/// default 0 = off): when > 0, a split range task starts spilling
+/// depth-PSI_MATCH_STEAL_DEPTH subtrees into the shared embedding queue
+/// (match/steal.hpp) once it has expanded this many local recursion
+/// nodes, for idle sibling ranges to steal. Never changes answers or the
+/// emitted stream, only wall-clock.
+int64_t MatchSteal();
+
+/// Prefix depth of spilled partial embeddings (PSI_MATCH_STEAL_DEPTH,
+/// default 1, clamped to [1, 8]): subtrees are stolen whole at this depth
+/// of the enumeration order.
+int64_t MatchStealDepth();
 
 }  // namespace psi
 

@@ -338,6 +338,8 @@ size_t TaskGroup::pending() const {
   return pending_;
 }
 
+bool TaskGroup::HelpOne() { return executor_->TryRunOneFromGroup(this); }
+
 void TaskGroup::Wait() {
   for (;;) {
     {

@@ -1,0 +1,168 @@
+// Work stealing below the root split (match/parallel.hpp).
+//
+// PR 6's root-frontier split still pins one explosive root candidate's
+// whole subtree to a single range task — the classic straggler shape.
+// EmbeddingQueue is the fix: a bounded per-split queue of *partial
+// embeddings* (MatchResumeState) that range tasks spill depth-d subtrees
+// into once their local search exceeds a size threshold, and idle sibling
+// range tasks pop and re-enter via MatchOptions::resume. This follows the
+// SubgraphQueryMiner/EmbeddingQueue design of Katana's query miner and
+// Kimmig et al.'s shared-memory parallel enumerator (see PAPERS.md).
+//
+// Determinism is the whole trick. Each spilled subtree gets a *segment* —
+// a slot in the owning range's output, assigned at spill time in DFS
+// discovery order. The owner's inline finds go into the segments between
+// spills. Because every matcher's enumeration order is a pure function of
+// the assignment, concatenating the segments in slot order reproduces the
+// owner's serial range stream byte for byte, no matter which thread ran
+// which subtree or in what order. Spill *decisions* may therefore be fully
+// dynamic (queue occupancy, local node counts) without ever changing the
+// emitted stream.
+//
+// Counter exactness: subtrees are offered at Recurse *entry*, before the
+// owner counts the node — an accepted offer means the owner counted
+// nothing for the subtree and the thief's resumed call counts exactly what
+// the serial search would have. Replaying the prefix is stat-free and
+// primary_range() is false for resumed calls, so prefix work is counted
+// once, by the owner.
+//
+// Incompleteness (deadline, cancellation, budget stop) truncates a range's
+// assembled stream at its first non-complete segment — everything before
+// it is a valid prefix of the serial range stream, which is all the split
+// driver's committed-prefix budget accounting needs.
+//
+// Thread-safety: all queue state is guarded by one mutex; segment vectors
+// are written lock-free by exactly one thread at a time (the owner between
+// spills, one thief per unit) and reads in Collect() are ordered behind
+// the final OwnerDone/UnitDone mutex acquisition.
+
+#ifndef PSI_MATCH_STEAL_HPP_
+#define PSI_MATCH_STEAL_HPP_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "match/matcher.hpp"
+
+namespace psi {
+
+/// One spilled subtree: resume state plus where its output belongs.
+struct StealUnit {
+  MatchResumeState state;
+  uint32_t range = 0;  ///< owning root range
+  size_t slot = 0;     ///< segment index within that range
+  /// Segment the resumed call's embeddings go into (stable address).
+  std::vector<Embedding>* out = nullptr;
+};
+
+/// Bounded queue of spilled partial embeddings for one split call, plus
+/// the per-range segment assembly that re-merges stolen subtrees in
+/// deterministic order.
+class EmbeddingQueue {
+ public:
+  /// `capacity` bounds the number of *queued* (not yet popped) units;
+  /// offers beyond it are declined and the owner enumerates inline.
+  EmbeddingQueue(uint32_t num_ranges, size_t capacity);
+
+  // ---- Owner side (one range task) ----
+
+  /// Marks range `range` started and returns its first inline segment.
+  /// The owner appends its finds there until a successful Spill hands it
+  /// a fresh one.
+  std::vector<Embedding>* OpenRange(uint32_t range);
+
+  /// Offers the subtree at `prefix`. On acceptance the current inline
+  /// segment is sealed, the unit gets the next slot, and the returned
+  /// fresh inline segment becomes the owner's output target. Returns
+  /// nullptr when the queue is full (offer declined — enumerate inline).
+  std::vector<Embedding>* Spill(uint32_t range,
+                                std::span<const VertexId> prefix);
+
+  /// The owner's own search finished with result `r` (complete or not).
+  /// Returns true when the range just became fully assembled — exactly
+  /// once per range, to whichever of OwnerDone/UnitDone got there last;
+  /// the caller then finalizes it via Collect.
+  bool OwnerDone(uint32_t range, const MatchResult& r);
+
+  // ---- Thief side (any range task in the group) ----
+
+  /// Pops the oldest queued unit. `thief_range` is the popping task's own
+  /// range, for stolen-vs-self accounting. Returns false when empty.
+  bool TryPop(uint32_t thief_range, StealUnit* out);
+
+  /// A popped unit finished with result `r`. Same return contract as
+  /// OwnerDone.
+  bool UnitDone(const StealUnit& u, const MatchResult& r);
+
+  /// True when no queued units remain, none are in flight, and every
+  /// range that *started* has finished its own search — no further units
+  /// can appear except from ranges the executor has not started yet,
+  /// which drain their own spills. The drain-loop exit condition.
+  bool Drained() const;
+
+  /// Blocks until there is (likely) a unit to pop or Drained(), at most
+  /// `timeout`. Spurious wakeups are fine — callers loop.
+  void WaitForWork(std::chrono::milliseconds timeout);
+
+  // ---- Assembly (after OwnerDone/UnitDone returned true) ----
+
+  /// Concatenates range `range`'s segments in slot order into `buffer`,
+  /// truncating at the first non-complete segment (after appending its
+  /// partial content — a valid stream prefix), and folds owner + unit
+  /// stats and flags into `result`. `result->complete` is true only when
+  /// the owner finished complete and every segment did too.
+  void Collect(uint32_t range, std::vector<Embedding>* buffer,
+               MatchResult* result);
+
+  // ---- Traffic counters (for kernel_steal_* gauges) ----
+  uint64_t spills() const;
+  uint64_t stolen() const;
+  uint64_t declined() const;
+
+ private:
+  enum class SegState : uint8_t {
+    kOpen,        // owner's current inline segment
+    kPending,     // spilled, not yet finished by a thief
+    kComplete,    // fully enumerated
+    kIncomplete,  // ran but stopped early (deadline/cancel/budget)
+  };
+  struct Segment {
+    std::vector<Embedding> out;
+    SegState state = SegState::kOpen;
+  };
+  enum class OwnerState : uint8_t { kNotStarted, kRunning, kDone };
+  struct RangeAssembly {
+    // deque: segment addresses stay stable across Spill appends.
+    std::deque<Segment> segs;
+    OwnerState owner = OwnerState::kNotStarted;
+    size_t pending_units = 0;  ///< spilled units not yet UnitDone
+    MatchResult merged;        ///< folded stats + flags (buffer-less)
+    bool reported = false;     ///< completion already handed to a caller
+  };
+
+  /// True when range `r` is fully assembled. Requires mu_ held.
+  bool RangeReadyLocked(const RangeAssembly& r) const {
+    return r.owner == OwnerState::kDone && r.pending_units == 0;
+  }
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<RangeAssembly> ranges_;
+  std::deque<StealUnit> queue_;
+  size_t capacity_;
+  size_t in_flight_ = 0;       ///< popped units still executing
+  size_t running_owners_ = 0;  ///< ranges between OpenRange and OwnerDone
+  uint64_t spills_ = 0;
+  uint64_t stolen_ = 0;
+  uint64_t declined_ = 0;
+};
+
+}  // namespace psi
+
+#endif  // PSI_MATCH_STEAL_HPP_

@@ -27,10 +27,20 @@ SummaryStats Summarize(std::span<const double> values) {
 }
 
 double Percentile(std::span<const double> values, double p) {
-  if (values.empty()) return 0.0;
-  std::vector<double> sorted(values.begin(), values.end());
+  // Drop non-finite samples before sorting: NaNs poison std::sort's strict
+  // weak ordering, and one stray inf would leak into every high percentile
+  // a bench writes to JSON.
+  std::vector<double> sorted;
+  sorted.reserve(values.size());
+  for (double v : values) {
+    if (std::isfinite(v)) sorted.push_back(v);
+  }
+  if (sorted.empty()) return 0.0;
   std::sort(sorted.begin(), sorted.end());
-  p = std::min(100.0, std::max(0.0, p));
+  // A NaN p compares false against everything — normalize it to 0 rather
+  // than letting it ride through the rank arithmetic.
+  if (!(p >= 0.0)) p = 0.0;
+  if (p >= 100.0) return sorted.back();
   const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
   const size_t lo = static_cast<size_t>(rank);
   const size_t hi = std::min(lo + 1, sorted.size() - 1);
@@ -231,6 +241,11 @@ std::string FormatKernelGauges(const PoolGauges& g) {
     out += " split_inline=" + std::to_string(g.kernel_split_tasks_inline);
     out += " split_budget_stops=" +
            std::to_string(g.kernel_split_budget_stops);
+  }
+  if (g.kernel_steal_spills > 0 || g.kernel_steal_declined > 0) {
+    out += " steal_spills=" + std::to_string(g.kernel_steal_spills);
+    out += " steal_stolen=" + std::to_string(g.kernel_steal_stolen);
+    out += " steal_declined=" + std::to_string(g.kernel_steal_declined);
   }
   out += "]";
   return out;

@@ -43,7 +43,19 @@ class QsiSearch {
       r.complete = true;
       if (opts_.sink) opts_.sink(Embedding{});
     } else {
-      Recurse(0);
+      uint32_t start_depth = 0;
+      if (opts_.resume != nullptr) {
+        // Re-enter mid-search: replay the spilled prefix along the (fully
+        // deterministic) QI-sequence, stat-free — the spilling owner
+        // counted the whole path.
+        const std::vector<VertexId>& prefix = opts_.resume->prefix;
+        for (uint32_t d = 0; d < prefix.size(); ++d) {
+          map_[seq_[d].vertex] = prefix[d];
+          used_[prefix[d]] = 1;
+        }
+        start_depth = static_cast<uint32_t>(prefix.size());
+      }
+      Recurse(start_depth);
       r.embedding_count = found_;
       r.complete = !guard_.interrupted();
       r.timed_out = guard_.state() == Interrupt::kDeadline;
@@ -91,6 +103,17 @@ class QsiSearch {
       if (opts_.sink && !opts_.sink(map_)) return false;
       return found_ < opts_.max_embeddings;
     }
+    // Work stealing: offer the subtree out before counting its node (the
+    // thief's resumed call then counts exactly what serial would have).
+    // The prefix is reconstructed from the QI-sequence images.
+    if (opts_.spill != nullptr && depth == opts_.spill->depth && depth > 0 &&
+        stats_.recursion_nodes >= opts_.spill->min_nodes) {
+      spill_buf_.clear();
+      for (uint32_t d = 0; d < depth; ++d) {
+        spill_buf_.push_back(map_[seq_[d].vertex]);
+      }
+      if (opts_.spill->Offer(spill_buf_)) return true;
+    }
     // The shared depth-0 node belongs to the primary split range (exact
     // per-range stats folding — see MatchOptions).
     if (depth != 0 || opts_.primary_range()) ++stats_.recursion_nodes;
@@ -121,6 +144,15 @@ class QsiSearch {
     // QI-sequence root is always depth 0; later roots of a disconnected
     // forest enumerate fully — they multiply under every root candidate).
     if (depth == 0) candidates = SplitRootCandidates(candidates, opts_);
+    // A resumed call skips the candidates before its cursor at the resume
+    // depth (entered exactly once, straight from Run).
+    if (opts_.resume != nullptr &&
+        depth == static_cast<uint32_t>(opts_.resume->prefix.size())) {
+      const size_t skip =
+          std::min<size_t>(opts_.resume->cursor, candidates.size());
+      candidates = candidates.subspan(skip);
+      if (!via_labels.empty()) via_labels = via_labels.subspan(skip);
+    }
     for (size_t ci = 0; ci < candidates.size(); ++ci) {
       const VertexId gv = candidates[ci];
       if (guard_.Check() != Interrupt::kNone) return false;
@@ -149,6 +181,7 @@ class QsiSearch {
   Embedding map_;
   std::vector<uint8_t> used_;
   std::vector<uint64_t> qnlf_;  // empty when index_ == nullptr
+  std::vector<VertexId> spill_buf_;  // prefix scratch for Offer()
 };
 
 }  // namespace

@@ -119,7 +119,21 @@ class SpaSearch {
     if (BuildCandidates()) {
       BuildOrder();
       scr_.map.assign(q_.num_vertices(), kInvalidVertex);
-      Recurse(0);
+      uint32_t start_depth = 0;
+      if (opts_.resume != nullptr) {
+        // Re-enter mid-search: candidate build and path-cover order are
+        // pure functions of (query, graph), so they reproduce the
+        // spilling owner's state exactly (shared-stage counters gated on
+        // primary_range(), false here). Replay the prefix, then
+        // enumerate its subtree.
+        const std::vector<VertexId>& prefix = opts_.resume->prefix;
+        for (uint32_t d = 0; d < prefix.size(); ++d) {
+          scr_.map[scr_.order[d]] = prefix[d];
+          SetUsed(prefix[d]);
+        }
+        start_depth = static_cast<uint32_t>(prefix.size());
+      }
+      Recurse(start_depth);
     }
     r.embedding_count = found_;
     r.complete = !guard_.interrupted();
@@ -194,6 +208,17 @@ class SpaSearch {
       if (opts_.sink && !opts_.sink(scr_.map)) return false;
       return found_ < opts_.max_embeddings;
     }
+    // Work stealing: offer the subtree out before counting its node or
+    // computing its candidate source (the thief's resumed call then
+    // counts exactly what serial would have).
+    if (opts_.spill != nullptr && depth == opts_.spill->depth && depth > 0 &&
+        stats_.recursion_nodes >= opts_.spill->min_nodes) {
+      spill_buf_.clear();
+      for (uint32_t d = 0; d < depth; ++d) {
+        spill_buf_.push_back(scr_.map[scr_.order[d]]);
+      }
+      if (opts_.spill->Offer(spill_buf_)) return true;
+    }
     // The shared depth-0 node belongs to the primary split range (exact
     // per-range stats folding — see MatchOptions).
     if (depth != 0 || opts_.primary_range()) ++stats_.recursion_nodes;
@@ -207,6 +232,13 @@ class SpaSearch {
         std::span<const VertexId>(scr_.cand_list[u]), stats_);
     // A split task enumerates only its block of the root frontier.
     if (depth == 0) source = SplitRootCandidates(source, opts_);
+    // A resumed call skips the candidates before its cursor at the resume
+    // depth (entered exactly once, straight from Run).
+    if (opts_.resume != nullptr &&
+        depth == static_cast<uint32_t>(opts_.resume->prefix.size())) {
+      source = source.subspan(
+          std::min<size_t>(opts_.resume->cursor, source.size()));
+    }
     for (VertexId v : source) {
       if (guard_.Check() != Interrupt::kNone) return false;
       ++stats_.candidates_tried;
@@ -248,6 +280,7 @@ class SpaSearch {
   CostGuard guard_;
   MatchStats stats_;
   uint64_t found_ = 0;
+  std::vector<VertexId> spill_buf_;  // prefix scratch for Offer()
 };
 
 }  // namespace

@@ -36,6 +36,20 @@ class Vf2State {
       r.embedding_count = 1;
       r.complete = true;
       if (opts_.sink) opts_.sink(Embedding{});
+    } else if (opts_.resume != nullptr) {
+      // Re-enter mid-search: replay the spilled prefix stat-free (the
+      // spilling owner counted the whole path) and enumerate exactly the
+      // subtree it skipped. NextQueryVertex is a pure function of the
+      // assignment, so the replay reconstructs the owner's order.
+      const std::vector<VertexId>& prefix = opts_.resume->prefix;
+      for (uint32_t d = 0; d < prefix.size(); ++d) {
+        Push(NextQueryVertex(), prefix[d], d);
+      }
+      Recurse(static_cast<uint32_t>(prefix.size()));
+      r.embedding_count = found_;
+      r.complete = !guard_.interrupted();
+      r.timed_out = guard_.state() == Interrupt::kDeadline;
+      r.cancelled = guard_.state() == Interrupt::kCancelled;
     } else if (FeasibleOnCounts()) {
       Recurse(0);
       r.embedding_count = found_;
@@ -143,6 +157,14 @@ class Vf2State {
       if (opts_.sink && !opts_.sink(core_q_)) return false;
       return found_ < opts_.max_embeddings;
     }
+    // Work stealing: offer the whole subtree out *before* counting its
+    // node — an accepted offer means this call counts nothing for it and
+    // the thief's resumed call counts exactly what serial would have.
+    if (opts_.spill != nullptr && depth == opts_.spill->depth && depth > 0 &&
+        stats_.recursion_nodes >= opts_.spill->min_nodes &&
+        opts_.spill->Offer(path_)) {
+      return true;
+    }
     // The shared depth-0 node is counted by the primary split range only,
     // so per-range stats merged with MatchStats::Add equal the serial
     // counters exactly.
@@ -165,6 +187,13 @@ class Vf2State {
                                        g_.VerticesWithLabel(ql), stats_);
     // A split task enumerates only its block of the root frontier.
     if (depth == 0) candidates = SplitRootCandidates(candidates, opts_);
+    // A resumed call skips the candidates before its cursor at the resume
+    // depth (entered exactly once, straight from Run).
+    if (opts_.resume != nullptr &&
+        depth == static_cast<uint32_t>(opts_.resume->prefix.size())) {
+      candidates = candidates.subspan(
+          std::min<size_t>(opts_.resume->cursor, candidates.size()));
+    }
 
     for (VertexId gv : candidates) {
       if (guard_.Check() != Interrupt::kNone) return false;
@@ -177,7 +206,13 @@ class Vf2State {
       ++stats_.candidates_tried;
       if (!Feasible(qv, gv)) continue;
       Push(qv, gv, depth);
+      // Track the assignment path up to the spill depth (VF2's vertex
+      // order is dynamic, so the prefix cannot be reconstructed from
+      // core_q_ without it).
+      const bool track = opts_.spill != nullptr && depth < opts_.spill->depth;
+      if (track) path_.push_back(gv);
       const bool keep_going = Recurse(depth + 1);
+      if (track) path_.pop_back();
       Pop(qv, gv, depth);
       if (!keep_going) return false;
     }
@@ -198,6 +233,9 @@ class Vf2State {
   std::vector<uint32_t> in_g_;
   // Query-side NLF fingerprints; empty when index_ == nullptr.
   std::vector<uint64_t> qnlf_;
+  // Data-vertex images along the current path, maintained (only when a
+  // spill hook is set) up to the spill depth — the prefix Offer() hands out.
+  std::vector<VertexId> path_;
 };
 
 }  // namespace

@@ -49,5 +49,93 @@ TEST(EnvTest, KnobsReadEnvironment) {
   unsetenv("PSI_THREADS");
 }
 
+// ---- Hardened knob parsing (EnvIntClamped) ----
+
+TEST(EnvClampTest, InRangeValuePassesWithoutWarning) {
+  setenv("PSI_TEST_VAR", "17", 1);
+  testing::internal::CaptureStderr();
+  EXPECT_EQ(EnvIntClamped("PSI_TEST_VAR", 42, 1, 100), 17);
+  EXPECT_EQ(testing::internal::GetCapturedStderr(), "");
+  unsetenv("PSI_TEST_VAR");
+}
+
+TEST(EnvClampTest, GarbageFallsBackToDefaultWithWarning) {
+  for (const char* bad : {"12abc", "abc", "", "12.5", " "}) {
+    setenv("PSI_TEST_VAR", bad, 1);
+    testing::internal::CaptureStderr();
+    EXPECT_EQ(EnvIntClamped("PSI_TEST_VAR", 42, 1, 100), 42) << bad;
+    const std::string err = testing::internal::GetCapturedStderr();
+    if (bad[0] != '\0') {  // empty behaves like unset: silent default
+      EXPECT_NE(err.find("PSI_TEST_VAR"), std::string::npos) << bad;
+    }
+  }
+  unsetenv("PSI_TEST_VAR");
+}
+
+TEST(EnvClampTest, OverflowFallsBackToDefaultWithWarning) {
+  setenv("PSI_TEST_VAR", "99999999999999999999999999", 1);
+  testing::internal::CaptureStderr();
+  EXPECT_EQ(EnvIntClamped("PSI_TEST_VAR", 42, 1, 100), 42);
+  EXPECT_NE(testing::internal::GetCapturedStderr().find("PSI_TEST_VAR"),
+            std::string::npos);
+  // Plain EnvInt also refuses to round an overflowing literal to
+  // INT64_MAX — it returns the default (silently).
+  EXPECT_EQ(EnvInt("PSI_TEST_VAR", 42), 42);
+  setenv("PSI_TEST_VAR", "-99999999999999999999999999", 1);
+  EXPECT_EQ(EnvIntClamped("PSI_TEST_VAR", 42, 1, 100), 42);
+  unsetenv("PSI_TEST_VAR");
+}
+
+TEST(EnvClampTest, OutOfRangeClampsToNearestBoundWithWarning) {
+  setenv("PSI_TEST_VAR", "-5", 1);
+  testing::internal::CaptureStderr();
+  EXPECT_EQ(EnvIntClamped("PSI_TEST_VAR", 42, 1, 100), 1);
+  EXPECT_NE(testing::internal::GetCapturedStderr().find("PSI_TEST_VAR"),
+            std::string::npos);
+  setenv("PSI_TEST_VAR", "1000000", 1);
+  testing::internal::CaptureStderr();
+  EXPECT_EQ(EnvIntClamped("PSI_TEST_VAR", 42, 1, 100), 100);
+  EXPECT_NE(testing::internal::GetCapturedStderr().find("PSI_TEST_VAR"),
+            std::string::npos);
+  unsetenv("PSI_TEST_VAR");
+}
+
+TEST(EnvClampTest, KnobsClampInsteadOfAcceptingNonsense) {
+  testing::internal::CaptureStderr();
+  // Negative pool width would previously create a zero-thread pool.
+  setenv("PSI_POOL_THREADS", "-4", 1);
+  EXPECT_EQ(PoolThreads(), 1);
+  // Garbage falls back to the documented default.
+  setenv("PSI_POOL_THREADS", "lots", 1);
+  EXPECT_EQ(PoolThreads(), ThreadBudget());
+  unsetenv("PSI_POOL_THREADS");
+  // <= 0 is documented-legal for the queue cap (unbounded): a negative
+  // value normalizes to 0 rather than falling back to a bounded default.
+  setenv("PSI_POOL_QUEUE_CAP", "-7", 1);
+  EXPECT_EQ(PoolQueueCap(), 0);
+  unsetenv("PSI_POOL_QUEUE_CAP");
+  setenv("PSI_MATCH_SPLIT", "-2", 1);
+  EXPECT_EQ(MatchSplit(), 0);  // 0 = off, the documented <= 0 meaning
+  unsetenv("PSI_MATCH_SPLIT");
+  (void)testing::internal::GetCapturedStderr();  // drain the warnings
+}
+
+TEST(EnvClampTest, StealKnobs) {
+  unsetenv("PSI_MATCH_STEAL");
+  unsetenv("PSI_MATCH_STEAL_DEPTH");
+  EXPECT_EQ(MatchSteal(), 0);       // off by default
+  EXPECT_EQ(MatchStealDepth(), 1);  // shallowest spill by default
+  testing::internal::CaptureStderr();
+  setenv("PSI_MATCH_STEAL", "5000", 1);
+  setenv("PSI_MATCH_STEAL_DEPTH", "99", 1);
+  EXPECT_EQ(MatchSteal(), 5000);
+  EXPECT_EQ(MatchStealDepth(), 8);  // clamped to the documented [1, 8]
+  setenv("PSI_MATCH_STEAL_DEPTH", "0", 1);
+  EXPECT_EQ(MatchStealDepth(), 1);
+  (void)testing::internal::GetCapturedStderr();
+  unsetenv("PSI_MATCH_STEAL");
+  unsetenv("PSI_MATCH_STEAL_DEPTH");
+}
+
 }  // namespace
 }  // namespace psi

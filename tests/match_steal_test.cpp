@@ -1,0 +1,418 @@
+// Differential + stress tests of work stealing below the root split
+// (match/steal.hpp + MatchOptions::resume):
+//
+//  * 100-seed differential harness (PSI_TEST_SEEDS): for every matcher
+//    (VF2, QuickSI, GraphQL, sPath), index on and off, split widths
+//    {2, 4} and steal depths {1, 2}, the steal-on search must produce
+//    the byte-identical embedding *stream*, count and completeness of
+//    both the serial search and the steal-off split — and, uncapped,
+//    exactly equal MatchStats counters (resumed units replay their
+//    prefix stat-free; the spill hook fires before any counting).
+//  * Shared-budget exactness at {1, total-1, total, total+1} with
+//    stealing on: the merged stream truncates at the same byte.
+//  * Displaced-range regression (ISSUE PR 7 satellite): a capacity-0
+//    reject-all pool with stealing enabled — every range re-runs inline,
+//    no spill stats double-count, counters exactly serial.
+//  * Cancellation mid-steal, 8 client threads on one shared pool (both
+//    run under TSan in CI), and the steal gauges surfacing through
+//    MatchKernelStats -> PoolGauges.
+//  * The planner's adaptive split width: full split_workers while the
+//    winner's straggler profile is cold, clamp(ceil(spread)+1, 2, max)
+//    once NoteRangeSpread has reported.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/env.hpp"
+#include "exec/executor.hpp"
+#include "gen/dataset_gen.hpp"
+#include "gen/query_gen.hpp"
+#include "graphql/graphql.hpp"
+#include "match/candidate_index.hpp"
+#include "match/parallel.hpp"
+#include "metrics/metrics.hpp"
+#include "plan/plan.hpp"
+#include "plan/planner.hpp"
+#include "quicksi/quicksi.hpp"
+#include "spath/spath.hpp"
+#include "vf2/vf2.hpp"
+
+namespace psi {
+namespace {
+
+int NumSeeds() { return static_cast<int>(EnvInt("PSI_TEST_SEEDS", 100)); }
+
+Graph MakeDataGraph(uint64_t seed) {
+  gen::GraphGenLikeOptions o;
+  o.num_graphs = 1;
+  o.avg_nodes = 40 + static_cast<uint32_t>(seed % 7) * 10;  // 40..100
+  o.density = 0.05 + 0.01 * static_cast<double>(seed % 5);
+  o.num_labels = 3 + static_cast<uint32_t>(seed % 8);  // 3..10
+  o.seed = seed * 7919 + 11;
+  return gen::GraphGenLike(o).graph(0);
+}
+
+std::vector<gen::Query> MakeQueries(const Graph& g, uint64_t seed) {
+  const uint32_t size = 4 + static_cast<uint32_t>(seed % 4);  // 4..7
+  auto w = gen::GenerateWorkload(g, /*count=*/3, size, seed * 104729 + 5);
+  return w.ok() ? std::move(w).value() : std::vector<gen::Query>{};
+}
+
+std::unique_ptr<Matcher> MakeMatcher(int which) {
+  switch (which) {
+    case 0: return std::make_unique<Vf2Matcher>();
+    case 1: return std::make_unique<QuickSiMatcher>();
+    case 2: return std::make_unique<GraphQlMatcher>();
+    default: return std::make_unique<SPathMatcher>();
+  }
+}
+
+struct Capture {
+  std::vector<Embedding> stream;
+  MatchResult result;
+};
+
+Capture Serial(const Matcher& m, const Graph& q, uint64_t cap) {
+  Capture r;
+  MatchOptions mo;
+  mo.max_embeddings = cap;
+  mo.sink = [&](const Embedding& e) {
+    r.stream.push_back(e);
+    return true;
+  };
+  r.result = m.Match(q, mo);
+  return r;
+}
+
+// Split run with stealing on (steal = 1: every range spills from its
+// first expansion — maximal coverage of the spill/resume machinery) or
+// off (steal = 0: PR 6 behaviour).
+Capture Split(const Matcher& m, const Graph& q, uint64_t cap, size_t width,
+              Executor* exec, size_t steal, size_t steal_depth) {
+  Capture r;
+  MatchOptions mo;
+  mo.max_embeddings = cap;
+  mo.sink = [&](const Embedding& e) {
+    r.stream.push_back(e);
+    return true;
+  };
+  ParallelMatchOptions po;
+  po.split = width;
+  po.min_slice = 1;
+  po.executor = exec;
+  po.steal = steal;
+  po.steal_depth = steal_depth;
+  r.result = MatchParallel(m, q, mo, po);
+  return r;
+}
+
+void ExpectSameStream(const Capture& got, const Capture& want,
+                      const char* tag) {
+  ASSERT_EQ(got.stream, want.stream) << tag << ": embedding stream diverged";
+  EXPECT_EQ(got.result.embedding_count, want.result.embedding_count) << tag;
+  EXPECT_EQ(got.result.complete, want.result.complete) << tag;
+}
+
+void ExpectSameStats(const MatchStats& a, const MatchStats& b,
+                     const char* tag) {
+  EXPECT_EQ(a.recursion_nodes, b.recursion_nodes) << tag;
+  EXPECT_EQ(a.candidates_tried, b.candidates_tried) << tag;
+  EXPECT_EQ(a.nlf_rejects, b.nlf_rejects) << tag;
+  EXPECT_EQ(a.bitset_edge_checks, b.bitset_edge_checks) << tag;
+  EXPECT_EQ(a.slice_candidates, b.slice_candidates) << tag;
+}
+
+// ---- Differential: steal on vs. off vs. serial ----
+
+TEST(MatchStealDifferentialTest, StreamsAndCountersIdenticalStealOnVsOff) {
+  Executor pool(/*num_threads=*/4);
+  const int seeds = NumSeeds();
+  const size_t widths[] = {2, 4};
+  for (int seed = 1; seed <= seeds; ++seed) {
+    const Graph g = MakeDataGraph(static_cast<uint64_t>(seed));
+    const auto queries = MakeQueries(g, static_cast<uint64_t>(seed));
+    // Rotate matcher and index arm per seed, like match_parallel_test.
+    const int which = seed % 4;
+    const bool indexed = (seed / 4) % 2 == 0;
+    auto m = MakeMatcher(which);
+    if (indexed) {
+      m->set_candidate_index(CandidateIndex::Build(g));
+    } else {
+      m->set_candidate_index(nullptr);
+    }
+    ASSERT_TRUE(m->Prepare(g).ok());
+    for (const auto& q : queries) {
+      const Capture serial = Serial(*m, q.graph, /*cap=*/1u << 30);
+      for (size_t w : widths) {
+        const Capture off =
+            Split(*m, q.graph, 1u << 30, w, &pool, /*steal=*/0, 1);
+        ExpectSameStream(off, serial, m->name().data());
+        for (size_t depth : {size_t{1}, size_t{2}}) {
+          const Capture on =
+              Split(*m, q.graph, 1u << 30, w, &pool, /*steal=*/1, depth);
+          ExpectSameStream(on, serial, m->name().data());
+          ExpectSameStats(on.result.stats, serial.result.stats,
+                          m->name().data());
+          ExpectSameStats(on.result.stats, off.result.stats,
+                          m->name().data());
+        }
+      }
+    }
+  }
+}
+
+// ---- Budget exactness with stealing on ----
+
+TEST(MatchStealTest, BudgetExactAtEveryBoundary) {
+  Executor pool(/*num_threads=*/4);
+  const int seeds = std::max(1, NumSeeds() / 5);
+  for (int seed = 1; seed <= seeds; ++seed) {
+    const Graph g = MakeDataGraph(static_cast<uint64_t>(seed) + 300);
+    const auto queries = MakeQueries(g, static_cast<uint64_t>(seed) + 300);
+    auto m = MakeMatcher(seed % 4);
+    m->set_candidate_index(CandidateIndex::Build(g));
+    ASSERT_TRUE(m->Prepare(g).ok());
+    for (const auto& q : queries) {
+      const uint64_t total =
+          Serial(*m, q.graph, 1u << 30).result.embedding_count;
+      std::vector<uint64_t> caps = {1};
+      if (total > 1) caps.push_back(total - 1);
+      if (total > 0) {
+        caps.push_back(total);
+        caps.push_back(total + 1);
+      }
+      for (uint64_t cap : caps) {
+        const Capture serial = Serial(*m, q.graph, cap);
+        for (size_t w : {2, 4}) {
+          const Capture on = Split(*m, q.graph, cap, w, &pool, 1, 2);
+          ExpectSameStream(on, serial, m->name().data());
+          EXPECT_EQ(on.result.embedding_count, std::min(cap, total));
+        }
+      }
+    }
+  }
+}
+
+// ---- Displaced-range regression (satellite: no stats double-count) ----
+
+TEST(MatchStealTest, CapacityZeroPoolWithStealingStaysExact) {
+  // Every range task is rejected at admission and re-runs inline; the
+  // steal queue never sees a started owner. A double-fold of a displaced
+  // range's stats (the PR 6 audit) would break the exact-equality below.
+  ExecutorOptions eo;
+  eo.num_threads = 2;
+  eo.queue_capacity = 0;
+  eo.overload_policy = OverloadPolicy::kRejectNew;
+  Executor pool(eo);
+  const Graph g = MakeDataGraph(7);
+  const auto queries = MakeQueries(g, 7);
+  ASSERT_FALSE(queries.empty());
+  Vf2Matcher m;
+  ASSERT_TRUE(m.Prepare(g).ok());
+  for (const auto& q : queries) {
+    const Capture serial = Serial(m, q.graph, 1u << 30);
+    const Capture on = Split(m, q.graph, 1u << 30, 4, &pool, 1, 2);
+    ExpectSameStream(on, serial, "capacity0+steal");
+    ExpectSameStats(on.result.stats, serial.result.stats, "capacity0+steal");
+  }
+}
+
+TEST(MatchStealTest, SheddingPoolWithStealingStaysExact) {
+  ExecutorOptions eo;
+  eo.num_threads = 1;
+  eo.queue_capacity = 1;
+  eo.overload_policy = OverloadPolicy::kShedLatestDeadline;
+  Executor pool(eo);
+  const Graph g = MakeDataGraph(8);
+  const auto queries = MakeQueries(g, 8);
+  ASSERT_FALSE(queries.empty());
+  GraphQlMatcher m;
+  ASSERT_TRUE(m.Prepare(g).ok());
+  for (const auto& q : queries) {
+    const Capture serial = Serial(m, q.graph, 1u << 30);
+    const Capture on = Split(m, q.graph, 1u << 30, 8, &pool, 1, 2);
+    ExpectSameStream(on, serial, "shed+steal");
+    ExpectSameStats(on.result.stats, serial.result.stats, "shed+steal");
+  }
+}
+
+// ---- Cancellation mid-steal ----
+
+TEST(MatchStealStressTest, CancellationMidStealIsCleanAndReported) {
+  Executor pool(/*num_threads=*/4);
+  // Dense single-label graph: the search is still running (and spilling)
+  // when the cancel lands.
+  gen::GraphGenLikeOptions o;
+  o.num_graphs = 1;
+  o.avg_nodes = 60;
+  o.density = 0.3;
+  o.num_labels = 1;
+  o.seed = 77;
+  const Graph g = gen::GraphGenLike(o).graph(0);
+  auto w = gen::GenerateWorkload(g, 1, 6, 778899);
+  ASSERT_TRUE(w.ok());
+  const Graph& q = (*w)[0].graph;
+  Vf2Matcher m;
+  ASSERT_TRUE(m.Prepare(g).ok());
+  for (int round = 0; round < 5; ++round) {
+    StopToken stop;
+    std::thread canceller([&stop, round] {
+      std::this_thread::sleep_for(std::chrono::microseconds(50 * round));
+      stop.RequestStop();
+    });
+    MatchOptions mo;
+    mo.max_embeddings = 1u << 30;
+    mo.stop = &stop;
+    mo.guard_period = 16;
+    ParallelMatchOptions po;
+    po.split = 4;
+    po.min_slice = 1;
+    po.executor = &pool;
+    po.steal = 1;
+    po.steal_depth = 2;
+    const MatchResult r = MatchParallel(m, q, mo, po);
+    canceller.join();
+    // Either finished before the cancel landed, or a clean cancellation;
+    // never a hang, crash or TSan report.
+    if (!r.complete) {
+      EXPECT_TRUE(r.cancelled);
+    }
+  }
+}
+
+// ---- Concurrency: shared pool, stealing on ----
+
+TEST(MatchStealStressTest, EightClientThreadsOneSharedPool) {
+  Executor pool(/*num_threads=*/4);
+  const Graph g = MakeDataGraph(33);
+  const auto queries = MakeQueries(g, 33);
+  ASSERT_FALSE(queries.empty());
+  GraphQlMatcher gql;
+  Vf2Matcher vf2;
+  gql.set_candidate_index(CandidateIndex::Build(g));
+  vf2.set_candidate_index(nullptr);
+  ASSERT_TRUE(gql.Prepare(g).ok());
+  ASSERT_TRUE(vf2.Prepare(g).ok());
+  std::vector<uint64_t> want;
+  for (const auto& q : queries) {
+    MatchOptions mo;
+    mo.max_embeddings = 1u << 30;
+    want.push_back(gql.Match(q.graph, mo).embedding_count);
+  }
+  std::atomic<int> failures{0};
+  std::vector<std::thread> clients;
+  for (int t = 0; t < 8; ++t) {
+    clients.emplace_back([&, t] {
+      for (int round = 0; round < 6; ++round) {
+        for (size_t i = 0; i < queries.size(); ++i) {
+          const Matcher& m =
+              (t + round) % 2 == 0 ? static_cast<const Matcher&>(gql)
+                                   : static_cast<const Matcher&>(vf2);
+          MatchOptions mo;
+          mo.max_embeddings = 1u << 30;
+          ParallelMatchOptions po;
+          po.split = 2 + (t + round) % 3;  // widths 2..4
+          po.min_slice = 1;
+          po.executor = &pool;
+          po.steal = 1;
+          po.steal_depth = 1 + (t + round) % 2;  // depths 1..2
+          const MatchResult r = MatchParallel(m, queries[i].graph, mo, po);
+          if (r.embedding_count != want[i] || !r.complete) {
+            failures.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      }
+    });
+  }
+  for (auto& th : clients) th.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+// ---- Gauges ----
+
+TEST(MatchStealTest, StealGaugesAccumulate) {
+  Executor pool(/*num_threads=*/4);
+  const Graph g = MakeDataGraph(5);
+  const auto queries = MakeQueries(g, 5);
+  ASSERT_FALSE(queries.empty());
+  GraphQlMatcher m;
+  ASSERT_TRUE(m.Prepare(g).ok());
+  for (const auto& q : queries) {
+    (void)Split(m, q.graph, 1u << 30, 4, &pool, /*steal=*/1, 2);
+  }
+  PoolGauges gauges;
+  m.kernel_stats().AddTo(&gauges);
+  // steal=1 spills from the first expansion, so any range with a
+  // non-trivial subtree reports spills (accepted or declined).
+  EXPECT_GT(gauges.kernel_steal_spills + gauges.kernel_steal_declined, 0u);
+  // Everything spilled is accounted: stolen + declined never exceeds
+  // offered (stolen counts pops, some spills may still be queued at the
+  // end but every completed call drained its queue).
+  EXPECT_LE(gauges.kernel_steal_stolen, gauges.kernel_steal_spills);
+}
+
+// ---- Planner: straggler-profile-driven split width ----
+
+TEST(MatchStealPlanTest, SplitWidthFollowsStragglerSpread) {
+  const Graph g = MakeDataGraph(21);
+  GraphQlMatcher gql;
+  SPathMatcher spa;
+  ASSERT_TRUE(gql.Prepare(g).ok());
+  ASSERT_TRUE(spa.Prepare(g).ok());
+  Portfolio p;
+  p.entries.push_back({&gql, Rewriting::kOriginal, 0});
+  p.entries.push_back({&spa, Rewriting::kOriginal, 0});
+  const LabelStats stats = LabelStats::FromGraph(g);
+  QueryPlannerOptions po;
+  po.budget = std::chrono::milliseconds(100);
+  po.staged = true;
+  po.min_samples = 2;
+  po.split_workers = 8;
+  QueryPlanner planner;
+  planner.Configure(&p, &stats, po);
+  const auto queries = MakeQueries(g, 21);
+  ASSERT_FALSE(queries.empty());
+  const QueryFeatures f = ExtractFeatures(queries[0].graph, stats);
+  planner.Observe(f, 0);
+  planner.Observe(f, 0);
+  // Cold straggler profile: the configured ceiling stands.
+  {
+    const QueryPlan plan = planner.Plan(f);
+    ASSERT_EQ(plan.escalation, EscalationPolicy::kSplit);
+    ASSERT_EQ(plan.stages.size(), 2u);
+    EXPECT_EQ(plan.stages[1].steps[0].split, 8u);
+  }
+  // Warm: spread 2.5 -> ceil(2.5) + 1 = 4 ranges suffice.
+  gql.kernel_stats().NoteRangeSpread(2.5);
+  {
+    const QueryPlan plan = planner.Plan(f);
+    ASSERT_EQ(plan.escalation, EscalationPolicy::kSplit);
+    EXPECT_EQ(plan.stages[1].steps[0].split, 4u);
+    EXPECT_NE(plan.name.find("split4"), std::string::npos) << plan.name;
+  }
+  // A flat profile (spread ~1) floors at 2, never 1.
+  GraphQlMatcher flat;
+  ASSERT_TRUE(flat.Prepare(g).ok());
+  flat.kernel_stats().NoteRangeSpread(1.0);
+  Portfolio p2;
+  p2.entries.push_back({&flat, Rewriting::kOriginal, 0});
+  p2.entries.push_back({&spa, Rewriting::kOriginal, 0});  // staging needs n>1
+  QueryPlanner planner2;
+  planner2.Configure(&p2, &stats, po);
+  planner2.Observe(f, 0);
+  planner2.Observe(f, 0);
+  {
+    const QueryPlan plan = planner2.Plan(f);
+    ASSERT_EQ(plan.escalation, EscalationPolicy::kSplit);
+    EXPECT_EQ(plan.stages[1].steps[0].split, 2u);
+  }
+}
+
+}  // namespace
+}  // namespace psi

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
 #include <vector>
 
 namespace psi {
@@ -53,6 +55,39 @@ TEST(PercentileTest, InterpolatesBetweenClosestRanks) {
   EXPECT_DOUBLE_EQ(Percentile({}, 50.0), 0.0);
   const double one[] = {7.0};
   EXPECT_DOUBLE_EQ(Percentile(one, 99.0), 7.0);
+}
+
+TEST(PercentileTest, NonFiniteSamplesAndRanksAreHardened) {
+  const double inf = std::numeric_limits<double>::infinity();
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  // Non-finite samples are dropped before sorting — one stray inf must
+  // not leak into every high percentile a bench writes to JSON.
+  const double mixed[] = {10.0, inf, 20.0, nan, 30.0, -inf, 40.0};
+  EXPECT_DOUBLE_EQ(Percentile(mixed, 50.0), 25.0);
+  EXPECT_DOUBLE_EQ(Percentile(mixed, 100.0), 40.0);
+  EXPECT_DOUBLE_EQ(Percentile(mixed, 0.0), 10.0);
+  // All-non-finite behaves like empty.
+  const double junk[] = {nan, inf, -inf};
+  EXPECT_DOUBLE_EQ(Percentile(junk, 99.0), 0.0);
+  // A NaN p normalizes to 0 (the minimum) instead of riding through the
+  // rank arithmetic.
+  const double v[] = {10.0, 20.0, 30.0, 40.0};
+  EXPECT_DOUBLE_EQ(Percentile(v, nan), 10.0);
+  // Single sample: every p returns it.
+  const double one[] = {7.0};
+  for (double p : {0.0, 50.0, 99.9, 100.0}) {
+    EXPECT_DOUBLE_EQ(Percentile(one, p), 7.0) << p;
+  }
+  // The result is finite for any input and any p.
+  EXPECT_TRUE(std::isfinite(Percentile(mixed, 99.0)));
+  EXPECT_TRUE(std::isfinite(Percentile(junk, nan)));
+}
+
+TEST(PercentileTest, NonIntegerRankInterpolation) {
+  // Five samples: p90 lands at rank 3.6 -> 40 + 0.6 * (50 - 40) = 46.
+  const double v[] = {10.0, 20.0, 30.0, 40.0, 50.0};
+  EXPECT_DOUBLE_EQ(Percentile(v, 90.0), 46.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 10.0), 14.0);
 }
 
 TEST(PercentileTest, TailSeparatesStragglersFromTheMedian) {
@@ -147,6 +182,19 @@ TEST(PoolGaugesTest, DerivedRatesAndFormatting) {
   EXPECT_NE(s.find("executed=80"), std::string::npos);
   EXPECT_NE(s.find("discarded=20"), std::string::npos);
   EXPECT_NE(s.find("util=50%"), std::string::npos);
+}
+
+TEST(PoolGaugesTest, KernelGaugesRenderStealCountersWhenPresent) {
+  PoolGauges g;
+  g.kernel_matches = 3;
+  EXPECT_EQ(FormatKernelGauges(g).find("steal_"), std::string::npos);
+  g.kernel_steal_spills = 12;
+  g.kernel_steal_stolen = 7;
+  g.kernel_steal_declined = 5;
+  const std::string s = FormatKernelGauges(g);
+  EXPECT_NE(s.find("steal_spills=12"), std::string::npos) << s;
+  EXPECT_NE(s.find("steal_stolen=7"), std::string::npos) << s;
+  EXPECT_NE(s.find("steal_declined=5"), std::string::npos) << s;
 }
 
 TEST(PoolGaugesTest, EmptyPoolIsWellDefined) {
