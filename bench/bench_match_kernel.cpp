@@ -16,6 +16,7 @@
 #include "core/label_stats.hpp"
 #include "graphql/graphql.hpp"
 #include "match/candidate_index.hpp"
+#include "match/intersect.hpp"
 #include "metrics/metrics.hpp"
 #include "psi/portfolio.hpp"
 #include "quicksi/quicksi.hpp"
@@ -44,17 +45,24 @@ struct Arm {
   uint64_t nlf_rejects = 0;
   uint64_t bitset_checks = 0;
   uint64_t slice_candidates = 0;
+  uint64_t multiway = 0;
+  uint64_t simd_gallops = 0;
+  uint64_t shortcuts = 0;
   uint64_t embeddings = 0;
 };
 
 // Serial per-matcher workload pass, accumulating the effort counters the
-// runner records discard.
+// runner records discard. `multiway`/`simd` ride the MatchOptions
+// tri-states (-1 = environment default).
 Arm RunArm(const Matcher& m, std::span<const gen::Query> workload,
-           double cap_ms) {
+           double cap_ms, int multiway = -1, int simd = -1,
+           uint64_t max_embeddings = 1000 /* paper §3.2 */) {
   Arm a;
   for (const auto& q : workload) {
     MatchOptions mo;
-    mo.max_embeddings = 1000;  // paper §3.2
+    mo.max_embeddings = max_embeddings;
+    mo.multiway = multiway;
+    mo.simd = simd;
     if (cap_ms > 0) {
       mo.deadline = Deadline::After(
           std::chrono::nanoseconds(static_cast<int64_t>(cap_ms * 1e6)));
@@ -66,6 +74,9 @@ Arm RunArm(const Matcher& m, std::span<const gen::Query> workload,
     a.nlf_rejects += r.stats.nlf_rejects;
     a.bitset_checks += r.stats.bitset_edge_checks;
     a.slice_candidates += r.stats.slice_candidates;
+    a.multiway += r.stats.multiway_intersections;
+    a.simd_gallops += r.stats.simd_galloped;
+    a.shortcuts += r.stats.intersection_shortcuts;
     a.embeddings += r.embedding_count;
   }
   return a;
@@ -73,11 +84,152 @@ Arm RunArm(const Matcher& m, std::span<const gen::Query> workload,
 
 double Ratio(double num, double den) { return den > 0 ? num / den : 0.0; }
 
+// Cyclic NFV workload: only queries with at least one cycle. A tree query
+// never gives a connected matching order two matched backward neighbours,
+// so it can't exercise the multiway kernel at all — the generated
+// workloads are tree-heavy on sparse graphs, which would measure nothing.
+std::vector<gen::Query> CyclicWorkload(const Graph& g,
+                                       std::vector<uint32_t> sizes,
+                                       uint32_t per_size, uint64_t seed) {
+  std::vector<gen::Query> all;
+  for (uint32_t s : sizes) {
+    uint32_t got = 0;
+    for (uint64_t round = 0; round < 200 && got < per_size; ++round) {
+      auto w = gen::GenerateWorkload(g, per_size, s,
+                                     seed + s * 131 + round * 10007);
+      if (!w.ok()) continue;
+      for (auto& q : *w) {
+        if (got < per_size &&
+            q.graph.num_edges() >= q.graph.num_vertices()) {
+          all.push_back(std::move(q));
+          ++got;
+        }
+      }
+    }
+  }
+  return all;
+}
+
+// --multiway: the WCOJ extension kernel (match/intersect.hpp) against the
+// PR 5 enumerate-then-check path, all under the shared index — legacy
+// (multiway off) vs. multiway at the scalar level vs. multiway at the
+// active SIMD level. Same workload, same answers, fewer candidates tried.
+int RunMultiwayComparison(JsonOut& json, const Graph& g, double cap_ms) {
+  // Small cyclic motifs (triangles, squares, diamonds, near-cliques):
+  // nearly every extension past depth 1 closes a cycle, which is the
+  // workload shape WCOJ-style intersection exists for. Larger generated
+  // queries are tree-dominated — one shallow cycle closer, then deep
+  // tree enumeration the kernel rightly leaves to the anchored path.
+  const auto workload =
+      CyclicWorkload(g, {3, 4, 5, 6}, QueriesPerSize(12), /*seed=*/20260808);
+  std::cout << "cyclic workload: " << workload.size() << " queries\n";
+  const auto shared_index = CandidateIndex::Build(g);
+  std::cout << "active SIMD level: " << ToString(ActiveSimdLevel()) << "\n\n";
+  json.Metric("simd_level", static_cast<double>(ActiveSimdLevel()));
+
+  const char* names[] = {"VF2", "QSI", "GQL", "SPA"};
+  struct ArmSpec {
+    const char* tag;
+    int multiway;
+    int simd;
+  };
+  const ArmSpec arms[] = {
+      {"legacy", 0, 0}, {"scalar", 1, 0}, {"simd", 1, -1}};
+  double wall[3] = {0, 0, 0};
+  uint64_t tried[3] = {0, 0, 0};
+  std::cout << "matcher  arm      wall_ms      tried   multiway  "
+               "gallops  shortcuts\n";
+  for (int which = 0; which < 4; ++which) {
+    auto m = MakeMatcher(which);
+    m->set_candidate_index(shared_index);
+    if (!m->Prepare(g).ok()) {
+      std::cerr << "prepare failed\n";
+      return 1;
+    }
+    // Deep searches (100k embeddings, same per-query deadline): this mode
+    // measures enumeration kernel throughput, so don't let per-Match fixed
+    // costs (stage-1 candidate building, path decomposition) dominate the
+    // way the 1000-cap serving runs do.
+    constexpr uint64_t kDeepCap = 100000;
+    Arm results[3];
+    RunArm(*m, workload, cap_ms, 0, 0, kDeepCap);  // warm-up
+    for (int a = 0; a < 3; ++a) {
+      // Best-of-3: counters are deterministic across rounds; wall-clock
+      // takes the least-disturbed round.
+      results[a] = RunArm(*m, workload, cap_ms, arms[a].multiway,
+                          arms[a].simd, kDeepCap);
+      for (int round = 1; round < 3; ++round) {
+        const Arm r = RunArm(*m, workload, cap_ms, arms[a].multiway,
+                             arms[a].simd, kDeepCap);
+        if (r.wall_ms < results[a].wall_ms) results[a] = r;
+      }
+      std::printf("%-7s  %-6s  %9.2f  %9llu  %9llu  %7llu  %9llu\n",
+                  names[which], arms[a].tag, results[a].wall_ms,
+                  static_cast<unsigned long long>(results[a].tried),
+                  static_cast<unsigned long long>(results[a].multiway),
+                  static_cast<unsigned long long>(results[a].simd_gallops),
+                  static_cast<unsigned long long>(results[a].shortcuts));
+      wall[a] += results[a].wall_ms;
+      tried[a] += results[a].tried;
+      if (results[a].embeddings != results[0].embeddings) {
+        std::cerr << "ANSWER DIVERGENCE in " << names[which] << "/"
+                  << arms[a].tag << ": " << results[a].embeddings << " vs "
+                  << results[0].embeddings << "\n";
+        return 1;
+      }
+    }
+    const double speedup = Ratio(results[0].wall_ms, results[2].wall_ms);
+    std::printf("%-7s  =>    tried x%.2f   wall x%.2f (simd vs legacy)\n\n",
+                names[which],
+                Ratio(static_cast<double>(results[0].tried),
+                      static_cast<double>(results[2].tried)),
+                speedup);
+    json.Metric(std::string("multiway_wall_speedup_") + names[which],
+                speedup);
+    json.Metric(std::string("multiway_wall_ms_legacy_") + names[which],
+                results[0].wall_ms);
+    json.Metric(std::string("multiway_wall_ms_scalar_") + names[which],
+                results[1].wall_ms);
+    json.Metric(std::string("multiway_wall_ms_simd_") + names[which],
+                results[2].wall_ms);
+    json.Metric(std::string("multiway_tried_reduction_") + names[which],
+                Ratio(static_cast<double>(results[0].tried),
+                      static_cast<double>(results[2].tried)));
+  }
+
+  const double tried_reduction =
+      Ratio(static_cast<double>(tried[0]), static_cast<double>(tried[2]));
+  const double wall_speedup = Ratio(wall[0], wall[2]);
+  const double simd_over_scalar = Ratio(wall[1], wall[2]);
+  std::cout << "aggregate: tried x" << tried_reduction << ", wall x"
+            << wall_speedup << " (simd vs legacy), simd vs scalar x"
+            << simd_over_scalar << "\n";
+  json.Metric("multiway_tried_reduction_all", tried_reduction);
+  json.Metric("multiway_wall_speedup_all", wall_speedup);
+  json.Metric("multiway_simd_over_scalar", simd_over_scalar);
+
+  Shape(tried_reduction > 1.0,
+        "multiway intersection tries strictly fewer candidates than the "
+        "enumerate-then-check kernel");
+  Shape(wall_speedup > 1.0,
+        "multiway improves serial NFV wall-clock over the PR 5 kernel "
+        "(noisy on shared runners)");
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  JsonOut json("bench_match_kernel", argc, argv);
-  Banner("Match-kernel ablation (index on/off, all four matchers)",
+  bool multiway_mode = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--multiway") multiway_mode = true;
+  }
+  JsonOut json(multiway_mode ? "bench_match_kernel_multiway"
+                             : "bench_match_kernel",
+               argc, argv);
+  Banner(multiway_mode
+             ? "Multiway (WCOJ) extension kernel vs. enumerate-then-check"
+             : "Match-kernel ablation (index on/off, all four matchers)",
          "the candidate-index kernel (no paper figure)");
 
   const Graph g = Yeast();
@@ -88,6 +240,10 @@ int main(int argc, char** argv) {
       NfvWorkload(g, {4, 8, 12}, QueriesPerSize(8), /*seed=*/20260730);
   std::cout << "workload: " << workload.size() << " queries\n\n";
   const double cap_ms = CapMs();
+
+  if (multiway_mode) {
+    return RunMultiwayComparison(json, g, cap_ms);
+  }
 
   const auto t0 = std::chrono::steady_clock::now();
   const auto shared_index = CandidateIndex::Build(g);

@@ -5,6 +5,8 @@
 #include <cstdio>
 #include <cstdlib>
 #include <limits>
+#include <mutex>
+#include <set>
 #include <string>
 #include <thread>
 
@@ -13,6 +15,19 @@ namespace psi {
 namespace {
 
 enum class ParseOutcome { kUnset, kOk, kGarbage, kOverflow };
+
+// Warn at most once per process for each (variable, raw value) pair. A
+// process's environment is fixed at exec, so in production this is
+// exactly once per misconfigured variable; keying on the raw value too
+// keeps the warning honest when tests mutate a variable mid-process.
+// Leaked intentionally: knobs are read from static initializers and
+// destructor order is not worth fighting.
+bool FirstWarningFor(const char* name, const char* raw) {
+  static std::mutex mu;
+  static auto* seen = new std::set<std::string>();
+  std::lock_guard<std::mutex> lock(mu);
+  return seen->insert(std::string(name) + "=" + raw).second;
+}
 
 ParseOutcome ParseInt(const char* raw, int64_t* out) {
   if (raw == nullptr || *raw == '\0') return ParseOutcome::kUnset;
@@ -41,24 +56,30 @@ int64_t EnvIntClamped(const char* name, int64_t def, int64_t min_v,
     case ParseOutcome::kUnset:
       return fallback;
     case ParseOutcome::kGarbage:
-      std::fprintf(stderr,
-                   "psi: %s=\"%s\" is not an integer; using %lld\n", name,
-                   raw, static_cast<long long>(fallback));
+      if (FirstWarningFor(name, raw)) {
+        std::fprintf(stderr,
+                     "psi: %s=\"%s\" is not an integer; using %lld\n", name,
+                     raw, static_cast<long long>(fallback));
+      }
       return fallback;
     case ParseOutcome::kOverflow:
-      std::fprintf(stderr,
-                   "psi: %s=\"%s\" overflows; using %lld\n", name, raw,
-                   static_cast<long long>(fallback));
+      if (FirstWarningFor(name, raw)) {
+        std::fprintf(stderr,
+                     "psi: %s=\"%s\" overflows; using %lld\n", name, raw,
+                     static_cast<long long>(fallback));
+      }
       return fallback;
     case ParseOutcome::kOk:
       break;
   }
   if (v < min_v || v > max_v) {
     const int64_t clamped = std::clamp(v, min_v, max_v);
-    std::fprintf(
-        stderr, "psi: %s=%lld out of range [%lld, %lld]; using %lld\n", name,
-        static_cast<long long>(v), static_cast<long long>(min_v),
-        static_cast<long long>(max_v), static_cast<long long>(clamped));
+    if (FirstWarningFor(name, raw)) {
+      std::fprintf(
+          stderr, "psi: %s=%lld out of range [%lld, %lld]; using %lld\n",
+          name, static_cast<long long>(v), static_cast<long long>(min_v),
+          static_cast<long long>(max_v), static_cast<long long>(clamped));
+    }
     return clamped;
   }
   return v;
@@ -153,6 +174,14 @@ int64_t MatchSteal() {
 
 int64_t MatchStealDepth() {
   return EnvIntClamped("PSI_MATCH_STEAL_DEPTH", 1, 1, 8);
+}
+
+bool MatchSimdEnabled() {
+  return EnvIntClamped("PSI_MATCH_SIMD", 1, 0, 1) != 0;
+}
+
+bool MatchMultiwayEnabled() {
+  return EnvIntClamped("PSI_MATCH_MULTIWAY", 1, 0, 1) != 0;
 }
 
 }  // namespace psi

@@ -125,6 +125,19 @@ int64_t MatchSteal();
 /// of the enumeration order.
 int64_t MatchStealDepth();
 
+/// SIMD kill switch for the multiway intersection kernel (PSI_MATCH_SIMD,
+/// default 1, clamped to [0, 1]): 0 pins the scalar galloping
+/// intersection, non-zero lets runtime dispatch pick the best CPU path
+/// (AVX2, then SSE4.2, then scalar). Never changes answers or streams.
+bool MatchSimdEnabled();
+
+/// WCOJ-style multiway extension default (PSI_MATCH_MULTIWAY, default 1,
+/// clamped to [0, 1]): 0 restores the PR 5 enumerate-then-check inner
+/// loop; non-zero extends partial embeddings by intersecting all matched
+/// backward neighbours' label slices at once (match/intersect.hpp).
+/// Requires the candidate index; never changes answers or streams.
+bool MatchMultiwayEnabled();
+
 }  // namespace psi
 
 #endif  // PSI_CORE_ENV_HPP_

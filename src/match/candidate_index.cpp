@@ -41,6 +41,7 @@ std::shared_ptr<const CandidateIndex> CandidateIndex::Build(
   }
   x.adj_.resize(x.vert_offsets_[n]);
   x.adj_edge_labels_.resize(x.vert_offsets_[n]);
+  x.adj_keys_.resize(x.vert_offsets_[n]);
 
   // Pass 2: regroup each neighbour list by (label, degree, id) and record
   // the per-label range directory. Low-degree neighbours lead each slice:
@@ -68,6 +69,7 @@ std::shared_ptr<const CandidateIndex> CandidateIndex::Build(
       const VertexId w = nb[perm[i]];
       x.adj_[base + i] = w;
       x.adj_edge_labels_[base + i] = el[perm[i]];
+      x.adj_keys_[base + i] = (uint64_t{g.degree(w)} << 32) | w;
       const LabelId l = g.label(w);
       if (l != prev) {
         x.dir_labels_.push_back(l);
@@ -135,7 +137,8 @@ CandidateIndex::LabelSlice CandidateIndex::Slice(VertexId v, LabelId l) const {
   const uint32_t end =
       k + 1 < dend ? dir_begins_[k + 1] : vert_offsets_[v + 1];
   return {{adj_.data() + begin, adj_.data() + end},
-          {adj_edge_labels_.data() + begin, adj_edge_labels_.data() + end}};
+          {adj_edge_labels_.data() + begin, adj_edge_labels_.data() + end},
+          {adj_keys_.data() + begin, adj_keys_.data() + end}};
 }
 
 std::vector<uint64_t> CandidateIndex::QueryNlf(const Graph& query) {
@@ -149,6 +152,7 @@ std::vector<uint64_t> CandidateIndex::QueryNlf(const Graph& query) {
 size_t CandidateIndex::memory_bytes() const {
   return adj_.size() * sizeof(VertexId) +
          adj_edge_labels_.size() * sizeof(LabelId) +
+         adj_keys_.size() * sizeof(uint64_t) +
          vert_offsets_.size() * sizeof(uint32_t) +
          dir_offsets_.size() * sizeof(uint32_t) +
          dir_labels_.size() * sizeof(LabelId) +

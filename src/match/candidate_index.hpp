@@ -85,6 +85,11 @@ class CandidateIndex {
   struct LabelSlice {
     std::span<const VertexId> vertices;
     std::span<const LabelId> edge_labels;
+    /// Packed sort keys parallel to `vertices`: (degree << 32) | id. A
+    /// slice's (degree, id) order makes the keys strictly increasing, so
+    /// slices intersect like sorted sets (match/intersect.hpp) and the
+    /// intersection inherits slice emission order.
+    std::span<const uint64_t> keys;
     bool empty() const { return vertices.empty(); }
     size_t size() const { return vertices.size(); }
   };
@@ -165,7 +170,10 @@ class CandidateIndex {
   /// data vertex `qw` is mapped to, or kInvalidVertex when unmatched.
   /// Returns kInvalidVertex when no neighbour is matched. The choice only
   /// changes effort, never answers: every surviving candidate must be
-  /// adjacent to all matched images anyway.
+  /// adjacent to all matched images anyway. Equal costs break to the
+  /// smaller image id, so the anchor — and with it the plan's effort
+  /// profile — is reproducible across runs regardless of which matched
+  /// neighbour the query iterates first.
   template <typename ImageFn>
   static VertexId PickAnchorImage(const CandidateIndex* index,
                                   const Graph& q, const Graph& g,
@@ -179,7 +187,8 @@ class CandidateIndex {
       const size_t cost = index != nullptr
                               ? index->Slice(img, ul).size()
                               : g.degree(img);
-      if (best_img == kInvalidVertex || cost < best) {
+      if (best_img == kInvalidVertex || cost < best ||
+          (cost == best && img < best_img)) {
         best_img = img;
         best = cost;
       }
@@ -223,6 +232,7 @@ class CandidateIndex {
   std::vector<uint32_t> vert_offsets_;   // size n+1
   std::vector<VertexId> adj_;            // size 2|E|
   std::vector<LabelId> adj_edge_labels_; // size 2|E|, parallel to adj_
+  std::vector<uint64_t> adj_keys_;       // size 2|E|, (degree << 32) | id
   // Per-vertex label directory: entries [dir_offsets_[v], dir_offsets_[v+1])
   // of (dir_labels_, dir_begins_), labels ascending; a range ends where the
   // next begins (or at the vertex's adjacency end).

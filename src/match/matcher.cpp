@@ -18,6 +18,11 @@ void MatchKernelStats::AddTo(PoolGauges* g) const {
   g->kernel_bitset_checks += bitset_checks_.load(std::memory_order_relaxed);
   g->kernel_slice_candidates +=
       slice_candidates_.load(std::memory_order_relaxed);
+  g->kernel_multiway_intersections +=
+      multiway_intersections_.load(std::memory_order_relaxed);
+  g->kernel_simd_galloped += simd_galloped_.load(std::memory_order_relaxed);
+  g->kernel_intersection_shortcuts +=
+      intersection_shortcuts_.load(std::memory_order_relaxed);
   g->kernel_split_matches += split_matches_.load(std::memory_order_relaxed);
   g->kernel_split_tasks += split_tasks_.load(std::memory_order_relaxed);
   g->kernel_split_tasks_inline +=

@@ -121,6 +121,25 @@ struct MatchOptions {
   /// Subtree spill hook; null disables stealing for the call.
   MatchSpill* spill = nullptr;
 
+  // ---- Multiway (WCOJ) extension kernel (match/intersect.hpp) ----
+  //
+  // When enabled and the candidate index is active, a matcher extends a
+  // partial embedding whose next query vertex has >= 2 matched backward
+  // neighbours by intersecting all their label slices at once instead of
+  // enumerating one and checking the rest per candidate. The embedding
+  // stream is byte-identical either way (the survivor set is the same
+  // intersection, emitted in the same (degree, id) slice order); only the
+  // effort counters move.
+
+  /// Tri-state: -1 = environment default (PSI_MATCH_MULTIWAY, on), 0 =
+  /// off (the enumerate-then-check inner loop), anything else = on.
+  int multiway = -1;
+  /// Tri-state SIMD switch for the intersection kernel: 0 = scalar,
+  /// anything else (including the default -1) = best available path per
+  /// PSI_MATCH_SIMD and runtime CPU dispatch. Scalar and SIMD paths
+  /// produce identical output.
+  int simd = -1;
+
   bool split_task() const { return num_root_ranges > 1; }
   /// True for the range that owns the shared (pre-enumeration) counters.
   /// Resumed calls never are: their owner counted that work already.
@@ -156,6 +175,13 @@ struct MatchStats {
   uint64_t bitset_edge_checks = 0;  ///< edge checks answered by hub bitsets
   uint64_t slice_candidates = 0;    ///< candidates drawn from label slices
                                     ///< (sum of enumerated slice sizes)
+  uint64_t multiway_intersections = 0;  ///< WCOJ extensions performed
+                                        ///< (match/intersect.hpp)
+  uint64_t simd_galloped = 0;       ///< pairwise intersections that ran on
+                                    ///< a SIMD path (SSE4.2/AVX2)
+  uint64_t intersection_shortcuts = 0;  ///< extensions refuted before or
+                                        ///< during intersection (an empty
+                                        ///< input or empty partial result)
 
   void Add(const MatchStats& o) {
     recursion_nodes += o.recursion_nodes;
@@ -163,6 +189,9 @@ struct MatchStats {
     nlf_rejects += o.nlf_rejects;
     bitset_edge_checks += o.bitset_edge_checks;
     slice_candidates += o.slice_candidates;
+    multiway_intersections += o.multiway_intersections;
+    simd_galloped += o.simd_galloped;
+    intersection_shortcuts += o.intersection_shortcuts;
   }
 };
 
@@ -184,6 +213,11 @@ class MatchKernelStats {
     bitset_checks_.fetch_add(s.bitset_edge_checks, std::memory_order_relaxed);
     slice_candidates_.fetch_add(s.slice_candidates,
                                 std::memory_order_relaxed);
+    multiway_intersections_.fetch_add(s.multiway_intersections,
+                                      std::memory_order_relaxed);
+    simd_galloped_.fetch_add(s.simd_galloped, std::memory_order_relaxed);
+    intersection_shortcuts_.fetch_add(s.intersection_shortcuts,
+                                      std::memory_order_relaxed);
   }
 
   /// One split-enumerated Match() call (match/parallel.hpp):
@@ -244,6 +278,9 @@ class MatchKernelStats {
   std::atomic<uint64_t> nlf_rejects_{0};
   std::atomic<uint64_t> bitset_checks_{0};
   std::atomic<uint64_t> slice_candidates_{0};
+  std::atomic<uint64_t> multiway_intersections_{0};
+  std::atomic<uint64_t> simd_galloped_{0};
+  std::atomic<uint64_t> intersection_shortcuts_{0};
   std::atomic<uint64_t> split_matches_{0};
   std::atomic<uint64_t> split_tasks_{0};
   std::atomic<uint64_t> split_tasks_inline_{0};

@@ -235,6 +235,12 @@ std::string FormatKernelGauges(const PoolGauges& g) {
   out += " nlf_rejects=" + std::to_string(g.kernel_nlf_rejects);
   out += " bitset_checks=" + std::to_string(g.kernel_bitset_checks);
   out += " slice_cands=" + std::to_string(g.kernel_slice_candidates);
+  if (g.kernel_multiway_intersections > 0 ||
+      g.kernel_intersection_shortcuts > 0) {
+    out += " multiway=" + std::to_string(g.kernel_multiway_intersections);
+    out += " simd_gallops=" + std::to_string(g.kernel_simd_galloped);
+    out += " shortcuts=" + std::to_string(g.kernel_intersection_shortcuts);
+  }
   if (g.kernel_split_matches > 0) {
     out += " split=" + std::to_string(g.kernel_split_matches);
     out += " split_tasks=" + std::to_string(g.kernel_split_tasks);

@@ -150,6 +150,12 @@ struct PoolGauges {
   uint64_t kernel_bitset_checks = 0;     ///< edge checks hub bitsets answered
   uint64_t kernel_slice_candidates = 0;  ///< candidates drawn from label
                                          ///< slices (sum of slice sizes)
+  // Multiway (WCOJ) extension gauges (match/intersect.hpp).
+  uint64_t kernel_multiway_intersections = 0;  ///< WCOJ extensions performed
+  uint64_t kernel_simd_galloped = 0;  ///< pairwise intersections on a SIMD
+                                      ///< path (SSE4.2/AVX2)
+  uint64_t kernel_intersection_shortcuts = 0;  ///< extensions refuted early
+                                               ///< (empty input or partial)
   // Intra-query split-enumeration gauges (match/parallel.hpp).
   uint64_t kernel_split_matches = 0;  ///< Match() calls that actually split
   uint64_t kernel_split_tasks = 0;    ///< range tasks run on the pool

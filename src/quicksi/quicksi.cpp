@@ -4,6 +4,7 @@
 #include <chrono>
 
 #include "match/candidate_index.hpp"
+#include "match/intersect.hpp"
 
 namespace psi {
 
@@ -32,7 +33,14 @@ class QsiSearch {
         guard_(opts.stop, opts.deadline, opts.guard_period, opts.stop2),
         map_(q.num_vertices(), kInvalidVertex),
         used_(g.num_vertices(), 0) {
-    if (index_ != nullptr) qnlf_ = CandidateIndex::QueryNlf(q);
+    if (index_ != nullptr) {
+      qnlf_ = CandidateIndex::QueryNlf(q);
+      if (ResolveMultiwayEnabled(opts.multiway)) {
+        multiway_ = true;
+        simd_ = ResolveSimdLevel(opts.simd);
+        mw_.resize(q.num_vertices());
+      }
+    }
   }
 
   MatchResult Run() {
@@ -126,7 +134,30 @@ class QsiSearch {
     // order; without it, plain ascending id.
     std::span<const VertexId> candidates;
     std::span<const LabelId> via_labels;
-    if (e.parent != kInvalidVertex) {
+    // Multiway (WCOJ) extension: a tree child with back edges has >= 2
+    // matched backward neighbours (parent + back edges); intersect all
+    // their label slices at once (match/intersect.hpp). Survivors arrive
+    // in the parent slice's subsequence order — the stream is unchanged —
+    // with the via-label and back-edge checks already settled, so the
+    // survivor loop only tests injectivity. Skipped at a non-zero resume
+    // cursor (spilled subtrees resume at cursor 0 in practice).
+    bool mw = false;
+    if (multiway_ && e.parent != kInvalidVertex && !e.back_edges.empty() &&
+        (opts_.resume == nullptr ||
+         depth != static_cast<uint32_t>(opts_.resume->prefix.size()) ||
+         opts_.resume->cursor == 0)) {
+      auto& scr = mw_[depth];
+      scr.inputs.clear();
+      scr.inputs.push_back({map_[e.parent], e.parent_edge_label});
+      for (size_t i = 0; i < e.back_edges.size(); ++i) {
+        scr.inputs.push_back(
+            {map_[e.back_edges[i]], e.back_edge_labels[i]});
+      }
+      candidates =
+          ExtendCandidates(*index_, g_, q_.label(e.vertex), simd_, scr,
+                           stats_);
+      mw = true;
+    } else if (e.parent != kInvalidVertex) {
       if (index_ != nullptr) {
         const CandidateIndex::LabelSlice slice =
             index_->Slice(map_[e.parent], q_.label(e.vertex));
@@ -162,9 +193,15 @@ class QsiSearch {
         continue;
       }
       ++stats_.candidates_tried;
-      const LabelId via =
-          via_labels.empty() ? e.parent_edge_label : via_labels[ci];
-      if (!Feasible(e, gv, via)) continue;
+      if (mw) {
+        // Label, via-label and back edges are settled by the
+        // intersection; only injectivity remains.
+        if (used_[gv]) continue;
+      } else {
+        const LabelId via =
+            via_labels.empty() ? e.parent_edge_label : via_labels[ci];
+        if (!Feasible(e, gv, via)) continue;
+      }
       if (!Place(depth, gv)) return false;
     }
     return true;
@@ -182,6 +219,11 @@ class QsiSearch {
   std::vector<uint8_t> used_;
   std::vector<uint64_t> qnlf_;  // empty when index_ == nullptr
   std::vector<VertexId> spill_buf_;  // prefix scratch for Offer()
+  // Multiway extension kernel (match/intersect.hpp); per-depth scratch so
+  // deeper extensions never clobber an outer survivor span.
+  bool multiway_ = false;
+  SimdLevel simd_ = SimdLevel::kScalar;
+  std::vector<MultiwayScratch> mw_;
 };
 
 }  // namespace

@@ -5,6 +5,7 @@
 #include <deque>
 
 #include "match/candidate_index.hpp"
+#include "match/intersect.hpp"
 #include "match/scratch.hpp"
 
 namespace psi {
@@ -104,6 +105,11 @@ class SpaSearch {
         nv_(g.num_vertices()),
         guard_(opts.stop, opts.deadline, opts.guard_period, opts.stop2) {
     scr_.BeginCall(q.num_vertices(), nv_);
+    if (index_ != nullptr && ResolveMultiwayEnabled(opts.multiway)) {
+      multiway_ = true;
+      simd_ = ResolveSimdLevel(opts.simd);
+      mw_.resize(q.num_vertices());
+    }
   }
 
   MatchResult Run() {
@@ -224,40 +230,68 @@ class SpaSearch {
     if (depth != 0 || opts_.primary_range()) ++stats_.recursion_nodes;
     const VertexId u = scr_.order[depth];
     const LabelId ul = q_.label(u);
-    const VertexId anchor_img = CandidateIndex::PickAnchorImage(
-        index_, q_, g_, u, ul,
-        [this](VertexId w) { return scr_.map[w]; });
-    std::span<const VertexId> source = CandidateIndex::AnchoredSource(
-        index_, g_, anchor_img, ul,
-        std::span<const VertexId>(scr_.cand_list[u]), stats_);
-    // A split task enumerates only its block of the root frontier.
-    if (depth == 0) source = SplitRootCandidates(source, opts_);
-    // A resumed call skips the candidates before its cursor at the resume
-    // depth (entered exactly once, straight from Run).
-    if (opts_.resume != nullptr &&
-        depth == static_cast<uint32_t>(opts_.resume->prefix.size())) {
-      source = source.subspan(
-          std::min<size_t>(opts_.resume->cursor, source.size()));
+    // Multiway (WCOJ) extension: with >= 2 placed neighbours, intersect
+    // all their label slices at once (match/intersect.hpp) — the survivor
+    // sequence equals the anchored enumeration filtered by the edge loop,
+    // in the same (degree, id) order. Skipped at a non-zero resume cursor
+    // (spilled subtrees resume at cursor 0 in practice).
+    std::span<const VertexId> source;
+    bool mw = false;
+    if (multiway_ && depth > 0 &&
+        (opts_.resume == nullptr ||
+         depth != static_cast<uint32_t>(opts_.resume->prefix.size()) ||
+         opts_.resume->cursor == 0)) {
+      auto& mws = mw_[depth];
+      mws.inputs.clear();
+      auto qadj = q_.neighbors(u);
+      auto qel = q_.edge_labels(u);
+      for (size_t i = 0; i < qadj.size(); ++i) {
+        const VertexId img = scr_.map[qadj[i]];
+        if (img != kInvalidVertex) mws.inputs.push_back({img, qel[i]});
+      }
+      if (mws.inputs.size() >= 2) {
+        source = ExtendCandidates(*index_, g_, ul, simd_, mws, stats_);
+        mw = true;
+      }
+    }
+    if (!mw) {
+      const VertexId anchor_img = CandidateIndex::PickAnchorImage(
+          index_, q_, g_, u, ul,
+          [this](VertexId w) { return scr_.map[w]; });
+      source = CandidateIndex::AnchoredSource(
+          index_, g_, anchor_img, ul,
+          std::span<const VertexId>(scr_.cand_list[u]), stats_);
+      // A split task enumerates only its block of the root frontier.
+      if (depth == 0) source = SplitRootCandidates(source, opts_);
+      // A resumed call skips the candidates before its cursor at the
+      // resume depth (entered exactly once, straight from Run).
+      if (opts_.resume != nullptr &&
+          depth == static_cast<uint32_t>(opts_.resume->prefix.size())) {
+        source = source.subspan(
+            std::min<size_t>(opts_.resume->cursor, source.size()));
+      }
     }
     for (VertexId v : source) {
       if (guard_.Check() != Interrupt::kNone) return false;
       ++stats_.candidates_tried;
       if (Used(v) || !CandBit(u, v)) continue;
-      // Edge-by-edge verification against the partial embedding,
-      // edge labels included.
-      bool edges_ok = true;
-      auto qadj = q_.neighbors(u);
-      auto qel = q_.edge_labels(u);
-      for (size_t i = 0; i < qadj.size(); ++i) {
-        const VertexId w = qadj[i];
-        if (scr_.map[w] == kInvalidVertex) continue;
-        if (!CandidateIndex::CheckEdge(index_, g_, v, scr_.map[w], qel[i],
-                                       stats_)) {
-          edges_ok = false;
-          break;
+      if (!mw) {
+        // Edge-by-edge verification against the partial embedding, edge
+        // labels included (the intersection settles this for survivors).
+        bool edges_ok = true;
+        auto qadj = q_.neighbors(u);
+        auto qel = q_.edge_labels(u);
+        for (size_t i = 0; i < qadj.size(); ++i) {
+          const VertexId w = qadj[i];
+          if (scr_.map[w] == kInvalidVertex) continue;
+          if (!CandidateIndex::CheckEdge(index_, g_, v, scr_.map[w], qel[i],
+                                         stats_)) {
+            edges_ok = false;
+            break;
+          }
         }
+        if (!edges_ok) continue;
       }
-      if (!edges_ok) continue;
       scr_.map[u] = v;
       SetUsed(v);
       const bool keep_going = Recurse(depth + 1);
@@ -281,6 +315,11 @@ class SpaSearch {
   MatchStats stats_;
   uint64_t found_ = 0;
   std::vector<VertexId> spill_buf_;  // prefix scratch for Offer()
+  // Multiway extension kernel (match/intersect.hpp); per-depth scratch so
+  // deeper extensions never clobber an outer survivor span.
+  bool multiway_ = false;
+  SimdLevel simd_ = SimdLevel::kScalar;
+  std::vector<MultiwayScratch> mw_;
 };
 
 }  // namespace

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "match/candidate_index.hpp"
+#include "match/intersect.hpp"
 
 namespace psi {
 
@@ -25,7 +26,14 @@ class Vf2State {
         core_g_(g.num_vertices(), kInvalidVertex),
         in_q_(q.num_vertices(), 0),
         in_g_(g.num_vertices(), 0) {
-    if (index_ != nullptr) qnlf_ = CandidateIndex::QueryNlf(q);
+    if (index_ != nullptr) {
+      qnlf_ = CandidateIndex::QueryNlf(q);
+      if (ResolveMultiwayEnabled(opts.multiway)) {
+        multiway_ = true;
+        simd_ = ResolveSimdLevel(opts.simd);
+        mw_.resize(q.num_vertices());
+      }
+    }
   }
 
   MatchResult Run() {
@@ -106,8 +114,16 @@ class Vf2State {
         }
       }
     }
-    // Rules 2 & 3 — lookahead: count qv's unmatched neighbours inside and
-    // outside the terminal set; gv must offer at least as many of each.
+    return FeasibleLookahead(qv, gv);
+  }
+
+  // Rules 2 & 3 alone — the multiway survivor check: label and rule 1 are
+  // already established by the intersection (survivors are label-slice
+  // members adjacent to every matched neighbour through the required edge
+  // labels).
+  bool FeasibleLookahead(VertexId qv, VertexId gv) {
+    // Lookahead: count qv's unmatched neighbours inside and outside the
+    // terminal set; gv must offer at least as many of each.
     uint32_t q_term = 0, q_new = 0;
     for (VertexId qw : q_.neighbors(qv)) {
       if (core_q_[qw] != kInvalidVertex) continue;
@@ -179,20 +195,47 @@ class Vf2State {
     // full adjacency, and the anchor itself is chosen by the size of that
     // label-restricted slice, not raw degree (PickAnchorImage).
     const LabelId ql = q_.label(qv);
-    const VertexId anchor = CandidateIndex::PickAnchorImage(
-        index_, q_, g_, qv, ql,
-        [this](VertexId qw) { return core_q_[qw]; });
-    std::span<const VertexId> candidates =
-        CandidateIndex::AnchoredSource(index_, g_, anchor, ql,
-                                       g_.VerticesWithLabel(ql), stats_);
-    // A split task enumerates only its block of the root frontier.
-    if (depth == 0) candidates = SplitRootCandidates(candidates, opts_);
-    // A resumed call skips the candidates before its cursor at the resume
-    // depth (entered exactly once, straight from Run).
-    if (opts_.resume != nullptr &&
-        depth == static_cast<uint32_t>(opts_.resume->prefix.size())) {
-      candidates = candidates.subspan(
-          std::min<size_t>(opts_.resume->cursor, candidates.size()));
+    // Multiway (WCOJ) extension: with >= 2 matched backward neighbours,
+    // intersect all their label slices at once (match/intersect.hpp). The
+    // survivor sequence equals the legacy anchored enumeration filtered by
+    // rule 1, in the same (degree, id) order, so the stream is unchanged.
+    // Skipped at a non-zero resume cursor (the legacy span subsetting
+    // applies there; in practice spilled subtrees resume at cursor 0).
+    std::span<const VertexId> candidates;
+    bool mw = false;
+    if (multiway_ && depth > 0 &&
+        (opts_.resume == nullptr ||
+         depth != static_cast<uint32_t>(opts_.resume->prefix.size()) ||
+         opts_.resume->cursor == 0)) {
+      auto& scr = mw_[depth];
+      scr.inputs.clear();
+      auto adj = q_.neighbors(qv);
+      auto elabels = q_.edge_labels(qv);
+      for (size_t i = 0; i < adj.size(); ++i) {
+        const VertexId img = core_q_[adj[i]];
+        if (img != kInvalidVertex) scr.inputs.push_back({img, elabels[i]});
+      }
+      if (scr.inputs.size() >= 2) {
+        candidates = ExtendCandidates(*index_, g_, ql, simd_, scr, stats_);
+        mw = true;
+      }
+    }
+    if (!mw) {
+      const VertexId anchor = CandidateIndex::PickAnchorImage(
+          index_, q_, g_, qv, ql,
+          [this](VertexId qw) { return core_q_[qw]; });
+      candidates =
+          CandidateIndex::AnchoredSource(index_, g_, anchor, ql,
+                                         g_.VerticesWithLabel(ql), stats_);
+      // A split task enumerates only its block of the root frontier.
+      if (depth == 0) candidates = SplitRootCandidates(candidates, opts_);
+      // A resumed call skips the candidates before its cursor at the
+      // resume depth (entered exactly once, straight from Run).
+      if (opts_.resume != nullptr &&
+          depth == static_cast<uint32_t>(opts_.resume->prefix.size())) {
+        candidates = candidates.subspan(
+            std::min<size_t>(opts_.resume->cursor, candidates.size()));
+      }
     }
 
     for (VertexId gv : candidates) {
@@ -204,7 +247,7 @@ class Vf2State {
         continue;
       }
       ++stats_.candidates_tried;
-      if (!Feasible(qv, gv)) continue;
+      if (mw ? !FeasibleLookahead(qv, gv) : !Feasible(qv, gv)) continue;
       Push(qv, gv, depth);
       // Track the assignment path up to the spill depth (VF2's vertex
       // order is dynamic, so the prefix cannot be reconstructed from
@@ -233,6 +276,12 @@ class Vf2State {
   std::vector<uint32_t> in_g_;
   // Query-side NLF fingerprints; empty when index_ == nullptr.
   std::vector<uint64_t> qnlf_;
+  // Multiway extension kernel (match/intersect.hpp): enabled only with
+  // the index; one scratch per depth so a deeper extension never clobbers
+  // the survivor span an outer loop is iterating.
+  bool multiway_ = false;
+  SimdLevel simd_ = SimdLevel::kScalar;
+  std::vector<MultiwayScratch> mw_;
   // Data-vertex images along the current path, maintained (only when a
   // spill hook is set) up to the spill depth — the prefix Offer() hands out.
   std::vector<VertexId> path_;

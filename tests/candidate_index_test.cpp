@@ -213,6 +213,52 @@ TEST(CandidateIndexTest, EdgeCheckResolvesEdgeLabelsThroughHubs) {
   EXPECT_FALSE(idx->EdgeCheck(0, 0, 0, stats));
 }
 
+// ---- Anchor selection: deterministic tie-break ----
+
+TEST(CandidateIndexTest, PickAnchorImageBreaksCostTiesBySmallerImageId) {
+  // Two potential anchors with byte-equal costs: v3 and v5, label 0, each
+  // with exactly two label-1 neighbours (equal slices) and degree 2
+  // (equal raw degrees). Whichever matched neighbour the query iterates
+  // first, the anchor must land on the smaller image id — first-wins
+  // would leak the query's neighbour order into the effort profile.
+  const Graph g = MakeGraph({1, 1, 1, 0, 1, 0},
+                            {{3, 0}, {3, 1}, {5, 2}, {5, 4}});
+  const auto idx = CandidateIndex::Build(g, CandidateIndexOptions{});
+  // Query: a path w0 - u - w2 (u = vertex 1), both endpoints matched.
+  const Graph q = MakeGraph({0, 0, 0}, {{0, 1}, {1, 2}});
+  for (bool swapped : {false, true}) {
+    const VertexId img0 = swapped ? 3u : 5u;
+    const VertexId img2 = swapped ? 5u : 3u;
+    const auto image = [&](VertexId w) {
+      if (w == 0) return img0;
+      if (w == 2) return img2;
+      return kInvalidVertex;
+    };
+    // Index arm: slice sizes tie at 2.
+    EXPECT_EQ(CandidateIndex::PickAnchorImage(idx.get(), q, g, /*u=*/1,
+                                              /*ul=*/1, image),
+              3u)
+        << "swapped=" << swapped;
+    // No-index arm: raw degrees tie at 2.
+    EXPECT_EQ(CandidateIndex::PickAnchorImage(nullptr, q, g, /*u=*/1,
+                                              /*ul=*/1, image),
+              3u)
+        << "swapped=" << swapped;
+  }
+  // Unequal costs still win over the id tie-break: grow v5's label-1
+  // slice and it loses to v3 outright, smaller id or not.
+  const Graph g2 = MakeGraph({1, 1, 1, 0, 1, 0, 1},
+                             {{3, 0}, {3, 1}, {5, 2}, {5, 4}, {5, 6}});
+  const auto idx2 = CandidateIndex::Build(g2, CandidateIndexOptions{});
+  const auto image2 = [](VertexId w) {
+    if (w == 0) return VertexId{5};
+    if (w == 2) return VertexId{3};
+    return kInvalidVertex;
+  };
+  EXPECT_EQ(CandidateIndex::PickAnchorImage(idx2.get(), q, g2, 1, 1, image2),
+            3u);
+}
+
 // ---- Differential: four matchers, index on vs. off ----
 
 std::unique_ptr<Matcher> MakeMatcher(int which) {

@@ -120,6 +120,51 @@ TEST(EnvClampTest, KnobsClampInsteadOfAcceptingNonsense) {
   (void)testing::internal::GetCapturedStderr();  // drain the warnings
 }
 
+TEST(EnvClampTest, WarnsOncePerVariableValuePair) {
+  setenv("PSI_TEST_WARN_ONCE", "not-an-int", 1);
+  testing::internal::CaptureStderr();
+  EXPECT_EQ(EnvIntClamped("PSI_TEST_WARN_ONCE", 7, 1, 100), 7);
+  EXPECT_NE(testing::internal::GetCapturedStderr().find("PSI_TEST_WARN_ONCE"),
+            std::string::npos);
+  // Re-reading the same offending value stays silent: the environment is
+  // fixed at exec in production, so this is exactly once per process per
+  // variable — hot paths can call the knob freely.
+  testing::internal::CaptureStderr();
+  EXPECT_EQ(EnvIntClamped("PSI_TEST_WARN_ONCE", 7, 1, 100), 7);
+  EXPECT_EQ(testing::internal::GetCapturedStderr(), "");
+  // A *different* offending value (tests, execve) is a new complaint —
+  // once.
+  setenv("PSI_TEST_WARN_ONCE", "424242", 1);
+  testing::internal::CaptureStderr();
+  EXPECT_EQ(EnvIntClamped("PSI_TEST_WARN_ONCE", 7, 1, 100), 100);
+  EXPECT_NE(testing::internal::GetCapturedStderr().find("PSI_TEST_WARN_ONCE"),
+            std::string::npos);
+  testing::internal::CaptureStderr();
+  EXPECT_EQ(EnvIntClamped("PSI_TEST_WARN_ONCE", 7, 1, 100), 100);
+  EXPECT_EQ(testing::internal::GetCapturedStderr(), "");
+  unsetenv("PSI_TEST_WARN_ONCE");
+}
+
+TEST(EnvClampTest, MultiwayAndSimdKnobs) {
+  unsetenv("PSI_MATCH_SIMD");
+  unsetenv("PSI_MATCH_MULTIWAY");
+  EXPECT_TRUE(MatchSimdEnabled());      // both default on
+  EXPECT_TRUE(MatchMultiwayEnabled());
+  setenv("PSI_MATCH_SIMD", "0", 1);
+  EXPECT_FALSE(MatchSimdEnabled());
+  setenv("PSI_MATCH_MULTIWAY", "0", 1);
+  EXPECT_FALSE(MatchMultiwayEnabled());
+  // Out of [0, 1] clamps to the nearest bound (with the one-time warning).
+  testing::internal::CaptureStderr();
+  setenv("PSI_MATCH_SIMD", "7", 1);
+  EXPECT_TRUE(MatchSimdEnabled());
+  setenv("PSI_MATCH_MULTIWAY", "-3", 1);
+  EXPECT_FALSE(MatchMultiwayEnabled());
+  (void)testing::internal::GetCapturedStderr();
+  unsetenv("PSI_MATCH_SIMD");
+  unsetenv("PSI_MATCH_MULTIWAY");
+}
+
 TEST(EnvClampTest, StealKnobs) {
   unsetenv("PSI_MATCH_STEAL");
   unsetenv("PSI_MATCH_STEAL_DEPTH");

@@ -1,0 +1,202 @@
+// Fuzz + edge-case tests of the sorted-set intersection kernels
+// (match/intersect.hpp):
+//
+//  * Randomized differential: strictly ascending duplicate-free uint64
+//    sets of sizes 0..10k, scalar gallop and every supported SIMD level
+//    vs. the std::set_intersection oracle — byte-identical output at
+//    every level (the SIMD/scalar parity invariant).
+//  * Deterministic edge cases: empty, singleton, fully disjoint,
+//    identical, strict subset, and heavily skewed size ratios, plus keys
+//    straddling the signed-compare bias boundary (1 << 63) that the
+//    vector scans flip around.
+//  * MatchOptions resolution: simd = 0 pins kScalar; multiway tri-state
+//    follows the documented -1/0/1 meaning.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "match/intersect.hpp"
+
+namespace psi {
+namespace {
+
+std::vector<SimdLevel> SupportedLevels() {
+  std::vector<SimdLevel> out = {SimdLevel::kScalar};
+  if (SimdLevelSupported(SimdLevel::kSse42)) out.push_back(SimdLevel::kSse42);
+  if (SimdLevelSupported(SimdLevel::kAvx2)) out.push_back(SimdLevel::kAvx2);
+  return out;
+}
+
+std::vector<uint64_t> Oracle(const std::vector<uint64_t>& a,
+                             const std::vector<uint64_t>& b) {
+  std::vector<uint64_t> want;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(want));
+  return want;
+}
+
+// Every kernel (scalar gallop + each supported SIMD level) must reproduce
+// the oracle exactly, in both argument orders (the kernels swap internally
+// to iterate the smaller side).
+void ExpectAllLevelsMatchOracle(const std::vector<uint64_t>& a,
+                                const std::vector<uint64_t>& b) {
+  const std::vector<uint64_t> want = Oracle(a, b);
+  std::vector<uint64_t> out(std::min(a.size(), b.size()) + 1, ~0ull);
+  const size_t n = IntersectSortedScalar(a.data(), a.size(), b.data(),
+                                         b.size(), out.data());
+  ASSERT_EQ(n, want.size());
+  for (size_t i = 0; i < n; ++i) ASSERT_EQ(out[i], want[i]) << "i=" << i;
+  for (SimdLevel level : SupportedLevels()) {
+    for (int swap = 0; swap < 2; ++swap) {
+      const auto& x = swap ? b : a;
+      const auto& y = swap ? a : b;
+      std::fill(out.begin(), out.end(), ~0ull);
+      const size_t m = IntersectSortedAtLevel(level, x.data(), x.size(),
+                                              y.data(), y.size(), out.data());
+      ASSERT_EQ(m, want.size()) << ToString(level) << " swap=" << swap;
+      for (size_t i = 0; i < m; ++i) {
+        ASSERT_EQ(out[i], want[i])
+            << ToString(level) << " swap=" << swap << " i=" << i;
+      }
+      // The fused id-emitting variant must agree element-wise: each output
+      // is the matching key's low 32 bits, in the same order.
+      std::vector<VertexId> ids(out.size(), ~VertexId{0});
+      const size_t k = IntersectSortedIdsAtLevel(level, x.data(), x.size(),
+                                                 y.data(), y.size(),
+                                                 ids.data());
+      ASSERT_EQ(k, want.size()) << ToString(level) << " swap=" << swap;
+      for (size_t i = 0; i < k; ++i) {
+        ASSERT_EQ(ids[i], static_cast<VertexId>(want[i] & 0xffffffffu))
+            << ToString(level) << " swap=" << swap << " i=" << i;
+      }
+    }
+  }
+}
+
+// Strictly ascending duplicate-free draw of ~`size` keys from
+// [0, universe): overlap between two draws is controlled by how tight the
+// universe is relative to the sizes.
+std::vector<uint64_t> RandomSortedSet(std::mt19937_64& rng, size_t size,
+                                      uint64_t universe) {
+  std::vector<uint64_t> v;
+  v.reserve(size);
+  for (size_t i = 0; i < size; ++i) v.push_back(rng() % universe);
+  std::sort(v.begin(), v.end());
+  v.erase(std::unique(v.begin(), v.end()), v.end());
+  return v;
+}
+
+// ---- Edge cases ----
+
+TEST(IntersectTest, EmptyAndSingleton) {
+  ExpectAllLevelsMatchOracle({}, {});
+  ExpectAllLevelsMatchOracle({}, {1, 2, 3});
+  ExpectAllLevelsMatchOracle({5}, {});
+  ExpectAllLevelsMatchOracle({5}, {5});
+  ExpectAllLevelsMatchOracle({5}, {4});
+  ExpectAllLevelsMatchOracle({5}, {1, 2, 3, 4, 5, 6});
+  ExpectAllLevelsMatchOracle({7}, {1, 2, 3, 4, 5, 6});
+}
+
+TEST(IntersectTest, DisjointIdenticalAndSubset) {
+  std::vector<uint64_t> evens, odds, all;
+  for (uint64_t i = 0; i < 2000; ++i) {
+    evens.push_back(2 * i);
+    odds.push_back(2 * i + 1);
+    all.push_back(i);
+  }
+  ExpectAllLevelsMatchOracle(evens, odds);   // disjoint interleaved
+  ExpectAllLevelsMatchOracle(evens, evens);  // identical
+  ExpectAllLevelsMatchOracle(evens, all);    // half-subset
+  std::vector<uint64_t> low(all.begin(), all.begin() + 500);
+  ExpectAllLevelsMatchOracle(low, all);      // strict prefix subset
+}
+
+// The vector scans compare as signed after flipping with 1 << 63; keys at
+// and around the bias boundary (and UINT64_MAX) must still order right.
+TEST(IntersectTest, BiasBoundaryKeys) {
+  const uint64_t hi = 1ull << 63;
+  const std::vector<uint64_t> a = {0,      1,       hi - 2, hi - 1,
+                                   hi,     hi + 1,  ~1ull,  ~0ull};
+  const std::vector<uint64_t> b = {1,      2,       hi - 1, hi,
+                                   hi + 2, ~2ull,   ~0ull};
+  ExpectAllLevelsMatchOracle(a, b);
+  ExpectAllLevelsMatchOracle(a, a);
+}
+
+TEST(IntersectTest, SkewedSizeRatios) {
+  std::mt19937_64 rng(20260808);
+  for (size_t big : {size_t{1000}, size_t{10000}}) {
+    for (size_t small : {size_t{1}, size_t{3}, size_t{17}}) {
+      const auto b = RandomSortedSet(rng, big, big * 2);
+      auto a = RandomSortedSet(rng, small, big * 2);
+      // Force some hits so the gallop's emit path runs.
+      for (size_t i = 0; i < a.size() && i < b.size(); i += 2) a[i] = b[i * 7 % b.size()];
+      std::sort(a.begin(), a.end());
+      a.erase(std::unique(a.begin(), a.end()), a.end());
+      ExpectAllLevelsMatchOracle(a, b);
+    }
+  }
+}
+
+// ---- Fuzz vs. oracle ----
+
+TEST(IntersectTest, FuzzAgainstSetIntersection) {
+  std::mt19937_64 rng(978);
+  for (int round = 0; round < 200; ++round) {
+    const size_t na = rng() % 10001;
+    const size_t nb = rng() % 10001;
+    // Cycle overlap density: tight universes force long common runs,
+    // loose ones leave the sets nearly disjoint.
+    const uint64_t universe =
+        std::max<uint64_t>(1, (na + nb + 1) << (round % 4));
+    const auto a = RandomSortedSet(rng, na, universe);
+    const auto b = RandomSortedSet(rng, nb, universe);
+    ExpectAllLevelsMatchOracle(a, b);
+  }
+  // Full-width random keys: exercises the bias flip on arbitrary values.
+  for (int round = 0; round < 20; ++round) {
+    std::vector<uint64_t> a, b;
+    for (int i = 0; i < 300; ++i) {
+      const uint64_t v = rng();
+      a.push_back(v);
+      if (i % 3 == 0) b.push_back(v);  // guaranteed overlap
+      b.push_back(rng());
+    }
+    std::sort(a.begin(), a.end());
+    a.erase(std::unique(a.begin(), a.end()), a.end());
+    std::sort(b.begin(), b.end());
+    b.erase(std::unique(b.begin(), b.end()), b.end());
+    ExpectAllLevelsMatchOracle(a, b);
+  }
+}
+
+// ---- MatchOptions resolution ----
+
+TEST(IntersectTest, ResolveSimdLevel) {
+  EXPECT_EQ(ResolveSimdLevel(0), SimdLevel::kScalar);
+  // Default and any non-zero request resolve to the process-wide active
+  // level, which is always a supported one.
+  EXPECT_EQ(ResolveSimdLevel(-1), ActiveSimdLevel());
+  EXPECT_EQ(ResolveSimdLevel(1), ActiveSimdLevel());
+  EXPECT_TRUE(SimdLevelSupported(ActiveSimdLevel()));
+#ifdef PSI_DISABLE_SIMD
+  EXPECT_EQ(ActiveSimdLevel(), SimdLevel::kScalar);
+  EXPECT_FALSE(SimdLevelSupported(SimdLevel::kSse42));
+  EXPECT_FALSE(SimdLevelSupported(SimdLevel::kAvx2));
+#endif
+}
+
+TEST(IntersectTest, ResolveMultiwayEnabled) {
+  EXPECT_FALSE(ResolveMultiwayEnabled(0));
+  EXPECT_TRUE(ResolveMultiwayEnabled(1));
+  // -1 defers to PSI_MATCH_MULTIWAY, default on (core/env.cpp caches the
+  // first read, so only the unset-default is asserted here).
+}
+
+}  // namespace
+}  // namespace psi
