@@ -11,16 +11,26 @@
 //  (c) Whole-workload pipelining: RunWorkloadPsiParallel vs the serial
 //      serving loop on the same pool.
 //
+// --faults replaces (a)-(c) with the degraded-mode story: the same pool
+// serving loop with ~1% of dequeues shed and ~1% of variant bodies
+// crashing (src/fault/ failpoints). The recovery ladder must absorb every
+// fault — answered count identical to the clean run — while QPS and p99
+// quantify the degradation tax.
+//
 // Pool gauges (src/metrics/) are printed after every pool section.
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <memory>
 #include <thread>
+#include <vector>
 
 #include "bench/bench_util.hpp"
 #include "exec/executor.hpp"
+#include "fault/failpoint.hpp"
 #include "graphql/graphql.hpp"
+#include "metrics/metrics.hpp"
 #include "psi/engine.hpp"
 #include "spath/spath.hpp"
 
@@ -81,6 +91,36 @@ ModeOutcome ServeConcurrent(PsiEngine& engine,
   return out;
 }
 
+struct FaultArmOutcome {
+  double seconds = 0.0;
+  double qps = 0.0;
+  double p99_ms = 0.0;
+  size_t answered = 0;
+};
+
+FaultArmOutcome ServeWithLatencies(const Portfolio& p,
+                                   std::span<const gen::Query> workload,
+                                   const LabelStats& stats,
+                                   const RunnerOptions& ro, Executor* exec) {
+  const auto start = std::chrono::steady_clock::now();
+  const auto records =
+      RunWorkloadPsi(p, workload, stats, ro, RaceMode::kPool, exec);
+  FaultArmOutcome out;
+  out.seconds = SecondsSince(start);
+  out.qps = static_cast<double>(workload.size()) / out.seconds;
+  std::vector<double> ms;
+  ms.reserve(records.size());
+  for (const auto& r : records) {
+    ms.push_back(r.ms);
+    if (!r.killed) ++out.answered;
+  }
+  std::sort(ms.begin(), ms.end());
+  if (!ms.empty()) {
+    out.p99_ms = ms[std::min(ms.size() - 1, (ms.size() * 99) / 100)];
+  }
+  return out;
+}
+
 std::unique_ptr<PsiEngine> ServingEngine(const Graph& data, RaceMode mode,
                                          Executor* exec, double cap_ms) {
   PsiEngineOptions o;
@@ -97,9 +137,18 @@ std::unique_ptr<PsiEngine> ServingEngine(const Graph& data, RaceMode mode,
 }  // namespace
 
 int main(int argc, char** argv) {
-  JsonOut json("bench_executor_throughput", argc, argv);
+  bool faults_mode = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--faults") faults_mode = true;
+  }
+  JsonOut json(faults_mode ? "bench_executor_throughput_faults"
+                           : "bench_executor_throughput",
+               argc, argv);
   Banner("executor throughput",
-         "the exec-layer deployment scenario (beyond the paper's protocol)");
+         faults_mode
+             ? "pool serving under injected shed/crash faults (src/fault/)"
+             : "the exec-layer deployment scenario (beyond the paper's "
+               "protocol)");
 
   const Graph yeast = Yeast();
   const LabelStats stats = LabelStats::FromGraph(yeast);
@@ -126,6 +175,66 @@ int main(int argc, char** argv) {
   ro.max_embeddings = 1;  // serving = decision problem
 
   Executor pool;  // PSI_POOL_THREADS workers, shared by every pool section
+
+  // ---- --faults: degraded-mode serving -------------------------------
+  if (faults_mode) {
+    if (!FaultsCompiledIn()) {
+      std::cout << "faults compiled out (-DPSI_FAULTS=OFF) — the schedule "
+                   "below injects nothing; both rows measure the clean "
+                   "path.\n\n";
+    }
+    const FaultArmOutcome clean =
+        ServeWithLatencies(portfolio, workload, stats, ro, &pool);
+    const uint64_t injected_before = FaultStats::Instance().injected();
+    FaultArmOutcome faulted;
+    {
+      // ~1% of pool dequeues shed the task, ~1% of variant bodies throw.
+      // Both are on the absorbable list (docs/ARCHITECTURE.md): an
+      // all-shed race falls back to sequential inside Race(), a lost
+      // race with crashes is re-run suppressed by the runner.
+      FaultInjector inject("exec.dequeue=shed:0.01,race.variant=throw:0.01",
+                           20260808);
+      faulted = ServeWithLatencies(portfolio, workload, stats, ro, &pool);
+    }
+    const uint64_t injected =
+        FaultStats::Instance().injected() - injected_before;
+
+    std::cout << "single client, pool mode, clean vs ~1% shed + ~1% crash:\n";
+    TextTable tf;
+    tf.AddRow({"schedule", "wall (s)", "QPS", "p99 (ms)", "answered"});
+    tf.AddRow({"clean", TextTable::Num(clean.seconds, 2),
+               TextTable::Num(clean.qps, 1), TextTable::Num(clean.p99_ms, 2),
+               std::to_string(clean.answered)});
+    tf.AddRow({"faulted", TextTable::Num(faulted.seconds, 2),
+               TextTable::Num(faulted.qps, 1),
+               TextTable::Num(faulted.p99_ms, 2),
+               std::to_string(faulted.answered)});
+    tf.Print(std::cout);
+    std::cout << "injected faults: " << injected << " ("
+              << TextTable::Num(
+                     100.0 * static_cast<double>(injected) /
+                         static_cast<double>(workload.size()),
+                     1)
+              << "% of queries)\n";
+    json.Metric("faults_clean_qps", clean.qps);
+    json.Metric("faults_faulted_qps", faulted.qps);
+    json.Metric("faults_clean_p99_ms", clean.p99_ms);
+    json.Metric("faults_faulted_p99_ms", faulted.p99_ms);
+    json.Metric("faults_injected", static_cast<double>(injected));
+    json.Metric("faults_answered_delta",
+                static_cast<double>(clean.answered) -
+                    static_cast<double>(faulted.answered));
+    Shape(faulted.answered == clean.answered,
+          "every fault absorbed: faulted run answers what the clean run "
+          "answers");
+    if (FaultsCompiledIn()) {
+      Shape(injected > 0, "the fault schedule actually fired");
+    }
+    PoolGauges g = pool.gauges();
+    FaultStats::Instance().AddTo(&g);
+    std::cout << FormatPoolGauges(g) << FormatFaultGauges(g) << "\n";
+    return 0;
+  }
 
   // ---- (a) single-client serving loop --------------------------------
   const ModeOutcome threads = ServeSerial(portfolio, workload, stats, ro,

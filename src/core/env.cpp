@@ -184,4 +184,18 @@ bool MatchMultiwayEnabled() {
   return EnvIntClamped("PSI_MATCH_MULTIWAY", 1, 0, 1) != 0;
 }
 
+// 0 = retries off (every overloaded race degrades immediately).
+int64_t RetryMax() { return EnvIntClamped("PSI_RETRY_MAX", 0, 0, 100); }
+
+int64_t RetryBaseMillis() {
+  return EnvIntClamped("PSI_RETRY_BASE_MS", 1, 1, 10000);
+}
+
+// 0 = watchdog off; the race waits indefinitely on its TaskGroup (the
+// pre-watchdog behaviour, safe because variants poll their CostGuards).
+int64_t WatchdogGraceMillis() {
+  return EnvIntClamped("PSI_WATCHDOG_GRACE_MS", 0, 0,
+                       std::numeric_limits<int64_t>::max() / 2);
+}
+
 }  // namespace psi

@@ -138,6 +138,23 @@ bool MatchSimdEnabled();
 /// Requires the candidate index; never changes answers or streams.
 bool MatchMultiwayEnabled();
 
+/// Bounded retry budget for transient Overloaded races in the workload
+/// runners (PSI_RETRY_MAX, default 0 = off, clamped to [0, 100]): each
+/// admission-decided rejection sleeps an exponentially growing backoff
+/// and re-races before the final attempt falls back to sequential.
+int64_t RetryMax();
+
+/// Base backoff in milliseconds for the retry ladder (PSI_RETRY_BASE_MS,
+/// default 1, clamped to [1, 10000]); attempt k sleeps base * 2^k plus
+/// deterministic jitter in [0, base).
+int64_t RetryBaseMillis();
+
+/// Per-query watchdog grace in milliseconds (PSI_WATCHDOG_GRACE_MS,
+/// default 0 = off): a kPool race whose shared deadline passes by more
+/// than this is torn down (RequestStop + drain) and reported as
+/// Status::DeadlineExceeded instead of waiting on a wedged variant.
+int64_t WatchdogGraceMillis();
+
 }  // namespace psi
 
 #endif  // PSI_CORE_ENV_HPP_

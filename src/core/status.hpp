@@ -26,6 +26,9 @@ class Status {
     /// Admission control refused the work (bounded executor queue full);
     /// retry later or on another replica. See exec/executor.hpp.
     kOverloaded,
+    /// The per-query watchdog tore down a race that outlived its budget
+    /// plus grace; the query got no answer in time. See psi/racer.hpp.
+    kDeadlineExceeded,
   };
 
   /// Constructs an OK status.
@@ -53,6 +56,9 @@ class Status {
   static Status Overloaded(std::string msg) {
     return Status(Code::kOverloaded, std::move(msg));
   }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(Code::kDeadlineExceeded, std::move(msg));
+  }
 
   bool ok() const { return code_ == Code::kOk; }
   Code code() const { return code_; }
@@ -71,6 +77,7 @@ class Status {
       case Code::kNotSupported: name = "NotSupported"; break;
       case Code::kAborted: name = "Aborted"; break;
       case Code::kOverloaded: name = "Overloaded"; break;
+      case Code::kDeadlineExceeded: name = "DeadlineExceeded"; break;
     }
     std::string out(name);
     if (!message_.empty()) {

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "core/env.hpp"
+#include "fault/failpoint.hpp"
 
 namespace psi {
 
@@ -126,6 +127,14 @@ std::vector<Executor::QueuedTask> Executor::PurgeCancelledLocked() {
 Admission Executor::Enqueue(const TaskGroup* group, Deadline deadline,
                             std::function<void(TaskStart)> fn) {
   submitted_.fetch_add(1, std::memory_order_relaxed);
+  // Failpoint: a spurious admission rejection, indistinguishable to the
+  // caller from a genuinely full queue — the closure never runs and the
+  // caller's overload fallback (inline run, sequential race, typed
+  // status) takes over.
+  if (PSI_FAULT_POINT("exec.admit") == FaultKind::kReject) {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    return Admission::kRejected;
+  }
   QueuedTask task;
   task.group = group;
   task.fn = std::move(fn);
@@ -196,11 +205,19 @@ void Executor::RecordQueueWait(const QueuedTask& task) {
 }
 
 void Executor::RunNow(QueuedTask task) {
+  RecordQueueWait(task);
+  // Failpoint: shed the task at dequeue, as if it had been evicted from a
+  // full queue — the closure observes TaskStart::kShed and records a
+  // cancelled outcome, exactly the kShedLatestDeadline contract.
+  if (PSI_FAULT_POINT("exec.dequeue") == FaultKind::kShed) {
+    shed_.fetch_add(1, std::memory_order_relaxed);
+    task.fn(TaskStart::kShed);
+    return;
+  }
   // `executed_` is counted before running so the total is already visible
   // to whoever the finishing task unblocks (TaskGroup::Wait returns from
   // inside the task's completion hook). `busy_` covers helping waiters
   // too, so it can transiently exceed the worker count.
-  RecordQueueWait(task);
   executed_.fetch_add(1, std::memory_order_relaxed);
   busy_.fetch_add(1, std::memory_order_relaxed);
   task.fn(TaskStart::kRun);
@@ -311,7 +328,24 @@ Admission TaskGroup::Spawn(std::function<void(TaskStart)> fn,
           start = TaskStart::kCancelled;
           executor_->NoteDiscarded();
         }
-        fn(start);
+        // Failpoint: the worker "crashes" before the body. Surfacing the
+        // task as kShed (rather than actually unwinding) keeps the
+        // contract every spawner already honours — record a cancelled
+        // outcome, re-run displaced work inline — so no record is lost.
+        if (start == TaskStart::kRun &&
+            PSI_FAULT_POINT("exec.run") == FaultKind::kThrow) {
+          start = TaskStart::kShed;
+        }
+        try {
+          fn(start);
+        } catch (...) {
+          // Last-resort isolation: a member body must not tear down the
+          // pool worker (or a helping waiter), and the group must still
+          // complete. Layers below (racer, FTV filter) catch and record
+          // their own failures; anything reaching here is swallowed after
+          // being counted as a crash.
+          FaultStats::Instance().NoteCrash();
+        }
         FinishOne();
       });
   if (admission == Admission::kRejected) {
@@ -340,6 +374,15 @@ size_t TaskGroup::pending() const {
 
 bool TaskGroup::HelpOne() { return executor_->TryRunOneFromGroup(this); }
 
+void TaskGroup::RequestStop() {
+  // Failpoint (kDelay): stretches the window between a winner finishing
+  // and the losers observing cancellation — the timing the chaos harness
+  // perturbs to shake out teardown races. The sleep happens inside
+  // Evaluate; the stop itself is unconditional.
+  (void)PSI_FAULT_POINT("group.cancel");
+  stop_.RequestStop();
+}
+
 void TaskGroup::Wait() {
   for (;;) {
     {
@@ -358,6 +401,18 @@ void TaskGroup::Wait() {
     cv_.wait_for(lock, std::chrono::milliseconds(10),
                  [this] { return pending_ == 0; });
   }
+}
+
+bool TaskGroup::WaitUntil(Deadline::Clock::time_point until) {
+  // Deliberately does NOT help-run group members the way Wait() does: the
+  // whole point of a bounded wait is that the caller gets control back at
+  // `until` even when a member body is wedged. Helping would let the
+  // caller pick up that wedged body and run it inline, blocking for
+  // arbitrarily long past the bound. Members still queued when the bound
+  // expires are no loss — the watchdog path that follows a false return
+  // stops the group, and the final helping Wait() fast-cancels them.
+  std::unique_lock<std::mutex> lock(mutex_);
+  return cv_.wait_until(lock, until, [this] { return pending_ == 0; });
 }
 
 }  // namespace psi

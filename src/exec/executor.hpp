@@ -305,6 +305,16 @@ class TaskGroup {
   /// queued tasks on the waiting thread meanwhile (see header comment).
   void Wait();
 
+  /// Wait() bounded by an absolute deadline: returns false once `until`
+  /// passes with tasks still pending — without cancelling anything.
+  /// Unlike Wait() it never help-runs members: helping could pull a
+  /// wedged body onto the waiting thread and hold it past the bound,
+  /// which is exactly what a bounded wait exists to prevent. The
+  /// watchdog primitive: the racer calls WaitUntil(budget + grace), and
+  /// on false tears the group down itself (RequestStop() + Wait()).
+  /// Returns true when the group drained.
+  bool WaitUntil(Deadline::Clock::time_point until);
+
   /// Runs one of this group's queued tasks on the calling thread, if any
   /// is waiting; returns whether it ran one. The non-blocking sibling of
   /// Wait()'s helping loop — a group member that goes idle (e.g. a range
@@ -314,7 +324,9 @@ class TaskGroup {
 
   /// Requests cooperative cancellation of all members: running tasks see
   /// it through their CostGuard, queued tasks are fast-cancelled.
-  void RequestStop() { stop_.RequestStop(); }
+  /// (Out of line so the `group.cancel` failpoint can perturb
+  /// cancellation timing in chaos runs.)
+  void RequestStop();
 
   const StopToken& stop() const { return stop_; }
   /// The token members should poll (e.g. via MatchOptions::stop).

@@ -1,0 +1,274 @@
+#include "fault/failpoint.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+
+#include "metrics/metrics.hpp"
+
+namespace psi {
+namespace {
+
+// SplitMix64 (Steele et al.) — the same generator the test harnesses use
+// for seeding; enough mixing that (seed ^ index) streams are independent
+// across sites.
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+uint64_t HashSite(const char* site) {
+  // FNV-1a; site names are short literals so quality hardly matters, but
+  // distinct sites must map to distinct decision streams.
+  uint64_t h = 1469598103934665603ULL;
+  for (const char* p = site; *p; ++p) {
+    h ^= static_cast<unsigned char>(*p);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+thread_local int t_suppression_depth = 0;
+
+}  // namespace
+
+FaultKind FaultKindFromName(const std::string& name) {
+  if (name == "reject") return FaultKind::kReject;
+  if (name == "shed") return FaultKind::kShed;
+  if (name == "delay") return FaultKind::kDelay;
+  if (name == "throw") return FaultKind::kThrow;
+  if (name == "error") return FaultKind::kError;
+  if (name == "miss") return FaultKind::kMiss;
+  return FaultKind::kNone;
+}
+
+const char* ToString(FaultKind k) {
+  switch (k) {
+    case FaultKind::kNone:
+      return "none";
+    case FaultKind::kReject:
+      return "reject";
+    case FaultKind::kShed:
+      return "shed";
+    case FaultKind::kDelay:
+      return "delay";
+    case FaultKind::kThrow:
+      return "throw";
+    case FaultKind::kError:
+      return "error";
+    case FaultKind::kMiss:
+      return "miss";
+  }
+  return "none";
+}
+
+FaultStats& FaultStats::Instance() {
+  static FaultStats stats;
+  return stats;
+}
+
+void FaultStats::AddTo(PoolGauges* g) const {
+  g->fault_injected += injected();
+  g->fault_variant_crashes += variant_crashes();
+  g->fault_retries += retries();
+  g->fault_watchdog_fires += watchdog_fires();
+}
+
+struct FaultRegistry::SiteState {
+  FaultRule rule;
+  uint64_t site_seed = 0;
+  std::atomic<uint64_t> evals{0};
+  std::atomic<uint64_t> fired{0};
+};
+
+FaultRegistry& FaultRegistry::Instance() {
+  static FaultRegistry* registry = new FaultRegistry();  // leaked on purpose
+  return *registry;
+}
+
+FaultRegistry::FaultRegistry() {
+  const char* spec = std::getenv("PSI_FAULT");
+  if (spec == nullptr || *spec == '\0') return;
+  uint64_t seed = 1;
+  if (const char* s = std::getenv("PSI_FAULT_SEED")) {
+    char* end = nullptr;
+    unsigned long long v = std::strtoull(s, &end, 10);
+    if (end != s && *end == '\0') seed = static_cast<uint64_t>(v);
+  }
+  Install(ParseSpec(spec), seed);
+}
+
+void FaultRegistry::Install(std::vector<FaultRule> rules, uint64_t seed) {
+  std::lock_guard<std::mutex> lock(mu_);
+  sites_.clear();
+  seed_ = seed;
+  for (auto& r : rules) {
+    if (r.kind == FaultKind::kNone || r.site.empty()) continue;
+    auto st = std::make_unique<SiteState>();
+    st->rule = std::move(r);
+    st->site_seed = SplitMix64(seed ^ HashSite(st->rule.site.c_str()));
+    sites_.push_back(std::move(st));
+  }
+  active_.store(!sites_.empty(), std::memory_order_relaxed);
+}
+
+void FaultRegistry::InstallSpec(const std::string& spec, uint64_t seed) {
+  Install(ParseSpec(spec), seed);
+}
+
+void FaultRegistry::Clear() { Install({}, 1); }
+
+std::vector<FaultRule> FaultRegistry::rules() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<FaultRule> out;
+  out.reserve(sites_.size());
+  for (const auto& st : sites_) out.push_back(st->rule);
+  return out;
+}
+
+uint64_t FaultRegistry::seed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return seed_;
+}
+
+FaultRegistry::SiteState* FaultRegistry::FindSite(const char* site) {
+  // Linear scan: installations hold a handful of rules and the pointer is
+  // only chased when the registry is active and the site matches, so a
+  // map would buy nothing.
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& st : sites_) {
+    if (std::strcmp(st->rule.site.c_str(), site) == 0) return st.get();
+  }
+  return nullptr;
+}
+
+FaultKind FaultRegistry::Evaluate(const char* site) {
+  if (t_suppression_depth > 0) return FaultKind::kNone;
+  SiteState* st = FindSite(site);
+  if (st == nullptr) return FaultKind::kNone;
+  // The SiteState lives until the next Install(); sites are evaluated
+  // only from library code that cannot overlap an Install from the same
+  // schedule, so the raw pointer is safe past the lock.
+  const uint64_t idx = st->evals.fetch_add(1, std::memory_order_relaxed);
+  const FaultRule& rule = st->rule;
+  if (idx < rule.after) return FaultKind::kNone;
+  if (rule.prob < 1.0) {
+    const double u =
+        static_cast<double>(SplitMix64(st->site_seed + idx) >> 11) *
+        (1.0 / 9007199254740992.0);  // 53-bit uniform in [0,1)
+    if (u >= rule.prob) return FaultKind::kNone;
+  }
+  if (rule.limit > 0) {
+    // Claim a fire slot; back out if the cap is already reached.
+    uint64_t prev = st->fired.fetch_add(1, std::memory_order_relaxed);
+    if (prev >= rule.limit) {
+      st->fired.fetch_sub(1, std::memory_order_relaxed);
+      return FaultKind::kNone;
+    }
+  } else {
+    st->fired.fetch_add(1, std::memory_order_relaxed);
+  }
+  FaultStats::Instance().NoteInjected();
+  if (rule.kind == FaultKind::kDelay) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(rule.delay_ms));
+  }
+  return rule.kind;
+}
+
+std::vector<FaultRule> FaultRegistry::ParseSpec(const std::string& spec) {
+  std::vector<FaultRule> out;
+  size_t pos = 0;
+  while (pos <= spec.size()) {
+    size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    std::string entry = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (entry.empty()) continue;
+
+    size_t eq = entry.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      std::fprintf(stderr, "psi: PSI_FAULT entry '%s' has no site=kind\n",
+                   entry.c_str());
+      continue;
+    }
+    FaultRule rule;
+    rule.site = entry.substr(0, eq);
+
+    // kind[:prob[:after[:limit[:delay_ms]]]]
+    std::vector<std::string> fields;
+    std::string rest = entry.substr(eq + 1);
+    size_t fpos = 0;
+    while (fpos <= rest.size()) {
+      size_t colon = rest.find(':', fpos);
+      if (colon == std::string::npos) colon = rest.size();
+      fields.push_back(rest.substr(fpos, colon - fpos));
+      fpos = colon + 1;
+    }
+    rule.kind = FaultKindFromName(fields[0]);
+    if (rule.kind == FaultKind::kNone) {
+      std::fprintf(stderr, "psi: PSI_FAULT entry '%s' has unknown kind\n",
+                   entry.c_str());
+      continue;
+    }
+    bool ok = true;
+    auto parse_u64 = [&ok](const std::string& s, uint64_t* v) {
+      char* end = nullptr;
+      unsigned long long x = std::strtoull(s.c_str(), &end, 10);
+      if (end == s.c_str() || *end != '\0') {
+        ok = false;
+        return;
+      }
+      *v = static_cast<uint64_t>(x);
+    };
+    if (fields.size() > 1 && !fields[1].empty()) {
+      char* end = nullptr;
+      double p = std::strtod(fields[1].c_str(), &end);
+      if (end == fields[1].c_str() || *end != '\0' || p < 0.0 || p > 1.0) {
+        ok = false;
+      } else {
+        rule.prob = p;
+      }
+    }
+    if (ok && fields.size() > 2 && !fields[2].empty()) {
+      parse_u64(fields[2], &rule.after);
+    }
+    if (ok && fields.size() > 3 && !fields[3].empty()) {
+      parse_u64(fields[3], &rule.limit);
+    }
+    if (ok && fields.size() > 4 && !fields[4].empty()) {
+      uint64_t d = 0;
+      parse_u64(fields[4], &d);
+      if (ok) rule.delay_ms = static_cast<uint32_t>(d > 60000 ? 60000 : d);
+    }
+    if (!ok) {
+      std::fprintf(stderr, "psi: PSI_FAULT entry '%s' is malformed\n",
+                   entry.c_str());
+      continue;
+    }
+    out.push_back(std::move(rule));
+  }
+  return out;
+}
+
+FaultSuppressionScope::FaultSuppressionScope() { ++t_suppression_depth; }
+FaultSuppressionScope::~FaultSuppressionScope() { --t_suppression_depth; }
+
+FaultInjector::FaultInjector(const std::string& spec, uint64_t seed)
+    : FaultInjector(FaultRegistry::ParseSpec(spec), seed) {}
+
+FaultInjector::FaultInjector(std::vector<FaultRule> rules, uint64_t seed) {
+  FaultRegistry& reg = FaultRegistry::Instance();
+  saved_rules_ = reg.rules();
+  saved_seed_ = reg.seed();
+  reg.Install(std::move(rules), seed);
+}
+
+FaultInjector::~FaultInjector() {
+  FaultRegistry::Instance().Install(std::move(saved_rules_), saved_seed_);
+}
+
+}  // namespace psi

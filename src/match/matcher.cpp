@@ -33,6 +33,8 @@ void MatchKernelStats::AddTo(PoolGauges* g) const {
   g->kernel_steal_stolen += steal_stolen_.load(std::memory_order_relaxed);
   g->kernel_steal_declined +=
       steal_declined_.load(std::memory_order_relaxed);
+  g->kernel_steal_queue_full +=
+      steal_queue_full_.load(std::memory_order_relaxed);
 }
 
 void Matcher::PrepareCandidateIndex(const Graph& data) {

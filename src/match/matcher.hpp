@@ -238,12 +238,14 @@ class MatchKernelStats {
 
   /// Work-stealing traffic of one split-enumerated call (match/steal.hpp):
   /// subtrees spilled into the embedding queue, the subset popped by a
-  /// range other than their owner, and offers declined because the queue
-  /// was full.
-  void NoteSteal(uint64_t spills, uint64_t stolen, uint64_t declined) {
+  /// range other than their owner, offers declined for any reason, and
+  /// the capacity-declined (queue-full backpressure) subset of those.
+  void NoteSteal(uint64_t spills, uint64_t stolen, uint64_t declined,
+                 uint64_t queue_full) {
     steal_spills_.fetch_add(spills, std::memory_order_relaxed);
     steal_stolen_.fetch_add(stolen, std::memory_order_relaxed);
     steal_declined_.fetch_add(declined, std::memory_order_relaxed);
+    steal_queue_full_.fetch_add(queue_full, std::memory_order_relaxed);
   }
 
   /// One observed per-range latency spread (max range time over mean,
@@ -288,6 +290,7 @@ class MatchKernelStats {
   std::atomic<uint64_t> steal_spills_{0};
   std::atomic<uint64_t> steal_stolen_{0};
   std::atomic<uint64_t> steal_declined_{0};
+  std::atomic<uint64_t> steal_queue_full_{0};
   std::atomic<uint64_t> split_spread_milli_{0};
 };
 

@@ -366,7 +366,7 @@ MatchResult MatchParallel(const Matcher& matcher, const Graph& query,
   if (spread >= 1.0) matcher.kernel_stats().NoteRangeSpread(spread);
   if (steal_on) {
     matcher.kernel_stats().NoteSteal(queue.spills(), queue.stolen(),
-                                     queue.declined());
+                                     queue.declined(), queue.queue_full());
   }
 
   out.elapsed = std::chrono::steady_clock::now() - start;

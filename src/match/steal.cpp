@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "fault/failpoint.hpp"
+
 namespace psi {
 
 EmbeddingQueue::EmbeddingQueue(uint32_t num_ranges, size_t capacity)
@@ -20,9 +22,20 @@ std::vector<Embedding>* EmbeddingQueue::OpenRange(uint32_t range) {
 
 std::vector<Embedding>* EmbeddingQueue::Spill(
     uint32_t range, std::span<const VertexId> prefix) {
+  // Failpoint: decline the offer as if the queue were full — the owner
+  // enumerates the subtree inline, the deterministic-stream contract is
+  // untouched. Evaluated before taking mu_ because an injected kDelay
+  // sleeps inside Evaluate.
+  const bool injected_decline =
+      PSI_FAULT_POINT("steal.offer") == FaultKind::kError;
   std::lock_guard<std::mutex> lock(mu_);
+  if (injected_decline) {
+    ++declined_;
+    return nullptr;
+  }
   if (queue_.size() >= capacity_) {
     ++declined_;
+    ++queue_full_;
     return nullptr;
   }
   RangeAssembly& r = ranges_[range];
@@ -72,6 +85,12 @@ bool EmbeddingQueue::OwnerDone(uint32_t range, const MatchResult& r) {
 }
 
 bool EmbeddingQueue::TryPop(uint32_t thief_range, StealUnit* out) {
+  // Failpoint (kDelay only — the sleep happens inside Evaluate, before
+  // mu_): stretches the window between spill and steal. A forced pop
+  // *failure* is deliberately not offered: the drain loop relies on every
+  // queued unit eventually popping, so refusing pops at probability 1
+  // would livelock the split driver instead of degrading it.
+  (void)PSI_FAULT_POINT("steal.pop");
   std::lock_guard<std::mutex> lock(mu_);
   if (queue_.empty()) return false;
   *out = std::move(queue_.front());
@@ -146,6 +165,10 @@ uint64_t EmbeddingQueue::stolen() const {
 uint64_t EmbeddingQueue::declined() const {
   std::lock_guard<std::mutex> lock(mu_);
   return declined_;
+}
+uint64_t EmbeddingQueue::queue_full() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_full_;
 }
 
 }  // namespace psi

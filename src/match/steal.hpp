@@ -123,7 +123,14 @@ class EmbeddingQueue {
   // ---- Traffic counters (for kernel_steal_* gauges) ----
   uint64_t spills() const;
   uint64_t stolen() const;
+  /// Offers refused for any reason — capacity backpressure or an injected
+  /// steal.offer fault. Superset of queue_full().
   uint64_t declined() const;
+  /// Offers refused *because the queue was at capacity* — the real
+  /// backpressure signal. declined() - queue_full() is the injected (or
+  /// otherwise non-capacity) remainder, so saturation is observable
+  /// instead of inferred from the aggregate.
+  uint64_t queue_full() const;
 
  private:
   enum class SegState : uint8_t {
@@ -161,6 +168,7 @@ class EmbeddingQueue {
   uint64_t spills_ = 0;
   uint64_t stolen_ = 0;
   uint64_t declined_ = 0;
+  uint64_t queue_full_ = 0;  ///< capacity-declined subset of declined_
 };
 
 }  // namespace psi

@@ -252,7 +252,21 @@ std::string FormatKernelGauges(const PoolGauges& g) {
     out += " steal_spills=" + std::to_string(g.kernel_steal_spills);
     out += " steal_stolen=" + std::to_string(g.kernel_steal_stolen);
     out += " steal_declined=" + std::to_string(g.kernel_steal_declined);
+    out += " steal_queue_full=" + std::to_string(g.kernel_steal_queue_full);
   }
+  out += "]";
+  return out;
+}
+
+std::string FormatFaultGauges(const PoolGauges& g) {
+  if (g.fault_injected == 0 && g.fault_variant_crashes == 0 &&
+      g.fault_retries == 0 && g.fault_watchdog_fires == 0) {
+    return "";
+  }
+  std::string out = "fault[injected=" + std::to_string(g.fault_injected);
+  out += " variant_crashes=" + std::to_string(g.fault_variant_crashes);
+  out += " retries=" + std::to_string(g.fault_retries);
+  out += " watchdog_fires=" + std::to_string(g.fault_watchdog_fires);
   out += "]";
   return out;
 }

@@ -164,7 +164,21 @@ struct PoolGauges {
   // Work-stealing gauges below the root split (match/steal.hpp).
   uint64_t kernel_steal_spills = 0;  ///< subtrees spilled into the queue
   uint64_t kernel_steal_stolen = 0;  ///< spills popped by a sibling range
-  uint64_t kernel_steal_declined = 0;  ///< offers refused (queue full)
+  uint64_t kernel_steal_declined = 0;  ///< offers refused (any reason)
+  uint64_t kernel_steal_queue_full = 0;  ///< declines due to capacity —
+                                         ///< the backpressure subset of
+                                         ///< kernel_steal_declined
+
+  // ---- Fault / degradation counters (fault/failpoint.hpp) ----
+  //
+  // Zero unless fault machinery engaged. `fault_injected` counts fired
+  // failpoints (FaultStats); the rest count the degradation ladder's
+  // responses: variants whose body threw and were absorbed as killed,
+  // backoff retries of overloaded races, and watchdog teardowns.
+  uint64_t fault_injected = 0;
+  uint64_t fault_variant_crashes = 0;
+  uint64_t fault_retries = 0;
+  uint64_t fault_watchdog_fires = 0;
 
   /// Fraction of pool threads currently busy, in [0, 1].
   double utilization() const;
@@ -194,6 +208,10 @@ std::string FormatFilterWaitHistogram(const PoolGauges& g);
 /// One-line rendering of the match-kernel counters ("kernel[...]"); empty
 /// string when no MatchKernelStats contributed to the snapshot.
 std::string FormatKernelGauges(const PoolGauges& g);
+
+/// One-line rendering of the fault/degradation counters ("fault[...]");
+/// empty string when no faults fired and no degradation path engaged.
+std::string FormatFaultGauges(const PoolGauges& g);
 
 /// Aggregate of one workload's bucket structure (rows of Fig 1/2, Tab 3/4).
 struct BucketBreakdown {

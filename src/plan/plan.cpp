@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <utility>
 
+#include "fault/failpoint.hpp"
 #include "match/parallel.hpp"
 
 namespace psi {
@@ -51,6 +52,18 @@ PlanResult ExecutePlan(const QueryPlan& plan,
     const PlanStage& stage = plan.stages[si];
     if (stage.steps.empty()) continue;
 
+    // Failpoint: the probe stage misses outright — skipped without racing,
+    // as if every contender had been killed at the stage budget. Only
+    // non-final stages are skippable (there is an escalation to absorb the
+    // miss); the plan then answers from a later stage, slower but right.
+    if (si + 1 < plan.stages.size() &&
+        plan.escalation != EscalationPolicy::kNone &&
+        PSI_FAULT_POINT("plan.probe") == FaultKind::kError) {
+      ++out.stages_run;
+      out.escalated = true;
+      continue;
+    }
+
     std::vector<RaceVariant> contenders;
     contenders.reserve(stage.steps.size());
     RaceOptions ro = base;
@@ -84,6 +97,8 @@ PlanResult ExecutePlan(const QueryPlan& plan,
     out.race.mode = r.mode;
     out.race.wall += r.wall;
     out.race.rejected_variants += r.rejected_variants;
+    out.race.variant_crashes += r.variant_crashes;
+    out.race.watchdog_fired |= r.watchdog_fired;
 
     // Map stage outcomes back to universe slots. A variant raced in
     // several stages keeps its most recent outcome (the one the final

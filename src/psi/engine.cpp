@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "fault/failpoint.hpp"
 #include "match/candidate_index.hpp"
 
 namespace psi {
@@ -19,23 +20,45 @@ Executor& PsiEngine::executor() const {
 PoolGauges PsiEngine::pool_gauges() const {
   PoolGauges g = executor().gauges();
   for (const auto& m : matchers_) m->kernel_stats().AddTo(&g);
+  FaultStats::Instance().AddTo(&g);
   return g;
 }
 
 Status PsiEngine::Prepare(const Graph& data) {
+  return Prepare(data, /*stop=*/nullptr);
+}
+
+Status PsiEngine::Prepare(const Graph& data, const StopToken* stop) {
   if (matchers_.empty()) {
     return Status::InvalidArgument("no matchers registered");
   }
-  data_ = &data;
+  // Failpoint: the index build "fails" (disk, allocation, corrupt input —
+  // whatever a deployment's build step can hit). The engine stays
+  // unprepared; every query entry point then returns InvalidArgument
+  // until a later Prepare succeeds.
+  if (PSI_FAULT_POINT("engine.prepare") == FaultKind::kError) {
+    data_ = nullptr;
+    return Status::IOError("injected prepare failure");
+  }
+  const auto cancelled = [&] {
+    return stop != nullptr && stop->stop_requested();
+  };
+  // Cancellation polls bracket the heavy steps; a trip anywhere leaves
+  // the engine unprepared (data_ == nullptr) but reusable.
+  data_ = nullptr;
+  if (cancelled()) return Status::Aborted("prepare cancelled");
   // One candidate index serves every matcher (and every race over them):
   // the kernel structures depend only on the stored graph, so building it
   // per matcher would be pure duplication.
   candidate_index_ =
       MatchIndexEnabled() ? CandidateIndex::Build(data) : nullptr;
   for (auto& m : matchers_) {
+    if (cancelled()) return Status::Aborted("prepare cancelled");
     m->set_candidate_index(candidate_index_);
     PSI_RETURN_NOT_OK(m->Prepare(data));
   }
+  if (cancelled()) return Status::Aborted("prepare cancelled");
+  data_ = &data;
   stats_ = LabelStats::FromGraph(data);
   portfolio_.name = "Psi";
   portfolio_.entries.clear();
@@ -80,6 +103,13 @@ RaceResult PsiEngine::Run(const Graph& query, uint64_t max_embeddings) {
     empty.mode = options_.mode;
     return empty;
   }
+  // Failpoint: the whole run "fails" before racing anything — the
+  // all-killed result maps to Status::Aborted in the typed entry points.
+  if (PSI_FAULT_POINT("engine.run") == FaultKind::kError) {
+    RaceResult failed;
+    failed.mode = options_.mode;
+    return failed;
+  }
   const QueryPlan plan = planner_.Plan(query);
   PlanResult pr =
       ExecutePortfolioPlan(plan, portfolio_, query, stats_,
@@ -96,6 +126,12 @@ RaceResult PsiEngine::Run(const Graph& query, uint64_t max_embeddings) {
 namespace {
 
 Status RaceFailure(const RaceResult& r) {
+  // Watchdog teardown outranks the other classifications: the race was
+  // forcibly ended past its deadline + grace, so the query ran out of
+  // time in the strictest sense — whatever else admission control did.
+  if (r.watchdog_fired) {
+    return Status::DeadlineExceeded("watchdog tore down the race");
+  }
   // A race that pool admission control displaced and that did not fall
   // back to sequential execution (mode still kPool) is overload, not a
   // cap kill — but only when *nothing* actually ran; a variant that

@@ -103,6 +103,13 @@ class PsiEngine {
   /// once before serving queries.
   Status Prepare(const Graph& data);
 
+  /// Cancellable Prepare: `stop` is polled between the heavy build steps
+  /// (before the candidate index, then before and after each matcher's
+  /// Prepare). A tripped token returns Status::Aborted and leaves the
+  /// engine unprepared but reusable — a later Prepare call starts over
+  /// cleanly. nullptr behaves exactly like the plain overload.
+  Status Prepare(const Graph& data, const StopToken* stop);
+
   // After Prepare, the query entry points below are safe to call from any
   // number of client threads concurrently: the portfolio, indexes and
   // stats are immutable, every race keeps its state on the calling

@@ -4,6 +4,9 @@
 #include <atomic>
 #include <thread>
 
+#include "core/env.hpp"
+#include "fault/failpoint.hpp"
+
 namespace psi {
 
 namespace {
@@ -14,6 +17,7 @@ struct RaceShared {
   RaceResult out;
   std::atomic<int> winner{-1};
   std::atomic<int64_t> winner_ns{0};
+  std::atomic<size_t> crashes{0};
   std::chrono::steady_clock::time_point start;
 
   explicit RaceShared(std::span<const RaceVariant> variants) {
@@ -78,6 +82,31 @@ MatchResult RunBody(const RaceVariant& variant, uint32_t split,
   return variant.run(mo);
 }
 
+/// RunBody with crash isolation: a variant body that throws — a real
+/// matcher bug or the race.variant failpoint — is absorbed as a killed
+/// variant (cancelled, started, elapsed > 0 so admission-decided
+/// classification stays truthful) instead of unwinding through the race.
+/// The race then degrades to the survivors; an all-crashed race simply
+/// has no winner and surfaces as Status::Aborted upstream.
+MatchResult RunBodyIsolated(const RaceVariant& variant, uint32_t split,
+                            const MatchOptions& mo, bool* crashed) {
+  const auto t0 = std::chrono::steady_clock::now();
+  try {
+    if (PSI_FAULT_POINT("race.variant") == FaultKind::kThrow) {
+      throw FaultInjectedError("race.variant");
+    }
+    return RunBody(variant, split, mo);
+  } catch (...) {
+    *crashed = true;
+    FaultStats::Instance().NoteCrash();
+    MatchResult r;
+    r.cancelled = true;
+    r.elapsed = std::max(std::chrono::steady_clock::now() - t0,
+                         std::chrono::steady_clock::duration(1));
+    return r;
+  }
+}
+
 /// Runs variant `i` under the race's shared deadline/token, records its
 /// outcome, and — on the race's first completion — claims the win and
 /// trips `stop` to call off the rest of the race.
@@ -89,7 +118,9 @@ void RunVariant(const RaceVariant& variant, size_t i, uint32_t split,
   mo.deadline = deadline;
   mo.stop = &stop;
   mo.guard_period = options.guard_period;
-  MatchResult r = RunBody(variant, split, mo);
+  bool crashed = false;
+  MatchResult r = RunBodyIsolated(variant, split, mo, &crashed);
+  if (crashed) s.crashes.fetch_add(1, std::memory_order_relaxed);
   s.out.workers[i].result = r;
   if (r.complete) {
     int expected = -1;
@@ -104,6 +135,7 @@ void RunVariant(const RaceVariant& variant, size_t i, uint32_t split,
 
 RaceResult FinishRace(RaceShared& s) {
   s.out.winner = s.winner.load();
+  s.out.variant_crashes = s.crashes.load(std::memory_order_relaxed);
   if (s.out.winner >= 0) {
     s.out.result = s.out.workers[s.out.winner].result;
     s.out.wall = std::chrono::nanoseconds(s.winner_ns.load());
@@ -180,8 +212,27 @@ RaceResult RacePool(std::span<const RaceVariant> variants,
     }
     // Like the threads mode, wait for every member before returning:
     // stragglers abandon quickly once the group token is tripped, and the
-    // outcome vector lives on this stack frame.
-    group.Wait();
+    // outcome vector lives on this stack frame. With a watchdog armed
+    // (explicit option, else PSI_WATCHDOG_GRACE_MS) and a budget set, the
+    // wait is bounded at deadline + grace: past that the race is presumed
+    // wedged — cancel everyone, note the firing, and drain. The final
+    // unbounded Wait() is safe because cancelled queued members
+    // fast-cancel and running members either poll their CostGuards or are
+    // past the point of mattering; it cannot outwait a cooperative body.
+    std::chrono::nanoseconds grace = options.watchdog_grace;
+    if (grace.count() <= 0) {
+      grace = std::chrono::milliseconds(WatchdogGraceMillis());
+    }
+    if (grace.count() > 0 && group.deadline().enabled()) {
+      if (!group.WaitUntil(group.deadline().at() + grace)) {
+        s.out.watchdog_fired = true;
+        FaultStats::Instance().NoteWatchdog();
+        group.RequestStop();
+        group.Wait();
+      }
+    } else {
+      group.Wait();
+    }
   }
   RaceResult out = FinishRace(s);
   out.rejected_variants = rejected + shed.load(std::memory_order_relaxed);
@@ -203,8 +254,10 @@ RaceResult RaceSequential(std::span<const RaceVariant> variants,
       mo.deadline = Deadline::After(vb);
     }
     mo.guard_period = options.guard_period;
-    MatchResult r =
-        RunBody(variants[i], VariantSplit(variants, options, i), mo);
+    bool crashed = false;
+    MatchResult r = RunBodyIsolated(
+        variants[i], VariantSplit(variants, options, i), mo, &crashed);
+    if (crashed) ++out.variant_crashes;
     out.workers[i].name = variants[i].name;
     out.workers[i].result = r;
     if (r.complete && (out.winner < 0 || r.elapsed < best)) {

@@ -107,6 +107,15 @@ struct RaceOptions {
   Executor* executor = nullptr;
   /// Degradation when a bounded pool rejects the whole race (kPool only).
   OverloadResponse on_overload = OverloadResponse::kFallbackSequential;
+  /// Per-query watchdog grace (kPool only): when > 0 and the race has a
+  /// budget, a race whose TaskGroup is still pending `grace` past the
+  /// shared deadline is torn down (RequestStop + drain) and reports
+  /// watchdog_fired — the caller maps a lost race to
+  /// Status::DeadlineExceeded. Zero falls back to the
+  /// PSI_WATCHDOG_GRACE_MS env knob (default off). Variants poll their
+  /// CostGuards, so the watchdog only fires for genuinely wedged bodies
+  /// (or ones stalled by injected delays), never healthy slow ones.
+  std::chrono::nanoseconds watchdog_grace{0};
 };
 
 /// Per-variant outcome of a race.
@@ -136,6 +145,15 @@ struct RaceResult {
   /// means admission control decided the whole race, which was then
   /// degraded per RaceOptions::on_overload.
   size_t rejected_variants = 0;
+  /// Variants whose body threw (a real matcher bug or an injected crash):
+  /// each is absorbed as killed — cancelled-but-started, elapsed > 0 — and
+  /// the race degrades to the survivors instead of propagating.
+  size_t variant_crashes = 0;
+  /// The per-query watchdog tore this race down (see
+  /// RaceOptions::watchdog_grace). A race can still complete with the
+  /// flag set — the watchdog may fire on a wedged *loser* — so callers
+  /// must check completed() first.
+  bool watchdog_fired = false;
   /// All per-variant outcomes, in variant order.
   std::vector<WorkerOutcome> workers;
 

@@ -1,6 +1,7 @@
 #include "rewrite/rewrite_cache.hpp"
 
 #include "core/fnv.hpp"
+#include "fault/failpoint.hpp"
 
 namespace psi {
 
@@ -50,7 +51,12 @@ std::shared_ptr<const RewrittenQuery> RewriteCache::GetWithFingerprint(
   key.stats_id = StatsDependent(r) ? stats.identity() : 0;
   key.seed = r == Rewriting::kRandom ? random_seed : 0;
   key.rewriting = r;
-  {
+  // Failpoint: treat the lookup as a miss and recompute. Rewriting is a
+  // pure function of the key, so a forced miss can only cost time — the
+  // recompute installs (or re-finds) the identical entry.
+  const bool forced_miss =
+      PSI_FAULT_POINT("rewrite.lookup") == FaultKind::kMiss;
+  if (!forced_miss) {
     std::lock_guard<std::mutex> lock(mutex_);
     auto it = map_.find(key);
     if (it != map_.end() && it->second.num_vertices == query.num_vertices() &&

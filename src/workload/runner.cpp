@@ -1,8 +1,13 @@
 #include "workload/runner.hpp"
 
 #include <chrono>
+#include <functional>
 #include <mutex>
+#include <thread>
 #include <utility>
+
+#include "core/env.hpp"
+#include "fault/failpoint.hpp"
 
 namespace psi {
 
@@ -23,7 +28,78 @@ QueryRecord ToRecord(const MatchResult& r, const RunnerOptions& options) {
                                               : r.elapsed_ms();
   rec.matched = r.found();
   rec.embeddings = r.embedding_count;
+  rec.status = rec.killed ? Status::Code::kAborted : Status::Code::kOk;
   return rec;
+}
+
+// Maps a race outcome to the record's typed status. Mirrors the engine's
+// RaceFailure classification (src/psi/engine.cpp): watchdog teardown
+// outranks everything, admission refusal only counts as overload when
+// nothing actually ran, and any other no-answer outcome is a cap kill.
+Status::Code RaceStatusCode(const RaceResult& race) {
+  if (race.completed()) return Status::Code::kOk;
+  if (race.watchdog_fired) return Status::Code::kDeadlineExceeded;
+  if (race.mode == RaceMode::kPool && race.overloaded()) {
+    bool any_ran = false;
+    for (const auto& w : race.workers) {
+      if (VariantStarted(w.result)) {
+        any_ran = true;
+        break;
+      }
+    }
+    if (!any_ran) return Status::Code::kOverloaded;
+  }
+  return Status::Code::kAborted;
+}
+
+// Runs `run` under the bounded-retry + crash-absorption policy shared by
+// the NFV and FTV runners:
+//   * Transient overload — admission control refused the whole race and
+//     nothing started — is retried up to PSI_RETRY_MAX times with
+//     exponential backoff and deterministic jitter. Retry attempts fail
+//     fast on overload so the backoff, not an immediate inline run, is
+//     what absorbs a pressure spike; the final attempt reverts to
+//     `base.on_overload` (the runners' default kFallbackSequential), so
+//     the query is still answered if the pool never frees up.
+//   * A race that ends answer-less with variant crashes or a watchdog
+//     teardown is re-run once, sequentially on this thread with fault
+//     injection suppressed — a single recovery step absorbs any injected
+//     fault schedule.
+RaceResult RaceWithRetry(
+    const RaceOptions& base,
+    const std::function<RaceResult(const RaceOptions&)>& run) {
+  const int64_t retry_max = RetryMax();
+  RaceResult race;
+  for (int64_t attempt = 0;; ++attempt) {
+    RaceOptions opts = base;
+    if (attempt < retry_max) opts.on_overload = OverloadResponse::kFail;
+    race = run(opts);
+    if (attempt >= retry_max ||
+        RaceStatusCode(race) != Status::Code::kOverloaded) {
+      break;
+    }
+    FaultStats::Instance().NoteRetry();
+    // Exponential backoff, per-sleep capped at 1s so a large
+    // PSI_RETRY_MAX bounds total latency, plus deterministic jitter (a
+    // golden-ratio mix of the attempt number) so synchronized clients
+    // de-correlate without consuming entropy.
+    const int64_t base_ms = RetryBaseMillis();
+    const int shift = attempt < 20 ? static_cast<int>(attempt) : 20;
+    int64_t sleep_ms = base_ms << shift;
+    if (sleep_ms <= 0 || sleep_ms > 1000) sleep_ms = 1000;
+    const uint64_t mix =
+        (static_cast<uint64_t>(attempt) + 1) * 0x9e3779b97f4a7c15ULL;
+    sleep_ms += static_cast<int64_t>(mix % static_cast<uint64_t>(base_ms));
+    std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
+  }
+  if (!race.completed() &&
+      (race.variant_crashes > 0 || race.watchdog_fired)) {
+    FaultSuppressionScope suppress;
+    RaceOptions seq = base;
+    seq.mode = RaceMode::kSequential;
+    race = run(seq);
+  }
+  return race;
 }
 
 }  // namespace
@@ -52,24 +128,29 @@ QueryRecord RunOnePsi(const Portfolio& portfolio, const Graph& query,
                       const LabelStats& stats, const RunnerOptions& options,
                       RaceMode mode, Executor* executor,
                       QueryPlanner* planner, RewriteCache* rewrite_cache) {
-  RaceOptions ro;
-  ro.budget = BudgetOf(options);
-  ro.max_embeddings = options.max_embeddings;
-  ro.mode = mode;
-  ro.executor = executor;
-  RaceResult race;
-  if (planner != nullptr && planner->configured()) {
-    const QueryPlan plan = planner->Plan(query);
-    PlanResult pr = ExecutePortfolioPlan(plan, portfolio, query, stats, ro,
-                                         rewrite_cache);
-    if (pr.race.completed()) {
-      planner->Observe(plan.features,
-                       static_cast<size_t>(pr.race.winner));
-    }
-    race = std::move(pr.race);
-  } else {
-    race = RunPortfolio(portfolio, query, stats, ro, rewrite_cache);
-  }
+  RaceOptions base;
+  base.budget = BudgetOf(options);
+  base.max_embeddings = options.max_embeddings;
+  base.mode = mode;
+  base.executor = executor;
+  // The plan is fixed once per query — retry attempts and the recovery
+  // re-run execute the same plan, so the answer cannot drift across them.
+  const bool planned = planner != nullptr && planner->configured();
+  QueryPlan plan;
+  if (planned) plan = planner->Plan(query);
+  const RaceResult race = RaceWithRetry(
+      base, [&](const RaceOptions& ro) -> RaceResult {
+        if (planned) {
+          PlanResult pr = ExecutePortfolioPlan(plan, portfolio, query, stats,
+                                               ro, rewrite_cache);
+          if (pr.race.completed()) {
+            planner->Observe(plan.features,
+                             static_cast<size_t>(pr.race.winner));
+          }
+          return std::move(pr.race);
+        }
+        return RunPortfolio(portfolio, query, stats, ro, rewrite_cache);
+      });
   QueryRecord rec;
   rec.killed = !race.completed();
   rec.ms = rec.killed && options.cap_ms > 0.0
@@ -77,6 +158,7 @@ QueryRecord RunOnePsi(const Portfolio& portfolio, const Graph& query,
                : std::chrono::duration<double, std::milli>(race.wall).count();
   rec.matched = race.completed() && race.result.found();
   rec.embeddings = race.completed() ? race.result.embedding_count : 0;
+  rec.status = RaceStatusCode(race);
   return rec;
 }
 
@@ -110,11 +192,14 @@ std::vector<QueryRecord> RunWorkloadPsiParallel(
     for (size_t i = 0; i < workload.size(); ++i) {
       const Admission admission =
           group.Spawn([&, i](TaskStart start) {
-            if (start == TaskStart::kShed) {
-              displaced[i] = 1;  // made visible to the waiter by Wait()
+            if (start != TaskStart::kRun) {
+              // kShed, or kCancelled at group teardown: either way the
+              // query never ran here, so mark it displaced — the inline
+              // pass below always produces its record. (Visible to the
+              // waiter by Wait().)
+              displaced[i] = 1;
               return;
             }
-            if (start == TaskStart::kCancelled) return;  // group teardown
             out[i] = RunOnePsi(portfolio, workload[i].graph, stats, options,
                                mode, &exec, planner, rewrite_cache);
           });
@@ -123,7 +208,10 @@ std::vector<QueryRecord> RunWorkloadPsiParallel(
     group.Wait();
   }
   // Backpressure path: displaced queries run on the caller thread, which
-  // also throttles a flooding client to the pool's actual capacity.
+  // also throttles a flooding client to the pool's actual capacity. This
+  // is the recovery step, so injection is suppressed on this thread —
+  // displaced work converges instead of being re-displaced forever.
+  FaultSuppressionScope suppress_recovery;
   for (size_t i = 0; i < workload.size(); ++i) {
     if (displaced[i] != 0) {
       out[i] = RunOnePsi(portfolio, workload[i].graph, stats, options, mode,
@@ -152,6 +240,7 @@ std::vector<FtvPairRecord> RunFtvWorkload(
       rec.ms = rec.killed && options.cap_ms > 0.0 ? options.cap_ms
                                                   : r.elapsed_ms();
       rec.matched = r.found();
+      rec.status = rec.killed ? Status::Code::kAborted : Status::Code::kOk;
       out.push_back(rec);
     }
   }
@@ -177,6 +266,7 @@ std::vector<FtvPairRecord> RunFtvWorkload(
       rec.ms = rec.killed && options.cap_ms > 0.0 ? options.cap_ms
                                                   : r.elapsed_ms();
       rec.matched = r.found();
+      rec.status = rec.killed ? Status::Code::kAborted : Status::Code::kOk;
       out.push_back(rec);
     }
   }
@@ -222,18 +312,22 @@ FtvPairRecord RaceFtvPair(const GrapesIndex& index, const Graph& query,
           return index.VerifyCandidate(inst->graph, cand, mo);
         }});
   }
-  RaceOptions ro;
-  ro.budget = BudgetOf(options);
-  ro.max_embeddings = 1;
-  ro.mode = mode;
-  ro.executor = executor;
-  const PlanResult pr =
-      ExecutePlan(plan != nullptr ? *plan : FullRacePlan(universe.size()),
-                  universe, ro);
-  const RaceResult& race = pr.race;
-  if (planner != nullptr && plan != nullptr && race.completed()) {
-    planner->Observe(plan->features, static_cast<size_t>(race.winner));
-  }
+  RaceOptions base;
+  base.budget = BudgetOf(options);
+  base.max_embeddings = 1;
+  base.mode = mode;
+  base.executor = executor;
+  const RaceResult race = RaceWithRetry(
+      base, [&](const RaceOptions& ro) -> RaceResult {
+        PlanResult pr = ExecutePlan(
+            plan != nullptr ? *plan : FullRacePlan(universe.size()),
+            universe, ro);
+        if (planner != nullptr && plan != nullptr && pr.race.completed()) {
+          planner->Observe(plan->features,
+                           static_cast<size_t>(pr.race.winner));
+        }
+        return std::move(pr.race);
+      });
   FtvPairRecord rec;
   rec.query_index = query_index;
   rec.graph_id = cand.graph_id;
@@ -242,6 +336,7 @@ FtvPairRecord RaceFtvPair(const GrapesIndex& index, const Graph& query,
                ? options.cap_ms
                : std::chrono::duration<double, std::milli>(race.wall).count();
   rec.matched = race.completed() && race.result.found();
+  rec.status = RaceStatusCode(race);
   return rec;
 }
 
@@ -375,7 +470,19 @@ std::vector<FtvPairRecord> RunFtvPipelined(
               shard_displaced[bi] = 1;  // visible to the waiter via Wait()
               return;
             }
-            filter_shard(bi);
+            try {
+              if (PSI_FAULT_POINT("ftv.filter") == FaultKind::kThrow) {
+                throw FaultInjectedError("ftv.filter");
+              }
+              filter_shard(bi);
+            } catch (...) {
+              // A crashed shard filter degrades to the inline path: the
+              // shard re-filters after the join (suppressed), so its
+              // candidates — and their records — are never lost.
+              FaultStats::Instance().NoteCrash();
+              shard_displaced[bi] = 1;
+              return;
+            }
             index.filter_stats().NoteShardRun();
             // Stream: survivors go straight into verification races.
             spawn_verifies(bi);
@@ -388,15 +495,25 @@ std::vector<FtvPairRecord> RunFtvPipelined(
   // pool (the verify group is open until every bucket is accounted for).
   // spawned_at is left at the original submission time, per the latency
   // metric's definition (first submission -> shard result ready).
-  for (size_t bi = 0; bi < buckets.size(); ++bi) {
-    if (shard_displaced[bi] == 0) continue;
-    filter_shard(bi);
-    index.filter_stats().NoteShardInline();
-    spawn_verifies(bi);
+  {
+    // Recovery step: re-filters run suppressed so they cannot crash or
+    // be displaced again. Their verify spawns enqueue from this thread
+    // (admission suppressed too); a worker-side shed of one of those
+    // races still lands in displaced_pairs and is caught below.
+    FaultSuppressionScope suppress_recovery;
+    for (size_t bi = 0; bi < buckets.size(); ++bi) {
+      if (shard_displaced[bi] == 0) continue;
+      filter_shard(bi);
+      index.filter_stats().NoteShardInline();
+      spawn_verifies(bi);
+    }
   }
   verify_group.Wait();
-  for (const auto& [bucket_index, pair_index] : displaced_pairs) {
-    verify_pair(bucket_index, pair_index);
+  {
+    FaultSuppressionScope suppress_recovery;
+    for (const auto& [bucket_index, pair_index] : displaced_pairs) {
+      verify_pair(bucket_index, pair_index);
+    }
   }
 
   std::vector<FtvPairRecord> out;
@@ -467,17 +584,20 @@ std::vector<FtvPairRecord> RunFtvWorkloadPsiParallel(
     TaskGroup group(exec);
     for (size_t i = 0; i < pairs.size(); ++i) {
       const Admission admission = group.Spawn([&, i](TaskStart start) {
-        if (start == TaskStart::kShed) {
+        if (start != TaskStart::kRun) {
+          // kShed or kCancelled — the pair never raced here; mark it
+          // displaced so the inline pass always fills its record.
           displaced[i] = 1;
           return;
         }
-        if (start == TaskStart::kCancelled) return;
         out[i] = race_pair(i);
       });
       if (admission == Admission::kRejected) displaced[i] = 1;
     }
     group.Wait();
   }
+  // Recovery step — suppressed, same contract as the NFV parallel runner.
+  FaultSuppressionScope suppress_recovery;
   for (size_t i = 0; i < pairs.size(); ++i) {
     if (displaced[i] != 0) out[i] = race_pair(i);
   }

@@ -13,6 +13,7 @@
 #include <span>
 #include <vector>
 
+#include "core/status.hpp"
 #include "core/stop_token.hpp"
 #include "exec/executor.hpp"
 #include "gen/query_gen.hpp"
@@ -33,6 +34,13 @@ struct QueryRecord {
   bool killed = false;    ///< terminated at the cap ("hard")
   bool matched = false;   ///< at least one embedding found
   uint64_t embeddings = 0;
+  /// *Why* the record looks the way it does — kOk for an answered query;
+  /// otherwise the typed failure: kAborted (killed at the cap),
+  /// kOverloaded (pool admission refused the race and nothing ran),
+  /// kDeadlineExceeded (the watchdog tore the race down). Displaced and
+  /// inline re-runs propagate their final status here too — a non-OK
+  /// outcome is never silently dropped from the workload record.
+  Status::Code status = Status::Code::kOk;
 };
 
 struct RunnerOptions {
@@ -104,6 +112,8 @@ struct FtvPairRecord {
   double ms = 0.0;
   bool killed = false;
   bool matched = false;
+  /// Same contract as QueryRecord::status.
+  Status::Code status = Status::Code::kOk;
 };
 
 /// Grapes: filter (untimed), then verify each candidate under the cap.

@@ -1,0 +1,180 @@
+// Unit coverage for the failpoint subsystem (src/fault/): spec grammar,
+// per-site decision determinism, after/limit accounting, the scoped
+// injector's save/restore, thread-local suppression, and the
+// PSI_FAULTS=OFF compile-out contract. The system-level behaviour of the
+// wired sites lives in chaos_test.cpp.
+
+#include "fault/failpoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "metrics/metrics.hpp"
+
+namespace psi {
+namespace {
+
+TEST(FailpointTest, ParseSpecFullGrammar) {
+  const auto rules = FaultRegistry::ParseSpec(
+      "exec.admit=reject:0.25:10:3:7,race.variant=throw");
+  ASSERT_EQ(rules.size(), 2u);
+  EXPECT_EQ(rules[0].site, "exec.admit");
+  EXPECT_EQ(rules[0].kind, FaultKind::kReject);
+  EXPECT_DOUBLE_EQ(rules[0].prob, 0.25);
+  EXPECT_EQ(rules[0].after, 10u);
+  EXPECT_EQ(rules[0].limit, 3u);
+  EXPECT_EQ(rules[0].delay_ms, 7u);
+  EXPECT_EQ(rules[1].site, "race.variant");
+  EXPECT_EQ(rules[1].kind, FaultKind::kThrow);
+  EXPECT_DOUBLE_EQ(rules[1].prob, 1.0);  // omitted -> always
+  EXPECT_EQ(rules[1].after, 0u);
+  EXPECT_EQ(rules[1].limit, 0u);
+}
+
+TEST(FailpointTest, ParseSpecSkipsMalformedEntries) {
+  const auto rules = FaultRegistry::ParseSpec(
+      "nokind,=reject,x=bogus,exec.run=shed:1.5,,ok.site=error:0.5");
+  ASSERT_EQ(rules.size(), 1u);
+  EXPECT_EQ(rules[0].site, "ok.site");
+  EXPECT_EQ(rules[0].kind, FaultKind::kError);
+  EXPECT_DOUBLE_EQ(rules[0].prob, 0.5);
+}
+
+TEST(FailpointTest, KindNamesRoundTrip) {
+  for (FaultKind k : {FaultKind::kReject, FaultKind::kShed, FaultKind::kDelay,
+                      FaultKind::kThrow, FaultKind::kError, FaultKind::kMiss}) {
+    EXPECT_EQ(FaultKindFromName(ToString(k)), k);
+  }
+  EXPECT_EQ(FaultKindFromName("frobnicate"), FaultKind::kNone);
+}
+
+// The fire/spare decision for evaluation #i of a site is a pure function
+// of (seed, site, i): replaying an installation yields the identical
+// decision sequence, and a different seed yields a different one.
+TEST(FailpointTest, DecisionSequenceIsSeedDeterministic) {
+  auto sequence = [](uint64_t seed) {
+    FaultInjector inject("t.seq=error:0.5", seed);
+    std::vector<bool> fired;
+    for (int i = 0; i < 200; ++i) {
+      fired.push_back(FaultRegistry::Instance().Evaluate("t.seq") ==
+                      FaultKind::kError);
+    }
+    return fired;
+  };
+  const auto a = sequence(42);
+  const auto b = sequence(42);
+  const auto c = sequence(43);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);  // 2^-200 collision odds
+  // prob 0.5 over 200 draws: both outcomes must appear.
+  EXPECT_NE(std::count(a.begin(), a.end(), true), 0);
+  EXPECT_NE(std::count(a.begin(), a.end(), true), 200);
+}
+
+TEST(FailpointTest, AfterSparesTheFirstEvaluations) {
+  FaultInjector inject("t.after=error:1:5");
+  for (int i = 0; i < 10; ++i) {
+    const FaultKind k = FaultRegistry::Instance().Evaluate("t.after");
+    EXPECT_EQ(k, i < 5 ? FaultKind::kNone : FaultKind::kError) << i;
+  }
+}
+
+TEST(FailpointTest, LimitCapsTotalFiresAndCountsInjections) {
+  const uint64_t before = FaultStats::Instance().injected();
+  FaultInjector inject("t.limit=error:1:0:3");
+  int fires = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (FaultRegistry::Instance().Evaluate("t.limit") == FaultKind::kError) {
+      ++fires;
+    }
+  }
+  EXPECT_EQ(fires, 3);
+  EXPECT_EQ(FaultStats::Instance().injected() - before, 3u);
+}
+
+TEST(FailpointTest, SuppressionScopeSilencesThisThread) {
+  const uint64_t before = FaultStats::Instance().injected();
+  FaultInjector inject("t.sup=error");
+  {
+    FaultSuppressionScope outer;
+    EXPECT_EQ(FaultRegistry::Instance().Evaluate("t.sup"), FaultKind::kNone);
+    {
+      FaultSuppressionScope inner;  // nesting
+      EXPECT_EQ(FaultRegistry::Instance().Evaluate("t.sup"),
+                FaultKind::kNone);
+    }
+    EXPECT_EQ(FaultRegistry::Instance().Evaluate("t.sup"), FaultKind::kNone);
+  }
+  // Suppressed evaluations neither fire nor count.
+  EXPECT_EQ(FaultStats::Instance().injected() - before, 0u);
+  EXPECT_EQ(FaultRegistry::Instance().Evaluate("t.sup"), FaultKind::kError);
+  EXPECT_EQ(FaultStats::Instance().injected() - before, 1u);
+}
+
+TEST(FailpointTest, InjectorRestoresThePreviousInstallation) {
+  const auto baseline = FaultRegistry::Instance().rules();
+  {
+    FaultInjector outer("t.outer=shed", 7);
+    ASSERT_EQ(FaultRegistry::Instance().rules().size(), 1u);
+    EXPECT_EQ(FaultRegistry::Instance().seed(), 7u);
+    {
+      FaultInjector inner("t.inner=miss:0.5,t.inner2=delay", 9);
+      const auto rules = FaultRegistry::Instance().rules();
+      ASSERT_EQ(rules.size(), 2u);
+      EXPECT_EQ(rules[0].site, "t.inner");
+      EXPECT_EQ(FaultRegistry::Instance().seed(), 9u);
+    }
+    const auto rules = FaultRegistry::Instance().rules();
+    ASSERT_EQ(rules.size(), 1u);
+    EXPECT_EQ(rules[0].site, "t.outer");
+    EXPECT_EQ(FaultRegistry::Instance().seed(), 7u);
+  }
+  EXPECT_EQ(FaultRegistry::Instance().rules().size(), baseline.size());
+}
+
+TEST(FailpointTest, UnknownSiteAndInactiveRegistryAreNoOps) {
+  {
+    FaultInjector inject("t.known=error");
+    EXPECT_EQ(FaultRegistry::Instance().Evaluate("t.unknown"),
+              FaultKind::kNone);
+  }
+  // Injector gone: the macro's gate sees an inactive registry.
+  EXPECT_EQ(PSI_FAULT_POINT("t.known"), FaultKind::kNone);
+}
+
+// Under -DPSI_FAULTS=OFF the macro is a compile-time constant: rules can
+// still be installed (the registry object always exists) but no site in
+// the library evaluates them. The CI faults-off leg runs exactly this
+// test to pin the contract.
+TEST(FailpointTest, CompiledOutMacroIsInert) {
+  FaultInjector inject("t.off=error");
+  if (FaultsCompiledIn()) {
+    EXPECT_EQ(PSI_FAULT_POINT("t.off"), FaultKind::kError);
+  } else {
+    EXPECT_EQ(PSI_FAULT_POINT("t.off"), FaultKind::kNone);
+  }
+}
+
+TEST(FailpointTest, StatsFoldIntoPoolGaugesAndFormat) {
+  PoolGauges g;
+  FaultStats::Instance().AddTo(&g);
+  const PoolGauges base = g;
+  FaultStats::Instance().NoteCrash();
+  FaultStats::Instance().NoteRetry();
+  FaultStats::Instance().NoteWatchdog();
+  PoolGauges g2;
+  FaultStats::Instance().AddTo(&g2);
+  EXPECT_EQ(g2.fault_variant_crashes, base.fault_variant_crashes + 1);
+  EXPECT_EQ(g2.fault_retries, base.fault_retries + 1);
+  EXPECT_EQ(g2.fault_watchdog_fires, base.fault_watchdog_fires + 1);
+  const std::string s = FormatFaultGauges(g2);
+  EXPECT_NE(s.find("variant_crashes="), std::string::npos);
+  // All-zero snapshots format to nothing (quiet serving logs).
+  EXPECT_TRUE(FormatFaultGauges(PoolGauges{}).empty());
+}
+
+}  // namespace
+}  // namespace psi

@@ -31,11 +31,13 @@
 
 #include "core/env.hpp"
 #include "exec/executor.hpp"
+#include "fault/failpoint.hpp"
 #include "gen/dataset_gen.hpp"
 #include "gen/query_gen.hpp"
 #include "graphql/graphql.hpp"
 #include "match/candidate_index.hpp"
 #include "match/parallel.hpp"
+#include "match/steal.hpp"
 #include "metrics/metrics.hpp"
 #include "plan/plan.hpp"
 #include "plan/planner.hpp"
@@ -355,6 +357,29 @@ TEST(MatchStealTest, StealGaugesAccumulate) {
   // offered (stolen counts pops, some spills may still be queued at the
   // end but every completed call drained its queue).
   EXPECT_LE(gauges.kernel_steal_stolen, gauges.kernel_steal_spills);
+}
+
+TEST(MatchStealTest, QueueFullDistinguishedFromInjectedDecline) {
+  // PR 10 satellite: declined() aggregates every refusal; queue_full()
+  // isolates genuine capacity backpressure so saturation is observable
+  // instead of inferred.
+  const VertexId prefix[] = {0, 1};
+  EmbeddingQueue full(/*num_ranges=*/1, /*capacity=*/1);
+  full.OpenRange(0);
+  EXPECT_NE(full.Spill(0, prefix), nullptr);  // fills the only slot
+  EXPECT_EQ(full.Spill(0, prefix), nullptr);  // genuine backpressure
+  EXPECT_EQ(full.declined(), 1u);
+  EXPECT_EQ(full.queue_full(), 1u);
+  if (FaultsCompiledIn()) {
+    // Injected decline on a roomy queue: same refusal, distinct
+    // attribution — queue_full stays at zero.
+    FaultInjector inject("steal.offer=error:1", 21);
+    EmbeddingQueue roomy(/*num_ranges=*/1, /*capacity=*/8);
+    roomy.OpenRange(0);
+    EXPECT_EQ(roomy.Spill(0, prefix), nullptr);
+    EXPECT_EQ(roomy.declined(), 1u);
+    EXPECT_EQ(roomy.queue_full(), 0u);
+  }
 }
 
 // ---- Planner: straggler-profile-driven split width ----

@@ -180,6 +180,62 @@ TEST(RunnerTest, ParallelFtvPsiMatchesSerialPairs) {
   }
 }
 
+TEST(RunnerTest, RecordStatusReportsOutcome) {
+  // PR 10 satellite: every record carries the typed reason for its shape
+  // — kOk when answered, kAborted when killed at the cap.
+  const Graph g = gen::YeastLike(8, 71);
+  Vf2Matcher m;
+  ASSERT_TRUE(m.Prepare(g).ok());
+  auto w = gen::GenerateWorkload(g, 3, 6, 72);
+  ASSERT_TRUE(w.ok());
+  RunnerOptions ro;
+  ro.cap_ms = 5000.0;
+  ro.max_embeddings = 1;
+  for (const auto& r : RunWorkload(m, *w, ro)) {
+    EXPECT_EQ(r.status, Status::Code::kOk);
+  }
+  const Graph hard_data = testing::MakeClique(std::vector<LabelId>(40, 0));
+  Vf2Matcher hm;
+  ASSERT_TRUE(hm.Prepare(hard_data).ok());
+  gen::Query q;
+  q.graph = testing::MakeClique(std::vector<LabelId>(8, 0));
+  RunnerOptions hard;
+  hard.cap_ms = 1.0;
+  hard.max_embeddings = UINT64_MAX;
+  const auto records = RunWorkload(hm, std::vector<gen::Query>{q}, hard);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].status, Status::Code::kAborted);
+}
+
+TEST(RunnerTest, DisplacedParallelRecordsAreNeverDropped) {
+  // Regression (PR 10 satellite): a spawned query task that starts as
+  // kShed *or* kCancelled must mark its slot displaced — a bare return
+  // used to leave a default-constructed record behind. A zero-capacity
+  // pool pushes everything through the displaced path.
+  const Graph g = gen::YeastLike(8, 73);
+  const LabelStats stats = LabelStats::FromGraph(g);
+  GraphQlMatcher gql;
+  ASSERT_TRUE(gql.Prepare(g).ok());
+  auto w = gen::GenerateWorkload(g, 5, 6, 74);
+  ASSERT_TRUE(w.ok());
+  const auto portfolio = MakeRewritingPortfolio(gql, AllRewritings());
+  ExecutorOptions xo;
+  xo.num_threads = 2;
+  xo.queue_capacity = 0;
+  Executor exec(xo);
+  RunnerOptions ro;
+  ro.cap_ms = 5000.0;
+  ro.max_embeddings = 1;
+  const auto records = RunWorkloadPsiParallel(portfolio, *w, stats, ro,
+                                              RaceMode::kPool, &exec);
+  ASSERT_EQ(records.size(), w->size());
+  for (const auto& r : records) {
+    EXPECT_TRUE(r.matched);
+    EXPECT_FALSE(r.killed);
+    EXPECT_EQ(r.status, Status::Code::kOk);
+  }
+}
+
 TEST(RunnerTest, ExtractorsAlign) {
   std::vector<QueryRecord> recs(3);
   recs[0].ms = 1.5;

@@ -61,5 +61,13 @@ TEST(ResultTest, ReturnNotOkMacroPropagates) {
   EXPECT_EQ(wrapper().code(), Status::Code::kIOError);
 }
 
+TEST(StatusTest, DeadlineExceededIsTypedAndNamed) {
+  const Status s = Status::DeadlineExceeded("watchdog tore down the race");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), Status::Code::kDeadlineExceeded);
+  EXPECT_NE(s.ToString().find("DeadlineExceeded"), std::string::npos);
+  EXPECT_NE(s.ToString().find("watchdog"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace psi
